@@ -1,0 +1,101 @@
+// Ablation A1: exclusive temporal access to resources. A burst of
+// simultaneous interactive submissions lands on a grid whose information is
+// only refreshed periodically. With match leases, concurrently dispatched
+// jobs see each other's reservations and spread; without them they pile
+// onto the same stale "free" CPUs, detect being queued, and must resubmit
+// (or fail outright).
+#include <iostream>
+
+#include "broker/grid_scenario.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cg;
+using namespace cg::broker;
+using namespace cg::literals;
+
+struct BurstResult {
+  int completed = 0;
+  int failed = 0;
+  int total_resubmissions = 0;
+  double mean_startup_s = 0.0;
+};
+
+BurstResult run_burst(bool leases_enabled, std::uint64_t seed) {
+  GridScenarioConfig config;
+  config.sites = 4;
+  config.nodes_per_site = 2;
+  config.seed = seed;
+  config.publication_period = 300_s;  // stale index during the burst
+  config.broker.enable_match_leases = leases_enabled;
+  GridScenario grid{config};
+  grid.sim().run_until(SimTime::from_seconds(1));
+
+  constexpr int kBurst = 8;  // exactly the number of nodes in the grid
+  BurstResult result;
+  RunningStats startup;
+  std::vector<std::optional<SimTime>> started(kBurst);
+  const SimTime burst_at = grid.sim().now();
+
+  for (int i = 0; i < kBurst; ++i) {
+    auto jd = jdl::JobDescription::parse(
+        "Executable = \"viz\"; JobType = \"interactive\";");
+    JobCallbacks callbacks;
+    callbacks.on_running = [&startup, burst_at, &grid](const JobRecord&) {
+      startup.add((grid.sim().now() - burst_at).to_seconds());
+    };
+    callbacks.on_complete = [&result](const JobRecord&) { ++result.completed; };
+    callbacks.on_failed = [&result](const JobRecord&, const Error&) {
+      ++result.failed;
+    };
+    grid.broker().submit(jd.value(), UserId{static_cast<std::uint64_t>(i + 1)},
+                         lrms::Workload::cpu(120_s), "ui", callbacks);
+  }
+  grid.sim().run_until(SimTime::from_seconds(1800));
+  for (const auto* record : grid.broker().all_records()) {
+    result.total_resubmissions += record->resubmissions;
+  }
+  result.mean_startup_s = startup.mean();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Ablation A1: exclusive temporal access (match leases) ==\n"
+            << "(8 simultaneous interactive jobs onto 8 nodes across 4 sites;\n"
+            << " stale information system; 10 seeds)\n\n";
+
+  RunningStats on_completed;
+  RunningStats on_resub;
+  RunningStats on_startup;
+  RunningStats off_completed;
+  RunningStats off_resub;
+  RunningStats off_startup;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const BurstResult on = run_burst(true, seed);
+    const BurstResult off = run_burst(false, seed);
+    on_completed.add(on.completed);
+    on_resub.add(on.total_resubmissions);
+    on_startup.add(on.mean_startup_s);
+    off_completed.add(off.completed);
+    off_resub.add(off.total_resubmissions);
+    off_startup.add(off.mean_startup_s);
+  }
+
+  cg::TablePrinter table{{"Leases", "Jobs completed (of 8)", "Resubmissions",
+                          "Mean startup (s)"}};
+  table.add_row({"on", cg::fmt_fixed(on_completed.mean(), 2),
+                 cg::fmt_fixed(on_resub.mean(), 2),
+                 cg::fmt_fixed(on_startup.mean(), 2)});
+  table.add_row({"off", cg::fmt_fixed(off_completed.mean(), 2),
+                 cg::fmt_fixed(off_resub.mean(), 2),
+                 cg::fmt_fixed(off_startup.mean(), 2)});
+  std::cout << table.render() << "\n";
+  std::cout << (off_resub.mean() > on_resub.mean()
+                    ? "[ok]   leases reduce wasted resubmissions under "
+                      "concurrent submission\n"
+                    : "[MISS] leases show no benefit in this configuration\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// steerable_app: a stand-in for the paper's interactive CrossGrid
+// applications (medical simulation, air-pollution model, HEP visualizer).
+// It iterates a "simulation", prints progress to stdout, and accepts
+// steering commands on stdin — completely unaware that a Console Agent may
+// be trapping its stdio. Run it directly, or under split execution:
+//
+//   $ ./steerable_app 20
+//   $ ./realtime_console -- ./steerable_app 50
+//
+// Commands (one per line on stdin):
+//   rate <float>    change the simulated work per step
+//   status          print the current state immediately
+//   stop            finish early
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+/// Burns a deterministic amount of CPU (no sleeping: the point is to look
+/// like a compute-bound simulation step).
+double burn(double iterations) {
+  double acc = 0.0;
+  for (long i = 0; i < static_cast<long>(iterations); ++i) {
+    acc += std::sin(static_cast<double>(i) * 1e-3);
+  }
+  return acc;
+}
+
+/// Non-blocking-ish line read: returns false when stdin is exhausted.
+bool poll_command(std::string& line) {
+  // Check stdin readability without blocking the simulation loop.
+  fd_set set;
+  FD_ZERO(&set);
+  FD_SET(STDIN_FILENO, &set);
+  timeval tv{0, 0};
+  if (::select(STDIN_FILENO + 1, &set, nullptr, nullptr, &tv) <= 0) return false;
+  return static_cast<bool>(std::getline(std::cin, line));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 20;
+  if (steps <= 0) {
+    std::cerr << "usage: steerable_app [steps]\n";
+    return 2;
+  }
+  double rate = 1.0;
+  double energy = 0.0;
+  std::cout << "steerable_app: starting " << steps << " steps\n" << std::flush;
+
+  for (int step = 1; step <= steps; ++step) {
+    energy += burn(50000.0 * rate);
+
+    std::string line;
+    while (poll_command(line)) {
+      std::istringstream parser{line};
+      std::string command;
+      parser >> command;
+      if (command == "rate") {
+        double new_rate = 0.0;
+        if (parser >> new_rate && new_rate > 0.0) {
+          rate = new_rate;
+          std::cout << "steering: rate set to " << rate << "\n" << std::flush;
+        } else {
+          std::cerr << "steering: bad rate\n";
+        }
+      } else if (command == "status") {
+        std::cout << "status: step " << step << "/" << steps << ", energy "
+                  << energy << "\n"
+                  << std::flush;
+      } else if (command == "stop") {
+        std::cout << "steering: stop requested at step " << step << "\n"
+                  << std::flush;
+        std::cout << "steerable_app: done (energy " << energy << ")\n";
+        return 0;
+      } else if (!command.empty()) {
+        std::cerr << "steering: unknown command '" << command << "'\n";
+      }
+    }
+
+    if (step % 5 == 0 || step == steps) {
+      std::cout << "progress: step " << step << "/" << steps << "\n"
+                << std::flush;
+    }
+  }
+  std::cout << "steerable_app: done (energy " << energy << ")\n";
+  return 0;
+}

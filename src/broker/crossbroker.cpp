@@ -1,0 +1,1153 @@
+#include "broker/crossbroker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cg::broker {
+
+namespace {
+constexpr const char* kLog = "broker";
+}
+
+CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
+                         infosys::InformationSystem& infosys,
+                         CrossBrokerConfig config, std::string endpoint)
+    : sim_{sim},
+      network_{network},
+      infosys_{infosys},
+      config_{config},
+      endpoint_{std::move(endpoint)},
+      rng_{config.seed},
+      matchmaker_{config.matchmaker},
+      leases_{sim},
+      fair_share_{sim, config.fair_share},
+      agents_{sim} {
+  fair_share_.start();
+}
+
+CrossBroker::~CrossBroker() = default;
+
+void CrossBroker::enable_security(const gsi::Certificate* trust_anchor,
+                                  std::vector<gsi::Credential> broker_credentials) {
+  if (trust_anchor == nullptr) {
+    throw std::invalid_argument{"enable_security: null anchor"};
+  }
+  trust_anchor_ = trust_anchor;
+  broker_credentials_ = std::move(broker_credentials);
+  for (auto& [id, site] : sites_) {
+    site->gatekeeper().set_trust_anchor(trust_anchor_);
+  }
+}
+
+void CrossBroker::set_user_credentials(UserId user,
+                                       std::vector<gsi::Credential> ancestry) {
+  if (!user.valid() || ancestry.empty()) {
+    throw std::invalid_argument{"set_user_credentials: invalid input"};
+  }
+  user_credentials_.insert_or_assign(user, std::move(ancestry));
+}
+
+Status CrossBroker::check_user_security(UserId user) const {
+  if (trust_anchor_ == nullptr) return Status::ok_status();
+  const auto it = user_credentials_.find(user);
+  if (it == user_credentials_.end()) {
+    return make_error("gsi.no_credentials",
+                      "user has no registered credentials");
+  }
+  return gsi::verify_chain(gsi::make_chain(it->second), *trust_anchor_,
+                           sim_.now());
+}
+
+std::optional<gsi::CertificateChain> CrossBroker::chain_for(UserId user) const {
+  if (trust_anchor_ == nullptr) return std::nullopt;
+  const auto it = user_credentials_.find(user);
+  if (it == user_credentials_.end()) return std::nullopt;
+  return gsi::make_chain(it->second);
+}
+
+void CrossBroker::add_site(lrms::Site& site) {
+  sites_.insert_or_assign(site.id(), &site);
+  if (trust_anchor_ != nullptr) {
+    site.gatekeeper().set_trust_anchor(trust_anchor_);
+  }
+  const SiteId site_id = site.id();
+  site.scheduler().set_kill_observer([this, site_id](JobId job, NodeId node) {
+    on_site_job_killed(site_id, job, node);
+  });
+  site.set_interactive_vm_counter(
+      [this, site_id] { return agents_.free_interactive_vms(site_id); });
+  int total = 0;
+  for (const auto& [id, s] : sites_) total += s->config().worker_nodes;
+  fair_share_.set_total_resources(std::max(total, 1));
+}
+
+JobId CrossBroker::submit(jdl::JobDescription description, UserId user,
+                          lrms::Workload workload, std::string submitter_endpoint,
+                          JobCallbacks callbacks) {
+  if (!user.valid()) throw std::invalid_argument{"submit: invalid user"};
+  const JobId id = job_ids_.next();
+  auto managed = std::make_unique<ManagedJob>();
+  managed->record.id = id;
+  managed->record.user = user;
+  managed->record.description = std::move(description);
+  managed->record.workload = std::move(workload);
+  managed->record.submitter_endpoint = std::move(submitter_endpoint);
+  managed->record.timestamps.submitted = sim_.now();
+  managed->callbacks = std::move(callbacks);
+  jobs_.emplace(id, std::move(managed));
+  trace(id, "submitted",
+        jdl::to_string(jobs_[id]->record.description.category()) + " " +
+            jdl::to_string(jobs_[id]->record.description.flavor()) + " x" +
+            std::to_string(jobs_[id]->record.description.node_number()));
+  log_info(kLog, "submitted ", id, " (",
+           jdl::to_string(jobs_[id]->record.description.category()), ", ",
+           jdl::to_string(jobs_[id]->record.description.flavor()), ")");
+  sim_.schedule(Duration::zero(), [this, id] { schedule_job(id); });
+  return id;
+}
+
+bool CrossBroker::cancel(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return false;
+  log_info(kLog, "cancelling ", id, " (state ", to_string(job->record.state), ")");
+
+  // Terminal-ize first: every in-flight callback (kill observers, commit
+  // acks, agent readiness) checks the state and becomes a no-op.
+  release_leases(*job);
+  fair_share_.job_finished(id);
+  job->record.last_error = make_error("broker.cancelled", "cancelled by user");
+  job->record.state = JobState::kFailed;
+
+  // Out of the broker's own queue.
+  waiting_batch_.erase(
+      std::remove(waiting_batch_.begin(), waiting_batch_.end(), id),
+      waiting_batch_.end());
+
+  // Tear down every subjob wherever it is.
+  for (auto& sub : job->record.subjobs) {
+    if (sub.completed) continue;
+    bool handled = false;
+    if (sub.agent) {
+      const auto info_it = agent_info_.find(*sub.agent);
+      glidein::GlideinAgent* agent = agents_.find(*sub.agent);
+      if (info_it != agent_info_.end() && agent != nullptr) {
+        AgentInfo& info = info_it->second;
+        std::erase(info.pending_interactive, id);
+        if (info.pending_batch == id) info.pending_batch.reset();
+        if (std::find(info.interactive_residents.begin(),
+                      info.interactive_residents.end(),
+                      id) != info.interactive_residents.end()) {
+          agent->cancel_interactive_job(sub.lrms_job_id);
+          std::erase(info.interactive_residents, id);
+          // The batch job gets its machine (and application factor) back
+          // once the last interactive resident is gone.
+          if (info.batch_resident && info.interactive_residents.empty()) {
+            fair_share_.set_application_factor(*info.batch_resident,
+                                               application_factor_batch());
+          }
+          handled = true;
+        }
+        if (info.batch_resident == id) {
+          agent->cancel_slot(glidein::SlotType::kBatch);
+          info.batch_resident.reset();
+          handled = true;
+        }
+        info.ran_any_job = true;  // the slot was used; allow dismissal
+        maybe_dismiss_agent(*sub.agent);
+      }
+    }
+    if (!handled) {
+      // Direct placement: remove from the site's queue or kill on the node.
+      lrms::Site* site = find_site(sub.site);
+      if (site != nullptr) {
+        if (!site->scheduler().cancel_queued(sub.lrms_job_id)) {
+          site->scheduler().kill_running(sub.lrms_job_id);
+        }
+      }
+    }
+  }
+
+  if (job->callbacks.on_state_change) job->callbacks.on_state_change(job->record);
+  if (job->callbacks.on_failed) {
+    job->callbacks.on_failed(job->record, *job->record.last_error);
+  }
+  return true;
+}
+
+void CrossBroker::preload_agent(SiteId site) {
+  if (!sites_.contains(site)) throw std::invalid_argument{"preload_agent: unknown site"};
+  create_agent_with_carrier(
+      site, [](AgentInfo&) {},
+      [] { log_warn(kLog, "preloaded agent submission failed"); });
+}
+
+const JobRecord* CrossBroker::record(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() ? &it->second->record : nullptr;
+}
+
+std::vector<const JobRecord*> CrossBroker::all_records() const {
+  std::vector<const JobRecord*> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(&job->record);
+  return out;
+}
+
+CrossBroker::ManagedJob* CrossBroker::find_job(JobId id) {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() ? it->second.get() : nullptr;
+}
+
+lrms::Site* CrossBroker::find_site(SiteId id) {
+  const auto it = sites_.find(id);
+  return it != sites_.end() ? it->second : nullptr;
+}
+
+int CrossBroker::needed_cpus_per_site(const jdl::JobDescription& desc) const {
+  // MPICH-P4 cannot span sites; MPICH-G2 subjobs need only one CPU each.
+  if (desc.flavor() == jdl::JobFlavor::kMpichP4) return desc.node_number();
+  return 1;
+}
+
+double CrossBroker::application_factor(const ManagedJob& job) const {
+  if (job.record.description.is_interactive()) {
+    return application_factor_interactive(job.record.description.performance_loss());
+  }
+  return application_factor_batch();
+}
+
+void CrossBroker::trace(JobId job, const std::string& kind,
+                        const std::string& detail) {
+  if (trace_ != nullptr) trace_->record(sim_.now(), job, kind, detail);
+}
+
+void CrossBroker::set_state(ManagedJob& job, JobState state) {
+  if (job.record.state == state) return;
+  job.record.state = state;
+  trace(job.record.id, "state", to_string(state));
+  if (job.callbacks.on_state_change) job.callbacks.on_state_change(job.record);
+}
+
+// ----------------------------------------------------------- scheduling ----
+
+void CrossBroker::schedule_job(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+
+  // GSI pre-flight: a user without a valid proxy never reaches the grid
+  // (the UI refuses submission; here, the job fails immediately).
+  const Status security = check_user_security(job->record.user);
+  if (!security.ok()) {
+    fail_job(id, security.error());
+    return;
+  }
+
+  const auto& desc = job->record.description;
+  // Shared-mode interactive jobs first look at the broker's own VM registry:
+  // "the first two steps are not required ... because the information about
+  // existing VMs is kept locally by CrossBroker" (Section 6.1).
+  if (desc.is_interactive() &&
+      desc.machine_access() == jdl::MachineAccess::kShared) {
+    int free_vms = 0;
+    for (auto* agent : agents_.agents()) {
+      const auto info = agent_info_.find(agent->id());
+      if (info == agent_info_.end()) continue;
+      free_vms += info->second.reservable_slots(*agent);
+    }
+    if (free_vms >= desc.node_number() &&
+        desc.flavor() != jdl::JobFlavor::kMpichP4) {
+      sim_.schedule(config_.vm_lookup_cost, [this, id] {
+        dispatch_interactive_on_vms(id);
+      });
+      return;
+    }
+    if (desc.flavor() == jdl::JobFlavor::kMpichP4) {
+      // Check per-site VM availability for the single-site constraint.
+      for (const auto& [site_id, site] : sites_) {
+        int site_vms = 0;
+        for (auto* agent : agents_.agents()) {
+          if (agent->site() != site_id) continue;
+          const auto info = agent_info_.find(agent->id());
+          if (info == agent_info_.end()) continue;
+          site_vms += info->second.reservable_slots(*agent);
+        }
+        if (site_vms >= desc.node_number()) {
+          sim_.schedule(config_.vm_lookup_cost, [this, id] {
+            dispatch_interactive_on_vms(id);
+          });
+          return;
+        }
+      }
+    }
+    // Fall through: no (sufficient) free VMs — search for idle machines and
+    // submit agent + application together.
+  }
+  begin_discovery(id);
+}
+
+void CrossBroker::begin_discovery(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  set_state(*job, JobState::kDiscovery);
+  infosys_.query_index([this, id](std::vector<infosys::SiteRecord> records) {
+    ManagedJob* j = find_job(id);
+    if (j == nullptr || is_terminal(j->record.state)) return;
+    j->record.timestamps.discovery_done = sim_.now();
+    begin_selection(id, std::move(records));
+  });
+}
+
+void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> stale) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  set_state(*job, JobState::kSelection);
+
+  // First filter on the (possibly stale) index data, excluding sites the job
+  // already failed on.
+  const int needed = needed_cpus_per_site(job->record.description);
+  std::vector<infosys::SiteRecord> considered;
+  for (auto& r : stale) {
+    const SiteId sid = r.static_info.id;
+    if (std::find(job->excluded_sites.begin(), job->excluded_sites.end(), sid) !=
+        job->excluded_sites.end()) {
+      continue;
+    }
+    if (sites_.contains(sid)) considered.push_back(std::move(r));
+  }
+  std::vector<Candidate> coarse =
+      matchmaker_.filter(job->record.description, considered, leases_, needed);
+  if (coarse.empty()) {
+    job->record.timestamps.selection_done = sim_.now();
+    handle_no_resources(id);
+    return;
+  }
+
+  // "Information may not be completely accurate and, therefore, CrossBroker
+  // contacts each remote site individually and gets the most updated
+  // information" (Section 6.1). Queries run concurrently; selection ends
+  // when the slowest site answers.
+  auto fresh = std::make_shared<std::vector<infosys::SiteRecord>>();
+  auto remaining = std::make_shared<std::size_t>(coarse.size());
+  for (const auto& c : coarse) {
+    infosys_.query_site(c.record.static_info.id,
+                        [this, id, fresh, remaining](
+                            std::optional<infosys::SiteRecord> record) {
+      if (record) fresh->push_back(std::move(*record));
+      if (--*remaining > 0) return;
+      ManagedJob* j = find_job(id);
+      if (j == nullptr || is_terminal(j->record.state)) return;
+      j->record.timestamps.selection_done = sim_.now();
+      const int cpus = needed_cpus_per_site(j->record.description);
+      std::vector<Candidate> final_candidates =
+          matchmaker_.filter(j->record.description, *fresh, leases_, cpus);
+      place_job(id, std::move(final_candidates));
+    });
+  }
+}
+
+// ------------------------------------------------------------- placement ----
+
+void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  const auto& desc = job->record.description;
+  const int processes = desc.node_number();
+
+  // Build per-process assignments.
+  struct Assignment {
+    SiteId site;
+    enum class Kind { kIdle, kNewAgentInteractive, kNewAgentBatch, kVm } kind;
+    AgentId vm_agent;  ///< for kVm
+  };
+  std::vector<Assignment> assignments;
+
+  const bool interactive = desc.is_interactive();
+  const bool shared = interactive &&
+                      desc.machine_access() == jdl::MachineAccess::kShared;
+
+  // Shared mode may combine existing free VMs with fresh agents on idle
+  // machines ("it is possible to have a combination of machines with and
+  // without agents for executing a parallel interactive application").
+  int still_needed = processes;
+  if (shared && desc.flavor() == jdl::JobFlavor::kMpichP4) {
+    // MPICH-P4 cannot span sites: use VMs only if ONE site's reservable
+    // slots cover the whole job; otherwise fall through to idle machines.
+    for (const auto& [site_id, site] : sites_) {
+      int takeable = 0;
+      std::vector<std::pair<glidein::GlideinAgent*, AgentInfo*>> donors;
+      for (auto* agent : agents_.agents()) {
+        if (agent->site() != site_id) continue;
+        const auto info = agent_info_.find(agent->id());
+        if (info == agent_info_.end()) continue;
+        const int slots = info->second.reservable_slots(*agent);
+        if (slots > 0) {
+          takeable += slots;
+          donors.emplace_back(agent, &info->second);
+        }
+      }
+      if (takeable < still_needed) continue;
+      for (auto& [agent, info] : donors) {
+        int slots = info->reservable_slots(*agent);
+        while (slots > 0 && still_needed > 0) {
+          assignments.push_back(
+              Assignment{site_id, Assignment::Kind::kVm, agent->id()});
+          info->pending_interactive.push_back(id);
+          --slots;
+          --still_needed;
+        }
+      }
+      break;
+    }
+  }
+  if (shared && desc.flavor() != jdl::JobFlavor::kMpichP4) {
+    for (auto* agent : agents_.agents()) {
+      if (still_needed == 0) break;
+      const auto info = agent_info_.find(agent->id());
+      if (info == agent_info_.end()) continue;
+      // With a multiprogramming degree above 1, one agent can host several
+      // subjobs at once; take as many reservable slots as still needed.
+      int takeable = info->second.reservable_slots(*agent);
+      while (takeable > 0 && still_needed > 0) {
+        assignments.push_back(
+            Assignment{agent->site(), Assignment::Kind::kVm, agent->id()});
+        // Reserve against concurrent placements in this event cascade.
+        info->second.pending_interactive.push_back(id);
+        --takeable;
+        --still_needed;
+      }
+    }
+  }
+
+  if (still_needed > 0) {
+    mpijob::AllocationPlan sequential_plan;
+    Expected<mpijob::AllocationPlan> plan{sequential_plan};
+    if (desc.flavor() == jdl::JobFlavor::kSequential) {
+      // Sequential placement honours the job's Rank expression and the
+      // randomized tie-breaking policy via the matchmaker.
+      const auto site = matchmaker_.select(candidates, rng_);
+      if (site) {
+        sequential_plan.placements.push_back(mpijob::SubJobPlacement{*site, 1});
+        plan = sequential_plan;
+      } else {
+        plan = make_error("mpijob.no_resources", "no site has a free CPU");
+      }
+    } else {
+      std::vector<mpijob::SiteCapacity> capacity;
+      capacity.reserve(candidates.size());
+      for (const auto& c : candidates) {
+        capacity.push_back(mpijob::SiteCapacity{c.record.static_info.id,
+                                                c.effective_free_cpus});
+      }
+      // Parallel co-allocation; randomized site ordering unless disabled.
+      Rng* plan_rng = config_.matchmaker.randomize_ties ? &rng_ : nullptr;
+      plan = mpijob::plan_allocation(desc.flavor(), still_needed,
+                                     std::move(capacity), plan_rng);
+    }
+    if (!plan) {
+      // Roll back VM reservations; no machines for the remainder.
+      for (const auto& a : assignments) {
+        if (a.kind == Assignment::Kind::kVm) {
+          const auto info = agent_info_.find(a.vm_agent);
+          if (info != agent_info_.end()) {
+            auto& pending = info->second.pending_interactive;
+            const auto it = std::find(pending.begin(), pending.end(), id);
+            if (it != pending.end()) pending.erase(it);
+          }
+        }
+      }
+      handle_no_resources(id);
+      return;
+    }
+    for (const auto& placement : plan->placements) {
+      // Exclusive temporal access: lease the matched CPUs so concurrent
+      // submissions see them as taken until this dispatch resolves.
+      if (config_.enable_match_leases) {
+        job->held_leases.push_back(
+            leases_.acquire(placement.site, placement.processes,
+                            config_.match_lease_ttl));
+      }
+      for (int i = 0; i < placement.processes; ++i) {
+        Assignment::Kind kind = Assignment::Kind::kIdle;
+        if (!interactive) {
+          kind = Assignment::Kind::kNewAgentBatch;
+        } else if (shared) {
+          kind = Assignment::Kind::kNewAgentInteractive;
+        }
+        assignments.push_back(Assignment{placement.site, kind, AgentId::none()});
+      }
+    }
+  }
+
+  // Materialize subjob records and dispatch.
+  set_state(*job, JobState::kDispatching);
+  job->record.timestamps.dispatched = sim_.now();
+  job->record.subjobs.clear();
+  job->record.subjobs.reserve(assignments.size());
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    SubJobRecord sub;
+    sub.id = subjob_ids_.next();
+    sub.rank = static_cast<int>(i);
+    sub.site = assignments[i].site;
+    sub.lrms_job_id = job_ids_.next();
+    if (assignments[i].kind == Assignment::Kind::kVm) {
+      sub.agent = assignments[i].vm_agent;
+    }
+    job->record.subjobs.push_back(sub);
+  }
+  switch (desc.category()) {
+    case jdl::JobCategory::kBatch:
+      job->record.placement = PlacementKind::kNewAgent;
+      break;
+    case jdl::JobCategory::kInteractive:
+      if (!shared) {
+        job->record.placement = PlacementKind::kIdleMachine;
+      } else if (still_needed == 0) {
+        job->record.placement = PlacementKind::kInteractiveVm;
+      } else {
+        job->record.placement = PlacementKind::kNewAgent;
+      }
+      break;
+  }
+
+  setup_barrier_coordination(*job);
+  for (const auto& sub : job->record.subjobs) {
+    trace(id, "match",
+          "rank " + std::to_string(sub.rank) + " -> site " +
+              std::to_string(sub.site.value()) +
+              (sub.agent ? " (interactive-vm)" : ""));
+  }
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    switch (assignments[i].kind) {
+      case Assignment::Kind::kVm: {
+        glidein::GlideinAgent* agent = agents_.find(assignments[i].vm_agent);
+        if (agent == nullptr) {
+          fail_job(id, make_error("broker.vm_gone", "reserved VM disappeared"));
+          return;
+        }
+        dispatch_subjob_to_vm(id, i, *agent);
+        break;
+      }
+      case Assignment::Kind::kIdle:
+        dispatch_subjob_exclusive(id, i, assignments[i].site);
+        break;
+      case Assignment::Kind::kNewAgentInteractive:
+        dispatch_subjob_with_new_agent(id, i, assignments[i].site, true);
+        break;
+      case Assignment::Kind::kNewAgentBatch:
+        dispatch_subjob_with_new_agent(id, i, assignments[i].site, false);
+        break;
+    }
+  }
+}
+
+void CrossBroker::setup_barrier_coordination(ManagedJob& job) {
+  job.barrier_coordinator.reset();
+  if (job.record.subjobs.size() < 2) return;
+  if (job.record.workload.barrier_count() == 0) return;
+  const JobId id = job.record.id;
+  job.barrier_coordinator = std::make_unique<mpijob::RuntimeBarrierCoordinator>(
+      static_cast<int>(job.record.subjobs.size()), [this, id](int) {
+        ManagedJob* j = find_job(id);
+        if (j == nullptr) return;
+        // Release every rank wherever it runs (VM slot or bare node).
+        for (const auto& sub : j->record.subjobs) {
+          if (sub.agent) {
+            glidein::GlideinAgent* agent = agents_.find(*sub.agent);
+            if (agent != nullptr) agent->release_barrier(sub.lrms_job_id);
+          } else {
+            lrms::Site* site = find_site(sub.site);
+            if (site != nullptr) {
+              site->scheduler().release_barrier(sub.lrms_job_id);
+            }
+          }
+        }
+      });
+}
+
+lrms::TaskRunner::BarrierFn CrossBroker::barrier_handler_for(JobId id, int rank) {
+  return [this, id, rank](int barrier_index) {
+    ManagedJob* job = find_job(id);
+    if (job != nullptr && job->barrier_coordinator) {
+      job->barrier_coordinator->arrived(rank, barrier_index);
+    }
+  };
+}
+
+void CrossBroker::dispatch_interactive_on_vms(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  // Combined discovery+selection happened locally against the VM registry.
+  job->record.timestamps.discovery_done = sim_.now();
+  job->record.timestamps.selection_done = sim_.now();
+  place_job(id, {});  // no external candidates needed: VMs cover the job
+}
+
+void CrossBroker::handle_no_resources(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  release_leases(*job);
+
+  // Fair-share rejection under contention (Section 5.1): users whose
+  // priority has degraded past the threshold do not get to queue or retry.
+  if (config_.reject_priority_threshold > 0.0 &&
+      fair_share_.priority(job->record.user) > config_.reject_priority_threshold) {
+    reject_job(id, make_error("broker.fair_share",
+                              "user priority exceeds rejection threshold"));
+    return;
+  }
+
+  if (job->record.description.is_interactive()) {
+    // "If there are not enough machines (with or without agents) to execute
+    // an interactive application, its submission will fail."
+    fail_job(id, make_error("broker.no_resources",
+                            "no machines available for interactive job"));
+    return;
+  }
+  // Batch jobs wait inside the broker for a machine to become idle.
+  set_state(*job, JobState::kQueuedBroker);
+  if (std::find(waiting_batch_.begin(), waiting_batch_.end(), id) ==
+      waiting_batch_.end()) {
+    waiting_batch_.push_back(id);
+  }
+  if (!queue_poll_armed_) {
+    queue_poll_armed_ = true;
+    sim_.schedule(config_.broker_queue_poll, [this] { poll_broker_queue(); });
+  }
+}
+
+void CrossBroker::poll_broker_queue() {
+  queue_poll_armed_ = false;
+  if (waiting_batch_.empty()) return;
+  // Serve the best-priority users first (unless configured as plain FIFO).
+  std::vector<JobId> batch{waiting_batch_.begin(), waiting_batch_.end()};
+  waiting_batch_.clear();
+  if (config_.fair_share_queue_ordering) {
+    std::stable_sort(batch.begin(), batch.end(), [this](JobId a, JobId b) {
+      const ManagedJob* ja = find_job(a);
+      const ManagedJob* jb = find_job(b);
+      const double pa = ja ? fair_share_.priority(ja->record.user) : 0.0;
+      const double pb = jb ? fair_share_.priority(jb->record.user) : 0.0;
+      return pa < pb;
+    });
+  }
+  for (const JobId id : batch) {
+    ManagedJob* job = find_job(id);
+    if (job == nullptr || is_terminal(job->record.state)) continue;
+    begin_discovery(id);
+  }
+  if (!waiting_batch_.empty() && !queue_poll_armed_) {
+    queue_poll_armed_ = true;
+    sim_.schedule(config_.broker_queue_poll, [this] { poll_broker_queue(); });
+  }
+}
+
+// -------------------------------------------------------------- dispatch ----
+
+void CrossBroker::dispatch_subjob_to_vm(JobId id, std::size_t subjob_index,
+                                        glidein::GlideinAgent& agent) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr) return;
+  job->record.subjobs[subjob_index].agent = agent.id();
+
+  // Direct broker -> agent channel (no Globus, no LRMS), then stage the
+  // executable from the submitter, then spawn on the interactive-vm.
+  const SiteId site_id = agent.site();
+  lrms::Site* site = find_site(site_id);
+  if (site == nullptr) {
+    fail_job(id, make_error("broker.no_site", "agent site unknown"));
+    return;
+  }
+  sim::Link& link = network_.link(job->record.submitter_endpoint, site->endpoint());
+  const Duration staging = link.transfer_duration(config_.executable_bytes);
+  const AgentId agent_id = agent.id();
+  sim_.schedule(config_.agent_channel_latency + staging,
+                [this, id, subjob_index, agent_id] {
+    ManagedJob* j = find_job(id);
+    if (j == nullptr || is_terminal(j->record.state)) return;
+    glidein::GlideinAgent* a = agents_.find(agent_id);
+    const auto info_it = agent_info_.find(agent_id);
+    if (a == nullptr || info_it == agent_info_.end() ||
+        a->state() != glidein::AgentState::kRunning) {
+      // The agent died while we were dispatching; try again from scratch.
+      resubmit_job(id);
+      return;
+    }
+    start_job_on_agent(id, subjob_index, info_it->second, /*interactive_slot=*/true);
+  });
+}
+
+void CrossBroker::start_job_on_agent(JobId id, std::size_t subjob_index,
+                                     AgentInfo& info, bool interactive_slot) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  glidein::GlideinAgent* agent = agents_.find(info.id);
+  if (agent == nullptr) {
+    resubmit_job(id);
+    return;
+  }
+  const AgentId agent_id = info.id;
+
+  // GSI delegation: the agent acts on the user's behalf, so the broker
+  // issues a further-restricted proxy from the user's credentials. An
+  // expired user proxy fails the job here — the paper-era behaviour of a
+  // grid job dying when its proxy runs out.
+  if (trust_anchor_ != nullptr) {
+    const auto cred_it = user_credentials_.find(job->record.user);
+    if (cred_it == user_credentials_.end()) {
+      fail_job(id, make_error("gsi.no_credentials",
+                              "user has no registered credentials"));
+      return;
+    }
+    auto delegated = gsi::delegate_proxy(cred_it->second.back(), sim_.now(),
+                                         Duration::seconds(12 * 3600),
+                                         config_.seed ^ id.value());
+    if (!delegated) {
+      fail_job(id, delegated.error());
+      return;
+    }
+  }
+
+  glidein::SlotJob slot_job;
+  slot_job.id = job->record.subjobs[subjob_index].lrms_job_id;
+  slot_job.owner = job->record.user;
+  slot_job.workload = job->record.workload;
+  slot_job.phase_observer = job->callbacks.phase_observer;
+  if (job->barrier_coordinator) {
+    slot_job.barrier_handler =
+        barrier_handler_for(id, job->record.subjobs[subjob_index].rank);
+  }
+  slot_job.on_start = [this, id, subjob_index] { subjob_started(id, subjob_index); };
+  slot_job.on_complete = [this, id, subjob_index, agent_id, interactive_slot] {
+    const auto it = agent_info_.find(agent_id);
+    if (it != agent_info_.end()) {
+      it->second.ran_any_job = true;
+      if (interactive_slot) {
+        auto& residents = it->second.interactive_residents;
+        const auto res = std::find(residents.begin(), residents.end(), id);
+        if (res != residents.end()) residents.erase(res);
+        // The last interactive job finished: the batch job's original
+        // priority (and application factor) are restored.
+        if (it->second.batch_resident && residents.empty()) {
+          fair_share_.set_application_factor(*it->second.batch_resident,
+                                             application_factor_batch());
+        }
+      } else {
+        it->second.batch_resident.reset();
+      }
+    }
+    subjob_completed(id, subjob_index);
+    maybe_dismiss_agent(agent_id);
+  };
+
+  Status status = Status::ok_status();
+  if (interactive_slot) {
+    const int pl = job->record.description.performance_loss();
+    status = agent->start_interactive_job(std::move(slot_job), pl);
+    if (status.ok()) {
+      info.interactive_residents.push_back(id);
+      const auto pending_it = std::find(info.pending_interactive.begin(),
+                                        info.pending_interactive.end(), id);
+      if (pending_it != info.pending_interactive.end()) {
+        info.pending_interactive.erase(pending_it);
+      }
+      // Demote the co-resident batch job in the fair-share books: its user
+      // is charged only PL/100 while yielding the machine (the strongest
+      // concession among residents governs).
+      if (info.batch_resident) {
+        const int governing_pl =
+            std::max(pl, agent->max_running_performance_loss());
+        fair_share_.set_application_factor(
+            *info.batch_resident,
+            application_factor_yielding_batch(governing_pl));
+      }
+    }
+  } else {
+    status = agent->start_batch_job(std::move(slot_job));
+    if (status.ok()) {
+      info.batch_resident = id;
+      info.pending_batch.reset();
+    }
+  }
+  if (!status.ok()) {
+    log_warn(kLog, "slot start failed for ", id, ": ", status.error().to_string());
+    resubmit_job(id);
+  }
+}
+
+void CrossBroker::dispatch_subjob_exclusive(JobId id, std::size_t subjob_index,
+                                            SiteId site_id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr) return;
+  lrms::Site* site = find_site(site_id);
+  if (site == nullptr) {
+    fail_job(id, make_error("broker.no_site", "selected site unknown"));
+    return;
+  }
+
+  lrms::GridJobRequest request;
+  request.id = job->record.subjobs[subjob_index].lrms_job_id;
+  request.owner = job->record.user;
+  request.proxy_chain = chain_for(job->record.user);
+  request.workload = job->record.workload;
+  request.stage_bytes = config_.executable_bytes;
+  request.submitter_endpoint = job->record.submitter_endpoint;
+  request.phase_observer = job->callbacks.phase_observer;
+  if (job->barrier_coordinator) {
+    request.barrier_handler =
+        barrier_handler_for(id, job->record.subjobs[subjob_index].rank);
+  }
+  request.on_start = [this, id, subjob_index](NodeId) {
+    subjob_started(id, subjob_index);
+  };
+  request.on_complete = [this, id, subjob_index] {
+    subjob_completed(id, subjob_index);
+  };
+
+  // Two-phase commit: prepare detects error conditions (full site, auth
+  // failure) before any state is moved.
+  site->gatekeeper().prepare(request, [this, id, subjob_index, site_id,
+                                       request](Status prepared) mutable {
+    ManagedJob* j = find_job(id);
+    if (j == nullptr || is_terminal(j->record.state)) return;
+    if (!prepared.ok()) {
+      j->excluded_sites.push_back(site_id);
+      resubmit_job(id);
+      return;
+    }
+    lrms::Site* s = find_site(site_id);
+    if (s == nullptr) return;
+    s->gatekeeper().commit(std::move(request),
+                           [this, id, subjob_index, site_id](Status accepted) {
+      ManagedJob* jj = find_job(id);
+      if (jj == nullptr || is_terminal(jj->record.state)) return;
+      if (!accepted.ok()) {
+        jj->excluded_sites.push_back(site_id);
+        resubmit_job(id);
+        return;
+      }
+      // On-line scheduling: an interactive job must start immediately; if it
+      // landed in the queue, cancel and resubmit elsewhere.
+      if (jj->record.description.is_interactive() &&
+          jj->record.subjobs.size() == 1) {
+        arm_queue_detection(id, subjob_index, site_id);
+      }
+    });
+  });
+}
+
+void CrossBroker::arm_queue_detection(JobId id, std::size_t subjob_index,
+                                      SiteId site_id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || job->queue_timer_armed) return;
+  job->queue_timer_armed = true;
+  sim_.schedule(config_.queue_detect_timeout, [this, id, subjob_index, site_id] {
+    ManagedJob* j = find_job(id);
+    if (j == nullptr || is_terminal(j->record.state)) return;
+    j->queue_timer_armed = false;
+    if (j->record.subjobs[subjob_index].started) return;  // it did start
+    lrms::Site* site = find_site(site_id);
+    if (site != nullptr) {
+      site->scheduler().cancel_queued(j->record.subjobs[subjob_index].lrms_job_id);
+    }
+    log_info(kLog, id, " was queued at site ", site_id.value(),
+             "; resubmitting (on-line scheduling)");
+    j->excluded_sites.push_back(site_id);
+    resubmit_job(id);
+  });
+}
+
+void CrossBroker::dispatch_subjob_with_new_agent(JobId id, std::size_t subjob_index,
+                                                 SiteId site_id,
+                                                 bool interactive_slot) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr) return;
+
+  AgentInfo& info = create_agent_with_carrier(
+      site_id,
+      [this, id, subjob_index, interactive_slot](AgentInfo& ready) {
+        start_job_on_agent(id, subjob_index, ready, interactive_slot);
+      },
+      [this, id, site_id] {
+        ManagedJob* j = find_job(id);
+        if (j == nullptr || is_terminal(j->record.state)) return;
+        j->excluded_sites.push_back(site_id);
+        resubmit_job(id);
+      });
+  if (interactive_slot) {
+    info.pending_interactive.push_back(id);
+  } else {
+    info.pending_batch = id;
+  }
+  job->record.subjobs[subjob_index].agent = info.id;
+}
+
+// -------------------------------------------------------------- glide-in ----
+
+CrossBroker::AgentInfo& CrossBroker::create_agent_with_carrier(
+    SiteId site_id, std::function<void(AgentInfo&)> on_ready,
+    std::function<void()> on_carrier_failed) {
+  lrms::Site* site = find_site(site_id);
+  if (site == nullptr) throw std::invalid_argument{"create_agent: unknown site"};
+
+  glidein::GlideinAgent& agent = agents_.create(site_id, config_.glidein);
+  const AgentId agent_id = agent.id();
+  const JobId carrier = job_ids_.next();
+  agent.set_carrier_job_id(carrier);
+  trace(JobId::none(), "agent",
+        "agent " + std::to_string(agent_id.value()) + " submitted to site " +
+            std::to_string(site_id.value()));
+
+  AgentInfo info;
+  info.id = agent_id;
+  info.site = site_id;
+  info.carrier_job = carrier;
+  auto [it, inserted] = agent_info_.emplace(agent_id, std::move(info));
+
+  agent.set_state_observer([this, agent_id,
+                            on_ready = std::move(on_ready)](glidein::AgentState state) {
+    if (state == glidein::AgentState::kRunning) {
+      const auto info_it = agent_info_.find(agent_id);
+      if (info_it != agent_info_.end()) on_ready(info_it->second);
+    } else if (state == glidein::AgentState::kDead) {
+      handle_agent_death(agent_id);
+    }
+  });
+
+  lrms::GridJobRequest request;
+  request.id = carrier;
+  request.owner = UserId{};  // the broker itself, not billed to any user
+  if (trust_anchor_ != nullptr && !broker_credentials_.empty()) {
+    request.proxy_chain = gsi::make_chain(broker_credentials_);
+  }
+  request.workload = lrms::Workload::manual();
+  request.stage_bytes = config_.glidein.binary_bytes + config_.executable_bytes;
+  request.submitter_endpoint = endpoint_;
+  request.on_start = [this, agent_id](NodeId node) {
+    glidein::GlideinAgent* a = agents_.find(agent_id);
+    if (a != nullptr) a->on_carrier_started(node);
+  };
+  request.on_complete = [this, agent_id] {
+    // Manual finish: the agent left the machine voluntarily.
+    agent_info_.erase(agent_id);
+    agents_.remove(agent_id);
+  };
+
+  site->gatekeeper().prepare(request, [this, site_id, request,
+                                       on_carrier_failed =
+                                           std::move(on_carrier_failed)](
+                                          Status prepared) mutable {
+    if (!prepared.ok()) {
+      on_carrier_failed();
+      return;
+    }
+    lrms::Site* s = find_site(site_id);
+    if (s == nullptr) {
+      on_carrier_failed();
+      return;
+    }
+    s->gatekeeper().commit(std::move(request),
+                           [on_carrier_failed = std::move(on_carrier_failed)](
+                               Status accepted) {
+      if (!accepted.ok()) on_carrier_failed();
+    });
+  });
+
+  return it->second;
+}
+
+void CrossBroker::maybe_dismiss_agent(AgentId agent_id) {
+  if (!config_.dismiss_idle_agents) return;
+  const auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end() || !it->second.ran_any_job) return;
+  if (!it->second.pending_interactive.empty() || it->second.pending_batch) return;
+  glidein::GlideinAgent* agent = agents_.find(agent_id);
+  if (agent == nullptr) return;
+  if (agent->batch_vm_busy() || agent->interactive_vm_busy()) return;
+  lrms::Site* site = find_site(it->second.site);
+  if (site == nullptr) return;
+  // Completing the manual carrier job frees the worker node; the carrier's
+  // on_complete removes the agent from the registry.
+  site->scheduler().finish_manual(it->second.carrier_job);
+}
+
+void CrossBroker::handle_agent_death(AgentId agent_id) {
+  const auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end()) return;
+  const AgentInfo info = it->second;
+  agent_info_.erase(it);
+  agents_.remove(agent_id);
+  trace(JobId::none(), "agent",
+        "agent " + std::to_string(agent_id.value()) + " died on site " +
+            std::to_string(info.site.value()));
+  log_warn(kLog, "agent ", agent_id.value(), " died on site ", info.site.value());
+
+  // Resident and in-flight jobs died with the agent. Batch jobs are
+  // resubmitted "when possible"; interactive jobs fail loudly (their user is
+  // attached to the console and must act).
+  const auto recover = [this](std::optional<JobId> maybe_job, bool interactive) {
+    if (!maybe_job) return;
+    ManagedJob* job = find_job(*maybe_job);
+    if (job == nullptr || is_terminal(job->record.state)) return;
+    if (interactive) {
+      fail_job(*maybe_job,
+               make_error("broker.agent_died", "glide-in agent was killed"));
+    } else {
+      // The resident job is dead, not merely partially started: rewind its
+      // execution bookkeeping before resubmitting it from scratch.
+      job->subjobs_running = 0;
+      job->subjobs_completed = 0;
+      fair_share_.job_finished(*maybe_job);
+      resubmit_job(*maybe_job);
+    }
+  };
+  recover(info.batch_resident, false);
+  recover(info.pending_batch, false);
+  for (const JobId resident : info.interactive_residents) recover(resident, true);
+  for (const JobId pending : info.pending_interactive) recover(pending, true);
+}
+
+void CrossBroker::on_site_job_killed(SiteId site_id, JobId job_id, NodeId) {
+  // An agent carrier?
+  glidein::GlideinAgent* agent = agents_.find_by_carrier(job_id);
+  if (agent != nullptr) {
+    agent->on_carrier_killed();  // state observer triggers handle_agent_death
+    return;
+  }
+  // A directly-placed job (exclusive interactive or plain batch).
+  for (auto& [id, job] : jobs_) {
+    for (auto& sub : job->record.subjobs) {
+      if (sub.lrms_job_id == job_id && !sub.completed) {
+        log_warn(kLog, "job ", id, " killed at site ", site_id.value());
+        // The killed subjob no longer runs; rewind before resubmitting.
+        // (Multi-subjob jobs with survivors still count as partial failures
+        // inside resubmit_job.)
+        if (job->record.subjobs.size() == 1) {
+          job->subjobs_running = 0;
+          job->subjobs_completed = 0;
+          fair_share_.job_finished(id);
+        }
+        resubmit_job(id);
+        return;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- lifecycle ----
+
+void CrossBroker::subjob_started(JobId id, std::size_t subjob_index) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  SubJobRecord& sub = job->record.subjobs[subjob_index];
+  if (sub.started) return;
+  sub.started = true;
+  ++job->subjobs_running;
+
+  // MPICH-G2 startup barrier: the job runs once every subjob has started.
+  if (job->subjobs_running == static_cast<int>(job->record.subjobs.size())) {
+    release_leases(*job);
+    set_state(*job, JobState::kRunning);
+    job->record.timestamps.running = sim_.now();
+    fair_share_.job_started(job->record.user, id, application_factor(*job),
+                            static_cast<int>(job->record.subjobs.size()));
+    if (job->callbacks.on_running) job->callbacks.on_running(job->record);
+  }
+}
+
+void CrossBroker::subjob_completed(JobId id, std::size_t subjob_index) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  SubJobRecord& sub = job->record.subjobs[subjob_index];
+  if (sub.completed) return;
+  sub.completed = true;
+  ++job->subjobs_completed;
+  if (job->subjobs_completed == static_cast<int>(job->record.subjobs.size())) {
+    complete_job(id);
+  }
+}
+
+void CrossBroker::complete_job(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+
+  // Stage the OutputSandbox back to the submitter before declaring the job
+  // done (the reverse of the input staging the gatekeeper performed).
+  const auto& outputs = job->record.description.output_sandbox();
+  if (!outputs.empty() && !job->staging_out) {
+    job->staging_out = true;
+    Duration total = Duration::zero();
+    const std::optional<SiteId> site_id = job->record.site();
+    lrms::Site* site = site_id ? find_site(*site_id) : nullptr;
+    if (site != nullptr) {
+      sim::Link& link =
+          network_.link(job->record.submitter_endpoint, site->endpoint());
+      total = link.transfer_duration(outputs.size() * config_.output_file_bytes);
+    }
+    sim_.schedule(total, [this, id] { complete_job(id); });
+    return;
+  }
+
+  release_leases(*job);
+  fair_share_.job_finished(id);
+  job->record.timestamps.completed = sim_.now();
+  set_state(*job, JobState::kCompleted);
+  if (job->callbacks.on_complete) job->callbacks.on_complete(job->record);
+}
+
+void CrossBroker::fail_job(JobId id, Error error) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  release_leases(*job);
+  fair_share_.job_finished(id);
+  job->record.last_error = error;
+  set_state(*job, JobState::kFailed);
+  log_warn(kLog, id, " failed: ", error.to_string());
+  if (job->callbacks.on_failed) job->callbacks.on_failed(job->record, error);
+}
+
+void CrossBroker::reject_job(JobId id, Error error) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  release_leases(*job);
+  job->record.last_error = error;
+  set_state(*job, JobState::kRejected);
+  log_info(kLog, id, " rejected: ", error.to_string());
+  if (job->callbacks.on_failed) job->callbacks.on_failed(job->record, error);
+}
+
+void CrossBroker::resubmit_job(JobId id) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  release_leases(*job);
+  if (job->subjobs_running > 0) {
+    // Partial starts cannot be rewound safely; report failure.
+    fail_job(id, make_error("broker.partial_failure",
+                            "a subjob failed after others had started"));
+    return;
+  }
+  const int budget =
+      job->record.description.retry_count().value_or(config_.max_resubmissions);
+  if (job->record.resubmissions >= budget) {
+    fail_job(id, make_error("broker.retries_exhausted",
+                            "job failed after " +
+                                std::to_string(job->record.resubmissions) +
+                                " resubmissions"));
+    return;
+  }
+  ++job->record.resubmissions;
+  trace(id, "resubmit",
+        "attempt " + std::to_string(job->record.resubmissions));
+  job->record.subjobs.clear();
+  job->subjobs_running = 0;
+  job->subjobs_completed = 0;
+  sim_.schedule(Duration::zero(), [this, id] { schedule_job(id); });
+}
+
+void CrossBroker::release_leases(ManagedJob& job) {
+  for (const LeaseId lease : job.held_leases) leases_.release(lease);
+  job.held_leases.clear();
+}
+
+}  // namespace cg::broker

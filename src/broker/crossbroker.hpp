@@ -1,0 +1,249 @@
+// CrossBroker: the resource-management service for batch and interactive
+// jobs (Sections 3 and 5). Responsibilities:
+//
+//  * submission pipeline: resource discovery (information-system index),
+//    resource selection (fresh per-site queries, Requirements/Rank
+//    matchmaking, randomized tie-breaking), two-phase-commit dispatch;
+//  * on-line scheduling for interactive jobs: never leave one sitting in a
+//    local queue — cancel and resubmit elsewhere;
+//  * exclusive temporal access: matched resources are leased so concurrent
+//    submissions do not double-book stale "free" CPUs;
+//  * job multi-programming: glide-in agents split worker nodes into a
+//    batch-vm and an interactive-vm; interactive jobs in shared mode start
+//    on a free interactive-vm directly (no Globus, no LRMS queue), demoting
+//    the co-resident batch job per its PerformanceLoss;
+//  * fair-share accounting with interactive-aware application factors and
+//    rejection of over-consuming users under contention;
+//  * MPI co-allocation: MPICH-P4 within a site, MPICH-G2 across sites with
+//    a startup barrier.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/fair_share.hpp"
+#include "broker/job_record.hpp"
+#include "broker/job_trace.hpp"
+#include "gsi/auth.hpp"
+#include "broker/lease_manager.hpp"
+#include "broker/matchmaker.hpp"
+#include "glidein/agent_registry.hpp"
+#include "infosys/information_system.hpp"
+#include "lrms/site.hpp"
+#include "mpijob/mpi_job.hpp"
+#include "sim/network.hpp"
+
+namespace cg::broker {
+
+struct CrossBrokerConfig {
+  FairShareConfig fair_share;
+  MatchmakerConfig matchmaker;
+  glidein::GlideinAgentConfig glidein;
+
+  /// Exclusive temporal access (Section 3). Disabling it lets concurrent
+  /// submissions double-book stale "free" CPUs (ablation A1).
+  bool enable_match_leases = true;
+  /// TTL of the exclusive-temporal-access lease taken at selection time.
+  Duration match_lease_ttl = Duration::seconds(60);
+  /// One-way latency of the direct broker <-> agent channel (no Globus).
+  Duration agent_channel_latency = Duration::millis(250);
+  /// Local processing to match a job against the in-broker VM registry
+  /// (the combined discovery+selection step of shared mode).
+  Duration vm_lookup_cost = Duration::millis(50);
+  /// Default size of the executable + input sandbox staged per job.
+  std::size_t executable_bytes = 5u << 20;
+  /// Modelled size of each OutputSandbox file staged back on completion.
+  std::size_t output_file_bytes = 1u << 20;
+
+  /// Interactive exclusive mode: if the job has not started this long after
+  /// the LRMS accepted it, it is queued, not running — cancel and resubmit.
+  Duration queue_detect_timeout = Duration::seconds(8);
+  int max_resubmissions = 3;
+
+  /// Poll period for batch jobs waiting inside the broker for free machines.
+  Duration broker_queue_poll = Duration::seconds(30);
+  /// Serve the broker queue best-priority-first (fair share). Disabling it
+  /// falls back to FIFO arrival order (ablation A4's baseline).
+  bool fair_share_queue_ordering = true;
+
+  /// Fair-share rejection: a submission from a user whose priority exceeds
+  /// this is rejected when it cannot start on a free resource immediately.
+  /// <= 0 disables rejection.
+  double reject_priority_threshold = 0.0;
+
+  /// Dismiss an agent when both of its VMs fall idle (after it has run at
+  /// least one job). Disable to keep a warm agent pool.
+  bool dismiss_idle_agents = true;
+
+  std::uint64_t seed = 0x5eed;
+};
+
+class CrossBroker {
+public:
+  CrossBroker(sim::Simulation& sim, sim::Network& network,
+              infosys::InformationSystem& infosys, CrossBrokerConfig config = {},
+              std::string endpoint = "broker");
+  ~CrossBroker();
+  CrossBroker(const CrossBroker&) = delete;
+  CrossBroker& operator=(const CrossBroker&) = delete;
+
+  /// Registers a site with the broker (and wires the glide-in bookkeeping).
+  void add_site(lrms::Site& site);
+
+  /// Submits a job. The workload is what the job does once running; the
+  /// description is its JDL. Returns the broker-assigned job id.
+  JobId submit(jdl::JobDescription description, UserId user, lrms::Workload workload,
+               std::string submitter_endpoint, JobCallbacks callbacks);
+
+  /// Enables GSI across the grid: the broker verifies users' proxies before
+  /// scheduling, presents them at every gatekeeper (which start verifying),
+  /// and delegates restricted proxies for jobs started on glide-in agents.
+  /// The anchor must outlive the broker.
+  void enable_security(const gsi::Certificate* trust_anchor,
+                       std::vector<gsi::Credential> broker_credentials);
+
+  /// Registers a user's credential ancestry (CA-issued certificate followed
+  /// by their proxy). Submissions from unregistered users fail when
+  /// security is enabled.
+  void set_user_credentials(UserId user, std::vector<gsi::Credential> ancestry);
+
+  /// Cancels a job in any non-terminal state: removes it from queues,
+  /// releases its leases and reserved VMs, kills running subjobs, and fires
+  /// on_failed with code "broker.cancelled". Returns false if the job is
+  /// unknown or already terminal.
+  bool cancel(JobId id);
+
+  /// Proactively deploys a glide-in agent on a site (warm pool). The agent
+  /// is submitted through the normal batch path.
+  void preload_agent(SiteId site);
+
+  /// Attaches a Logging-&-Bookkeeping trace; the broker records every
+  /// decision into it. Must outlive the broker (or be detached with nullptr).
+  void set_trace(JobTrace* trace) { trace_ = trace; }
+
+  [[nodiscard]] const JobRecord* record(JobId id) const;
+  [[nodiscard]] FairShare& fair_share() { return fair_share_; }
+  [[nodiscard]] glidein::AgentRegistry& agents() { return agents_; }
+  [[nodiscard]] LeaseManager& leases() { return leases_; }
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+  [[nodiscard]] std::size_t broker_queue_length() const { return waiting_batch_.size(); }
+
+  /// All job records (inspection / experiment reporting).
+  [[nodiscard]] std::vector<const JobRecord*> all_records() const;
+
+private:
+  struct ManagedJob {
+    JobRecord record;
+    JobCallbacks callbacks;
+    /// Sites already tried and to be avoided on resubmission.
+    std::vector<SiteId> excluded_sites;
+    /// Leases held while dispatching (released on start or failure).
+    std::vector<LeaseId> held_leases;
+    int subjobs_running = 0;
+    int subjobs_completed = 0;
+    bool queue_timer_armed = false;
+    bool staging_out = false;  ///< OutputSandbox transfer in progress
+    /// Runtime barrier coordination for BSP workloads (multi-rank only).
+    std::unique_ptr<mpijob::RuntimeBarrierCoordinator> barrier_coordinator;
+  };
+
+  struct AgentInfo {
+    AgentId id;
+    SiteId site;
+    JobId carrier_job;
+    bool ran_any_job = false;
+    std::optional<JobId> batch_resident;
+    /// Interactive jobs resident on the agent's interactive VMs (one per
+    /// slot; several with a multiprogramming degree above 1).
+    std::vector<JobId> interactive_residents;
+    /// Interactive jobs reserved onto slots but not yet started.
+    std::vector<JobId> pending_interactive;
+    std::optional<JobId> pending_batch;
+    /// Free slots minus reservations: what a new placement may still take.
+    [[nodiscard]] int reservable_slots(const glidein::GlideinAgent& agent) const {
+      return agent.free_interactive_slots() -
+             static_cast<int>(pending_interactive.size());
+    }
+  };
+
+  // -- pipeline ------------------------------------------------------------
+  void schedule_job(JobId id);
+  void begin_discovery(JobId id);
+  void begin_selection(JobId id, std::vector<infosys::SiteRecord> stale_records);
+  void place_job(JobId id, std::vector<Candidate> fresh_candidates);
+  void handle_no_resources(JobId id);
+
+  // -- dispatch ------------------------------------------------------------
+  void dispatch_interactive_on_vms(JobId id);
+  void dispatch_subjob_to_vm(JobId id, std::size_t subjob_index,
+                             glidein::GlideinAgent& agent);
+  void dispatch_subjob_exclusive(JobId id, std::size_t subjob_index, SiteId site);
+  void dispatch_subjob_with_new_agent(JobId id, std::size_t subjob_index,
+                                      SiteId site, bool interactive_slot);
+  void arm_queue_detection(JobId id, std::size_t subjob_index, SiteId site);
+
+  // -- lifecycle -----------------------------------------------------------
+  void set_state(ManagedJob& job, JobState state);
+  void subjob_started(JobId id, std::size_t subjob_index);
+  void subjob_completed(JobId id, std::size_t subjob_index);
+  void complete_job(JobId id);
+  void fail_job(JobId id, Error error);
+  void reject_job(JobId id, Error error);
+  void resubmit_job(JobId id);
+  void release_leases(ManagedJob& job);
+  void poll_broker_queue();
+  /// Barrier plumbing for parallel BSP workloads.
+  void setup_barrier_coordination(ManagedJob& job);
+  [[nodiscard]] lrms::TaskRunner::BarrierFn barrier_handler_for(JobId id, int rank);
+
+  // -- glide-in management -------------------------------------------------
+  AgentInfo& create_agent_with_carrier(SiteId site,
+                                       std::function<void(AgentInfo&)> on_ready,
+                                       std::function<void()> on_carrier_failed);
+  void start_job_on_agent(JobId id, std::size_t subjob_index, AgentInfo& info,
+                          bool interactive_slot);
+  void maybe_dismiss_agent(AgentId agent_id);
+  void handle_agent_death(AgentId agent_id);
+  void on_site_job_killed(SiteId site, JobId job, NodeId node);
+
+  [[nodiscard]] double application_factor(const ManagedJob& job) const;
+  /// Pre-flight credential check (security enabled only); also used before
+  /// delegating to agents.
+  [[nodiscard]] Status check_user_security(UserId user) const;
+  [[nodiscard]] std::optional<gsi::CertificateChain> chain_for(UserId user) const;
+  [[nodiscard]] lrms::Site* find_site(SiteId id);
+  [[nodiscard]] ManagedJob* find_job(JobId id);
+  [[nodiscard]] int needed_cpus_per_site(const jdl::JobDescription& desc) const;
+
+  sim::Simulation& sim_;
+  sim::Network& network_;
+  infosys::InformationSystem& infosys_;
+  CrossBrokerConfig config_;
+  std::string endpoint_;
+  Rng rng_;
+
+  Matchmaker matchmaker_;
+  LeaseManager leases_;
+  FairShare fair_share_;
+  glidein::AgentRegistry agents_;
+
+  void trace(JobId job, const std::string& kind, const std::string& detail);
+
+  JobTrace* trace_ = nullptr;
+  const gsi::Certificate* trust_anchor_ = nullptr;
+  std::vector<gsi::Credential> broker_credentials_;
+  std::map<UserId, std::vector<gsi::Credential>> user_credentials_;
+
+  std::map<SiteId, lrms::Site*> sites_;
+  std::map<JobId, std::unique_ptr<ManagedJob>> jobs_;
+  std::map<AgentId, AgentInfo> agent_info_;
+  std::deque<JobId> waiting_batch_;
+  IdGenerator<JobId> job_ids_;
+  IdGenerator<SubJobId> subjob_ids_;
+  bool queue_poll_armed_ = false;
+};
+
+}  // namespace cg::broker

@@ -1,0 +1,152 @@
+#include "broker/fair_share.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cg::broker {
+
+double application_factor_batch() {
+  return 1.0;
+}
+
+double application_factor_interactive(int performance_loss) {
+  // "Interactive jobs worsen the priority faster": a_f = 2 - PL/100, so a
+  // fully greedy interactive job (PL = 0) costs twice a batch job.
+  return 2.0 - static_cast<double>(performance_loss) / 100.0;
+}
+
+double application_factor_yielding_batch(int performance_loss) {
+  // A batch job that yielded its machine is charged only for the share it
+  // retains.
+  return static_cast<double>(performance_loss) / 100.0;
+}
+
+FairShare::FairShare(sim::Simulation& sim, FairShareConfig config)
+    : sim_{sim}, config_{config} {
+  if (config_.update_interval <= Duration::zero()) {
+    throw std::invalid_argument{"FairShare: update_interval must be positive"};
+  }
+  if (config_.half_life <= Duration::zero()) {
+    throw std::invalid_argument{"FairShare: half_life must be positive"};
+  }
+  if (config_.total_resources < 1) {
+    throw std::invalid_argument{"FairShare: total_resources must be >= 1"};
+  }
+}
+
+FairShare::~FairShare() = default;
+
+void FairShare::start() {
+  if (started_) return;
+  started_ = true;
+  schedule_update();
+}
+
+void FairShare::stop() {
+  started_ = false;
+  timer_.reset();
+}
+
+void FairShare::set_total_resources(int total) {
+  if (total < 1) throw std::invalid_argument{"total_resources must be >= 1"};
+  config_.total_resources = total;
+}
+
+void FairShare::schedule_update() {
+  // Daemon event: accounting ticks must not keep the simulation alive.
+  timer_.rearm(sim_, sim_.schedule_daemon(config_.update_interval, [this] {
+    if (!started_) return;
+    force_update();
+    schedule_update();
+  }));
+}
+
+double FairShare::beta() const {
+  const double ratio = config_.update_interval.to_seconds() /
+                       config_.half_life.to_seconds();
+  return std::pow(0.5, ratio);
+}
+
+void FairShare::force_update() {
+  const double b = beta();
+  // Users with running jobs accumulate; idle users decay toward zero.
+  // "User priorities are updated for each user whose current priority is
+  // different (worse) than the initial priority" — plus active users.
+  std::map<UserId, double> usage;
+  for (const auto& [job, rj] : running_) {
+    usage[rj.user] += rj.af * static_cast<double>(rj.nodes) /
+                      static_cast<double>(config_.total_resources);
+  }
+  for (const auto& [user, used] : usage) {
+    auto [it, inserted] = priorities_.try_emplace(user, 0.0);
+    it->second = b * it->second + (1.0 - b) * used;
+  }
+  for (auto it = priorities_.begin(); it != priorities_.end();) {
+    if (!usage.contains(it->first)) {
+      it->second *= b;  // pure decay
+      if (it->second < 1e-12) {
+        it = priorities_.erase(it);  // fully restored credits
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+void FairShare::job_started(UserId user, JobId job, double af, int nodes) {
+  if (!user.valid() || !job.valid()) {
+    throw std::invalid_argument{"FairShare::job_started: invalid ids"};
+  }
+  if (af < 0.0 || nodes < 1) {
+    throw std::invalid_argument{"FairShare::job_started: bad af/nodes"};
+  }
+  running_.insert_or_assign(job, RunningJob{user, af, nodes});
+}
+
+void FairShare::job_finished(JobId job) {
+  running_.erase(job);
+}
+
+void FairShare::set_application_factor(JobId job, double af) {
+  const auto it = running_.find(job);
+  if (it == running_.end()) return;
+  it->second.af = af;
+}
+
+double FairShare::priority(UserId user) const {
+  const auto it = priorities_.find(user);
+  return it != priorities_.end() ? it->second : 0.0;
+}
+
+double FairShare::instantaneous_usage(UserId user) const {
+  double total = 0.0;
+  for (const auto& [job, rj] : running_) {
+    if (rj.user == user) {
+      total += rj.af * static_cast<double>(rj.nodes) /
+               static_cast<double>(config_.total_resources);
+    }
+  }
+  return total;
+}
+
+std::vector<UserId> FairShare::users_by_priority() const {
+  std::vector<UserId> users;
+  users.reserve(priorities_.size());
+  for (const auto& [user, p] : priorities_) users.push_back(user);
+  std::stable_sort(users.begin(), users.end(), [this](UserId a, UserId b) {
+    return priority(a) < priority(b);
+  });
+  return users;
+}
+
+bool FairShare::is_worst(UserId user, double epsilon) const {
+  const double p = priority(user);
+  if (p <= epsilon) return false;
+  for (const auto& [other, op] : priorities_) {
+    if (other != user && op >= p) return false;
+  }
+  return true;
+}
+
+}  // namespace cg::broker

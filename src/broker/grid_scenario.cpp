@@ -1,0 +1,95 @@
+#include "broker/grid_scenario.hpp"
+
+#include <stdexcept>
+
+namespace cg::broker {
+
+using namespace cg::literals;
+
+GridScenario::GridScenario(GridScenarioConfig config) : config_{config} {
+  Rng rng{config_.seed};
+  network_ = std::make_unique<sim::Network>(rng.fork());
+  infosys_ = std::make_unique<infosys::InformationSystem>(sim_, config_.infosys);
+  broker_ = std::make_unique<CrossBroker>(sim_, *network_, *infosys_,
+                                          config_.broker, "broker");
+
+  if (config_.enable_gsi) {
+    // Trust fabric: one CA, long-lived; the broker holds a service
+    // credential it presents when submitting glide-in carriers.
+    ca_ = std::make_unique<gsi::CertificateAuthority>(
+        "/O=CrossGrid/CN=CA", sim_.now(), 3600_s * 24 * 365, config_.seed ^ 0xca);
+    std::vector<gsi::Credential> broker_creds;
+    broker_creds.push_back(
+        ca_->issue("/O=CrossGrid/CN=crossbroker", sim_.now(), 3600_s * 24 * 30));
+    broker_->enable_security(&ca_->root_certificate(), std::move(broker_creds));
+  }
+
+  for (int i = 0; i < config_.sites; ++i) {
+    lrms::SiteConfig site_config;
+    site_config.name = "site" + std::to_string(i);
+    site_config.worker_nodes = config_.nodes_per_site;
+    site_config.lrms = config_.lrms;
+    site_config.gatekeeper = config_.gatekeeper;
+    site_config.info_query_latency = config_.site_info_latency;
+    if (config_.customize_site) config_.customize_site(i, site_config);
+
+    auto site = std::make_unique<lrms::Site>(sim_, *network_, site_ids_.next(),
+                                             site_config);
+    // One shared profile for UI <-> site and broker <-> site paths.
+    network_->add_link(ui_endpoint(), site->endpoint(), config_.site_link);
+    network_->add_link(broker_->endpoint(), site->endpoint(), config_.site_link);
+
+    lrms::Site* raw = site.get();
+    infosys_->register_site(
+        site->static_info(), [raw] { return raw->snapshot(); },
+        config_.site_info_latency);
+    infosys_->start_periodic_publication(site->id(), config_.publication_period);
+    broker_->add_site(*site);
+    sites_.push_back(std::move(site));
+  }
+}
+
+const std::vector<gsi::Credential>& GridScenario::register_user(
+    UserId user, const std::string& name) {
+  if (!ca_) throw std::logic_error{"register_user requires enable_gsi"};
+  std::vector<gsi::Credential> ancestry;
+  ancestry.push_back(ca_->issue("/O=CrossGrid/CN=" + name, sim_.now(),
+                                3600_s * 24 * 30));
+  auto proxy = gsi::create_proxy(ancestry.back(), sim_.now(),
+                                 config_.user_proxy_lifetime,
+                                 config_.seed ^ user.value());
+  if (!proxy) throw std::logic_error{"proxy creation failed"};
+  ancestry.push_back(std::move(proxy.value()));
+  auto [it, inserted] = user_ancestries_.insert_or_assign(user, std::move(ancestry));
+  broker_->set_user_credentials(user, it->second);
+  return it->second;
+}
+
+void GridScenario::take_site_offline(std::size_t index) {
+  lrms::Site& site = *sites_.at(index);
+  // The information system stops answering for this site (stale index
+  // entries age out; direct queries return nothing).
+  infosys_->unregister_site(site.id());
+  // Every node loses its job; the broker's kill observer fires per job.
+  for (std::size_t n = 0; n < site.scheduler().node_count(); ++n) {
+    const auto running = site.scheduler().node(n).current_job();
+    if (running) site.scheduler().kill_running(*running);
+  }
+}
+
+void GridScenario::saturate_with_local_batch(Duration batch_length, UserId owner) {
+  for (auto& site : sites_) {
+    const int nodes = site->config().worker_nodes;
+    for (int n = 0; n < nodes; ++n) {
+      lrms::LocalJob job;
+      // High id space keeps these out of the broker's JobId range, so kill
+      // notifications can never be mistaken for broker-managed jobs.
+      job.id = JobId{(1ULL << 32) + local_job_ids_.next().value()};
+      job.owner = owner;
+      job.workload = lrms::Workload::cpu(batch_length);
+      site->scheduler().submit(std::move(job));
+    }
+  }
+}
+
+}  // namespace cg::broker

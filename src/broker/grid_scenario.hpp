@@ -1,0 +1,98 @@
+// Builds a complete simulated testbed: N sites behind gatekeepers, an
+// information system with periodic publication, a network with per-site
+// links, and a CrossBroker — the fixture every integration test, example,
+// and benchmark starts from. Defaults approximate the paper's environment
+// (campus links, PIII-era sites, the IS a half-second away).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/crossbroker.hpp"
+#include "gsi/credential.hpp"
+#include "infosys/information_system.hpp"
+#include "lrms/site.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::broker {
+
+struct GridScenarioConfig {
+  int sites = 4;
+  int nodes_per_site = 4;
+  /// Optional per-site customization hook, called with the site's index and
+  /// the default-constructed config before the site is built. Heterogeneous
+  /// testbeds (mixed architectures, CPU speeds, node counts) are made here.
+  std::function<void(int, lrms::SiteConfig&)> customize_site;
+  /// Link profile between the user/broker machines and every site.
+  sim::LinkSpec site_link = sim::LinkSpec::campus();
+  /// Period of each site's push to the information-system index.
+  Duration publication_period = Duration::seconds(30);
+  infosys::InformationSystemConfig infosys;
+  lrms::LocalSchedulerConfig lrms;
+  lrms::GatekeeperConfig gatekeeper;
+  CrossBrokerConfig broker;
+  Duration site_info_latency = Duration::millis(150);
+  /// Builds the full GSI trust fabric: a CA, a broker service credential,
+  /// and gatekeepers that verify proxy chains. Users must then be
+  /// registered via register_user() before submitting.
+  bool enable_gsi = false;
+  Duration user_proxy_lifetime = Duration::seconds(12 * 3600);
+  std::uint64_t seed = 20060915;  ///< CLUSTER 2006 vintage
+};
+
+/// Owns the full stack in construction order (sim outlives everything).
+class GridScenario {
+public:
+  explicit GridScenario(GridScenarioConfig config = {});
+  GridScenario(const GridScenario&) = delete;
+  GridScenario& operator=(const GridScenario&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return *network_; }
+  [[nodiscard]] infosys::InformationSystem& infosys() { return *infosys_; }
+  [[nodiscard]] CrossBroker& broker() { return *broker_; }
+  [[nodiscard]] lrms::Site& site(std::size_t index) { return *sites_.at(index); }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const GridScenarioConfig& config() const { return config_; }
+
+  /// The user-interface machine's network endpoint.
+  [[nodiscard]] static std::string ui_endpoint() { return "ui"; }
+
+  /// Fully occupies every node of every site with long batch work submitted
+  /// straight into the LRMSes (bypassing the broker) — the "heavy occupancy"
+  /// backdrop for multiprogramming experiments.
+  void saturate_with_local_batch(Duration batch_length, UserId owner);
+
+  /// Simulates a site failure: every running job on the site is killed (the
+  /// broker sees the kills and reacts) and the site vanishes from the
+  /// information system. The site object itself stays alive so in-flight
+  /// callbacks resolve safely.
+  void take_site_offline(std::size_t index);
+
+  /// GSI (requires enable_gsi): issues a CA certificate for `name`, creates
+  /// a proxy of the configured lifetime, and registers both with the
+  /// broker. Returns the ancestry (certificate, proxy) for inspection.
+  const std::vector<gsi::Credential>& register_user(UserId user,
+                                                    const std::string& name);
+  [[nodiscard]] gsi::CertificateAuthority* certificate_authority() {
+    return ca_.get();
+  }
+
+private:
+  GridScenarioConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<infosys::InformationSystem> infosys_;
+  std::vector<std::unique_ptr<lrms::Site>> sites_;
+  std::unique_ptr<CrossBroker> broker_;
+  std::unique_ptr<gsi::CertificateAuthority> ca_;
+  std::map<UserId, std::vector<gsi::Credential>> user_ancestries_;
+  IdGenerator<SiteId> site_ids_;
+  IdGenerator<JobId> local_job_ids_;
+};
+
+}  // namespace cg::broker

@@ -1,0 +1,67 @@
+#include "broker/job_trace.hpp"
+
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace cg::broker {
+
+void JobTrace::record(SimTime when, JobId job, std::string kind,
+                      std::string detail) {
+  events_.push_back(TraceEvent{when, job, std::move(kind), std::move(detail)});
+}
+
+std::vector<TraceEvent> JobTrace::for_job(JobId job) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (event.job == job) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> JobTrace::of_kind(const std::string& kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+std::size_t JobTrace::count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const auto& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string JobTrace::render() const {
+  std::ostringstream os;
+  for (const auto& event : events_) {
+    os << "[" << fmt_fixed(event.when.to_seconds(), 3) << "s] ";
+    if (event.job.valid()) {
+      os << event.job << " ";
+    }
+    os << event.kind;
+    if (!event.detail.empty()) os << ": " << event.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string JobTrace::to_csv() const {
+  std::ostringstream os;
+  os << "when_s,job,kind,detail\n";
+  for (const auto& event : events_) {
+    // Commas inside detail are replaced to keep the CSV single-field simple.
+    std::string detail = event.detail;
+    for (char& c : detail) {
+      if (c == ',') c = ';';
+    }
+    os << event.when.to_seconds() << ',' << event.job.value() << ','
+       << event.kind << ',' << detail << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cg::broker

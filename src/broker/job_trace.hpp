@@ -1,0 +1,45 @@
+// Job event trace: the analogue of the DataGrid Logging & Bookkeeping
+// service ("certain external tools taken from the DataGrid project",
+// Section 6). Every decision the broker takes about a job is recorded with
+// its virtual timestamp, giving users the post-mortem audit trail grid
+// operators lived by — and giving tests a single place to assert on broker
+// behaviour.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace cg::broker {
+
+struct TraceEvent {
+  SimTime when;
+  JobId job;          ///< JobId::none() for broker-global events
+  std::string kind;   ///< e.g. "submitted", "state", "match", "agent"
+  std::string detail;
+};
+
+class JobTrace {
+public:
+  void record(SimTime when, JobId job, std::string kind, std::string detail);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::vector<TraceEvent> for_job(JobId job) const;
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> of_kind(const std::string& kind) const;
+  [[nodiscard]] std::size_t count(const std::string& kind) const;
+
+  /// Human-readable rendering (one event per line).
+  [[nodiscard]] std::string render() const;
+  /// Machine-readable CSV: when_s,job,kind,detail.
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear() { events_.clear(); }
+
+private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cg::broker

@@ -1,0 +1,39 @@
+#include "broker/lease_manager.hpp"
+
+#include <stdexcept>
+
+namespace cg::broker {
+
+LeaseManager::~LeaseManager() {
+  for (auto& [id, lease] : leases_) {
+    if (lease.expiry.valid()) sim_.cancel(lease.expiry);
+  }
+}
+
+LeaseId LeaseManager::acquire(SiteId site, int cpus, Duration ttl) {
+  if (!site.valid()) throw std::invalid_argument{"lease: invalid site"};
+  if (cpus < 1) throw std::invalid_argument{"lease: cpus must be >= 1"};
+  if (ttl <= Duration::zero()) throw std::invalid_argument{"lease: ttl must be positive"};
+  const LeaseId id = ids_.next();
+  const sim::EventHandle expiry = sim_.schedule(ttl, [this, id] { leases_.erase(id); });
+  leases_.emplace(id, Lease{site, cpus, expiry});
+  return id;
+}
+
+bool LeaseManager::release(LeaseId id) {
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) return false;
+  if (it->second.expiry.valid()) sim_.cancel(it->second.expiry);
+  leases_.erase(it);
+  return true;
+}
+
+int LeaseManager::leased_cpus(SiteId site) const {
+  int total = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.site == site) total += lease.cpus;
+  }
+  return total;
+}
+
+}  // namespace cg::broker

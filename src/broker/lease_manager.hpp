@@ -1,0 +1,45 @@
+// Exclusive temporal access to resources (Section 3): once a resource has
+// been matched to a job, it is excluded from further matches for a bounded
+// time so that concurrent submissions do not all pile onto the same "free"
+// CPUs before the information system catches up. Leases expire automatically
+// or are released when the match either commits or fails.
+#pragma once
+
+#include <map>
+
+#include "sim/simulation.hpp"
+#include "util/ids.hpp"
+
+namespace cg::broker {
+
+class LeaseManager {
+public:
+  explicit LeaseManager(sim::Simulation& sim) : sim_{sim} {}
+  ~LeaseManager();
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Leases `cpus` CPUs of a site for `ttl`. Returns the lease id.
+  LeaseId acquire(SiteId site, int cpus, Duration ttl);
+
+  /// Releases a lease early (match committed or abandoned). Returns false
+  /// if the lease already expired.
+  bool release(LeaseId id);
+
+  /// CPUs of a site currently under lease.
+  [[nodiscard]] int leased_cpus(SiteId site) const;
+  [[nodiscard]] std::size_t active_leases() const { return leases_.size(); }
+
+private:
+  struct Lease {
+    SiteId site;
+    int cpus;
+    sim::EventHandle expiry;
+  };
+
+  sim::Simulation& sim_;
+  IdGenerator<LeaseId> ids_;
+  std::map<LeaseId, Lease> leases_;
+};
+
+}  // namespace cg::broker

@@ -1,0 +1,66 @@
+#include "broker/matchmaker.hpp"
+
+#include <algorithm>
+
+#include "jdl/eval.hpp"
+
+namespace cg::broker {
+
+std::vector<Candidate> Matchmaker::filter(
+    const jdl::JobDescription& job, const std::vector<infosys::SiteRecord>& records,
+    const LeaseManager& leases, int needed_cpus) const {
+  std::vector<Candidate> out;
+  for (const auto& record : records) {
+    const int effective =
+        record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
+    if (effective < needed_cpus) continue;
+
+    jdl::ClassAd machine = record.to_classad();
+    machine.set_int("FreeCPUs", effective);  // leases shadow the raw count
+    if (!jdl::symmetric_match(job.ad(), machine)) continue;
+
+    Candidate c;
+    c.record = record;
+    c.effective_free_cpus = effective;
+    c.rank = rank_of(job, machine);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+double Matchmaker::rank_of(const jdl::JobDescription& job,
+                           const jdl::ClassAd& machine) const {
+  const jdl::ExprPtr rank_expr = job.rank();
+  if (rank_expr) {
+    jdl::EvalContext ctx;
+    ctx.self = &job.ad();
+    ctx.other = &machine;
+    const jdl::Value v = jdl::evaluate(*rank_expr, ctx);
+    if (v.is_number()) return v.as_number();
+    return 0.0;  // non-numeric rank: neutral
+  }
+  // Default rank: prefer emptier sites.
+  const auto free = machine.get_int("FreeCPUs");
+  return free ? static_cast<double>(*free) : 0.0;
+}
+
+std::optional<SiteId> Matchmaker::select(const std::vector<Candidate>& candidates,
+                                         Rng& rng) const {
+  if (candidates.empty()) return std::nullopt;
+  const double best =
+      std::max_element(candidates.begin(), candidates.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         return a.rank < b.rank;
+                       })
+          ->rank;
+  const double margin = std::abs(best) * config_.rank_tie_margin + 1e-12;
+  std::vector<const Candidate*> ties;
+  for (const auto& c : candidates) {
+    if (c.rank >= best - margin) ties.push_back(&c);
+  }
+  const Candidate* chosen =
+      config_.randomize_ties ? ties[rng.pick_index(ties.size())] : ties.front();
+  return chosen->record.static_info.id;
+}
+
+}  // namespace cg::broker

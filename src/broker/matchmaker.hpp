@@ -1,0 +1,57 @@
+// Matchmaking: filters discovered sites against a job's Requirements (JDL
+// symmetric match), ranks survivors by the job's Rank expression (higher is
+// better; default rank = free CPUs), and picks randomly among the top-ranked
+// candidates — the paper's "randomized selection of resources ... used to
+// generate different answers when there are multiple resource choices".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "broker/lease_manager.hpp"
+#include "infosys/site_record.hpp"
+#include "jdl/job_description.hpp"
+#include "util/rng.hpp"
+
+namespace cg::broker {
+
+struct Candidate {
+  infosys::SiteRecord record;
+  double rank = 0.0;
+  /// Free CPUs after subtracting active match leases.
+  int effective_free_cpus = 0;
+};
+
+struct MatchmakerConfig {
+  /// Ranks within this relative margin of the best are "ties" eligible for
+  /// randomized selection.
+  double rank_tie_margin = 1e-9;
+  /// When false, the first tied candidate wins deterministically (the
+  /// baseline the randomized-selection ablation compares against).
+  bool randomize_ties = true;
+};
+
+class Matchmaker {
+public:
+  explicit Matchmaker(MatchmakerConfig config = {}) : config_{config} {}
+
+  /// Applies Requirements and capacity filters. `needed_cpus` is the number
+  /// of free CPUs a single site must offer (1 for sequential; the full node
+  /// count for MPICH-P4; at least 1 for MPICH-G2, which can span sites).
+  [[nodiscard]] std::vector<Candidate> filter(
+      const jdl::JobDescription& job, const std::vector<infosys::SiteRecord>& records,
+      const LeaseManager& leases, int needed_cpus) const;
+
+  /// Picks one site from non-empty candidates: best rank, random among ties.
+  [[nodiscard]] std::optional<SiteId> select(const std::vector<Candidate>& candidates,
+                                             Rng& rng) const;
+
+  /// Computes the job's rank for a machine ad (default: FreeCPUs).
+  [[nodiscard]] double rank_of(const jdl::JobDescription& job,
+                               const jdl::ClassAd& machine) const;
+
+private:
+  MatchmakerConfig config_;
+};
+
+}  // namespace cg::broker

@@ -1,0 +1,82 @@
+#include "broker/workload_generator.hpp"
+
+#include <stdexcept>
+
+namespace cg::broker {
+
+WorkloadGenerator::WorkloadGenerator(sim::Simulation& sim, CrossBroker& broker,
+                                     WorkloadGeneratorConfig config)
+    : sim_{sim}, broker_{broker}, config_{config}, rng_{config.seed} {
+  if (config_.users < 1) throw std::invalid_argument{"users must be >= 1"};
+}
+
+void WorkloadGenerator::start() {
+  if (config_.batch_interarrival > Duration::zero()) schedule_next_batch();
+  if (config_.interactive_interarrival > Duration::zero()) {
+    schedule_next_interactive();
+  }
+}
+
+UserId WorkloadGenerator::next_user() {
+  user_cursor_ = (user_cursor_ % config_.users) + 1;
+  return UserId{static_cast<std::uint64_t>(user_cursor_)};
+}
+
+void WorkloadGenerator::schedule_next_batch() {
+  const Duration gap = Duration::from_seconds(
+      rng_.exponential(config_.batch_interarrival.to_seconds()));
+  if (sim_.now() + gap > config_.horizon) return;
+  sim_.schedule(gap, [this] {
+    submit_batch();
+    schedule_next_batch();
+  });
+}
+
+void WorkloadGenerator::schedule_next_interactive() {
+  const Duration gap = Duration::from_seconds(
+      rng_.exponential(config_.interactive_interarrival.to_seconds()));
+  if (sim_.now() + gap > config_.horizon) return;
+  sim_.schedule(gap, [this] {
+    submit_interactive();
+    schedule_next_interactive();
+  });
+}
+
+void WorkloadGenerator::submit_batch() {
+  auto jd = jdl::JobDescription::parse("Executable = \"batch_sim\";");
+  const Duration runtime = Duration::from_seconds(
+      std::max(1.0, rng_.exponential(config_.batch_runtime.to_seconds())));
+  ++stats_.batch_submitted;
+  JobCallbacks callbacks;
+  callbacks.on_complete = [this](const JobRecord&) { ++stats_.batch_completed; };
+  broker_.submit(jd.value(), next_user(), lrms::Workload::cpu(runtime), "ui",
+                 callbacks);
+}
+
+void WorkloadGenerator::submit_interactive() {
+  const std::string access =
+      config_.interactive_access == jdl::MachineAccess::kShared ? "shared"
+                                                                : "exclusive";
+  auto jd = jdl::JobDescription::parse(
+      "Executable = \"viz\"; JobType = \"interactive\"; MachineAccess = \"" +
+      access + "\"; PerformanceLoss = " +
+      std::to_string(config_.performance_loss) + ";");
+  const Duration runtime = Duration::from_seconds(std::max(
+      1.0, rng_.exponential(config_.interactive_runtime.to_seconds())));
+  ++stats_.interactive_submitted;
+  const SimTime submitted = sim_.now();
+  JobCallbacks callbacks;
+  callbacks.on_running = [this, submitted](const JobRecord&) {
+    stats_.interactive_startup_s.add((sim_.now() - submitted).to_seconds());
+  };
+  callbacks.on_complete = [this](const JobRecord&) {
+    ++stats_.interactive_completed;
+  };
+  callbacks.on_failed = [this](const JobRecord&, const Error&) {
+    ++stats_.interactive_failed;
+  };
+  broker_.submit(jd.value(), next_user(), lrms::Workload::cpu(runtime), "ui",
+                 callbacks);
+}
+
+}  // namespace cg::broker

@@ -1,0 +1,71 @@
+// Synthetic grid workload generator: Poisson arrivals of batch and
+// interactive jobs with configurable mixes and runtimes. Drives load-sweep
+// experiments (how does interactive startup behave as background occupancy
+// grows — the situation the paper's multiprogramming mechanism exists for).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "broker/crossbroker.hpp"
+#include "util/stats.hpp"
+#include "util/rng.hpp"
+
+namespace cg::broker {
+
+struct WorkloadGeneratorConfig {
+  /// Mean inter-arrival time of batch jobs (Poisson process); zero disables.
+  Duration batch_interarrival = Duration::seconds(120);
+  /// Mean batch runtime (exponential).
+  Duration batch_runtime = Duration::seconds(1800);
+  /// Mean inter-arrival of interactive jobs; zero disables.
+  Duration interactive_interarrival = Duration::seconds(300);
+  /// Mean interactive runtime (exponential).
+  Duration interactive_runtime = Duration::seconds(300);
+  /// MachineAccess for generated interactive jobs.
+  jdl::MachineAccess interactive_access = jdl::MachineAccess::kShared;
+  int performance_loss = 10;
+  /// Number of simulated users round-robined across submissions.
+  int users = 4;
+  /// Stop generating after this instant.
+  SimTime horizon = SimTime::from_seconds(4 * 3600);
+  std::uint64_t seed = 7;
+};
+
+/// Statistics the generator accumulates via its own callbacks.
+struct WorkloadStats {
+  int batch_submitted = 0;
+  int batch_completed = 0;
+  int interactive_submitted = 0;
+  int interactive_completed = 0;
+  int interactive_failed = 0;
+  RunningStats interactive_startup_s;  ///< submit -> running
+};
+
+/// Drives a CrossBroker with the configured arrival processes. Create it,
+/// call start(), run the simulation; read stats() afterwards.
+class WorkloadGenerator {
+public:
+  WorkloadGenerator(sim::Simulation& sim, CrossBroker& broker,
+                    WorkloadGeneratorConfig config = {});
+
+  void start();
+
+  [[nodiscard]] const WorkloadStats& stats() const { return stats_; }
+
+private:
+  void schedule_next_batch();
+  void schedule_next_interactive();
+  void submit_batch();
+  void submit_interactive();
+  [[nodiscard]] UserId next_user();
+
+  sim::Simulation& sim_;
+  CrossBroker& broker_;
+  WorkloadGeneratorConfig config_;
+  Rng rng_;
+  WorkloadStats stats_;
+  int user_cursor_ = 0;
+};
+
+}  // namespace cg::broker

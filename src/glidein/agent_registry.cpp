@@ -1,0 +1,65 @@
+#include "glidein/agent_registry.hpp"
+
+namespace cg::glidein {
+
+GlideinAgent& AgentRegistry::create(SiteId site, GlideinAgentConfig config) {
+  const AgentId id = ids_.next();
+  auto agent = std::make_unique<GlideinAgent>(sim_, id, site, config);
+  auto [it, inserted] = agents_.emplace(id, std::move(agent));
+  return *it->second;
+}
+
+void AgentRegistry::remove(AgentId id) {
+  agents_.erase(id);
+}
+
+GlideinAgent* AgentRegistry::find(AgentId id) {
+  const auto it = agents_.find(id);
+  return it != agents_.end() ? it->second.get() : nullptr;
+}
+
+GlideinAgent* AgentRegistry::find_by_carrier(JobId job) {
+  for (auto& [id, agent] : agents_) {
+    if (agent->carrier_job_id() == job) return agent.get();
+  }
+  return nullptr;
+}
+
+GlideinAgent* AgentRegistry::find_free_interactive_vm() {
+  for (auto& [id, agent] : agents_) {
+    if (agent->interactive_vm_free()) return agent.get();
+  }
+  return nullptr;
+}
+
+GlideinAgent* AgentRegistry::find_free_interactive_vm(SiteId site) {
+  for (auto& [id, agent] : agents_) {
+    if (agent->site() == site && agent->interactive_vm_free()) return agent.get();
+  }
+  return nullptr;
+}
+
+int AgentRegistry::free_interactive_vms(SiteId site) const {
+  int n = 0;
+  for (const auto& [id, agent] : agents_) {
+    if (agent->site() == site) n += agent->free_interactive_slots();
+  }
+  return n;
+}
+
+int AgentRegistry::running_agents() const {
+  int n = 0;
+  for (const auto& [id, agent] : agents_) {
+    if (agent->state() == AgentState::kRunning) ++n;
+  }
+  return n;
+}
+
+std::vector<GlideinAgent*> AgentRegistry::agents() {
+  std::vector<GlideinAgent*> out;
+  out.reserve(agents_.size());
+  for (auto& [id, agent] : agents_) out.push_back(agent.get());
+  return out;
+}
+
+}  // namespace cg::glidein

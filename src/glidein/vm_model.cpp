@@ -1,0 +1,40 @@
+#include "glidein/vm_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cg::glidein {
+
+VmDilations compute_dilations(const VmModelConfig& config, int performance_loss,
+                              bool interactive_present, bool batch_present) {
+  if (performance_loss < 0 || performance_loss > 100) {
+    throw std::invalid_argument{"performance_loss out of range"};
+  }
+  VmDilations d;
+  const double overhead = 1.0 + config.agent_overhead;
+
+  if (interactive_present && batch_present) {
+    const double s = static_cast<double>(performance_loss) / 100.0;
+    const double duty = std::clamp(config.batch_duty_cycle, 0.0, 1.0);
+    // Interactive CPU: stretched by the share the batch job actually takes.
+    d.interactive_cpu = (1.0 + s * duty) * overhead;
+    // Interactive I/O: scheduling-latency interference, maximal at mid shares.
+    d.interactive_io = 1.0 + config.io_penalty_coefficient * s * (1.0 - s);
+    // Batch CPU: its concession plus the gaps the interactive job leaves idle.
+    const double batch_share = s + (1.0 - s) * (1.0 - duty);
+    d.batch_cpu = batch_share > 0.0 ? overhead / batch_share : 1e9;
+    d.batch_io = d.interactive_io;
+  } else if (interactive_present || batch_present) {
+    // A lone job on an agent-managed machine: only the agent overhead.
+    d.interactive_cpu = d.interactive_io = overhead;
+    d.batch_cpu = d.batch_io = overhead;
+  }
+  // Dilations never speed a job up.
+  d.interactive_cpu = std::max(d.interactive_cpu, 1.0);
+  d.interactive_io = std::max(d.interactive_io, 1.0);
+  d.batch_cpu = std::max(d.batch_cpu, 1.0);
+  d.batch_io = std::max(d.batch_io, 1.0);
+  return d;
+}
+
+}  // namespace cg::glidein

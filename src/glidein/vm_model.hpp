@@ -1,0 +1,48 @@
+// CPU-sharing model for the lightweight virtual machines. A glide-in agent
+// splits one worker node into a batch-vm and an interactive-vm; when both are
+// occupied, the interactive job runs at higher priority and concedes
+// `PerformanceLoss` percent of the CPU to the batch job (Section 5.2).
+//
+// Calibration against Figure 8: the batch job does not consume its entire
+// concession (it blocks on its own I/O), so the interactive job's measured
+// CPU overhead lands slightly below the nominal PerformanceLoss — the paper
+// reports +8% at PL=10 and +22% at PL=25. With the default duty cycle of
+// 0.85 this model yields +8.5% and +21.3%. I/O is network-bound and suffers
+// only scheduling-latency interference, modelled as k·s·(1−s) (≈5% and ≈9.5%
+// at PL=10/25; paper: 5% and 10%).
+#pragma once
+
+namespace cg::glidein {
+
+struct VmModelConfig {
+  /// Fraction of its CPU concession the batch job actually consumes.
+  double batch_duty_cycle = 0.85;
+  /// Multiplicative overhead of the agent itself ("negligible": Fig. 8 shows
+  /// exclusive and shared-alone as indistinguishable).
+  double agent_overhead = 0.001;
+  /// Coefficient of the I/O interference term k·s·(1−s).
+  double io_penalty_coefficient = 0.55;
+  /// Per-phase execution noise, off by default. With both VMs busy the
+  /// paper's scatter grows with the shared load: sd(cpu) ≈ base + k·s
+  /// (0.001 s reference, 0.004 s at PL=10, 0.010 s at PL=25).
+  double cpu_noise_base = 0.0;
+  double cpu_noise_per_share = 0.0;
+  double io_noise_fraction = 0.0;
+};
+
+/// Dilation factors (>= 1.0) for each resident job and phase kind.
+struct VmDilations {
+  double interactive_cpu = 1.0;
+  double interactive_io = 1.0;
+  double batch_cpu = 1.0;
+  double batch_io = 1.0;
+};
+
+/// Computes dilation factors for the current slot occupancy.
+/// `performance_loss` is the interactive job's attribute (0..50, % CPU ceded).
+[[nodiscard]] VmDilations compute_dilations(const VmModelConfig& config,
+                                            int performance_loss,
+                                            bool interactive_present,
+                                            bool batch_present);
+
+}  // namespace cg::glidein

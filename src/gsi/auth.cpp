@@ -1,0 +1,79 @@
+#include "gsi/auth.hpp"
+
+#include <stdexcept>
+
+namespace cg::gsi {
+
+Party make_party(const std::vector<Credential>& ancestry) {
+  if (ancestry.empty()) throw std::invalid_argument{"make_party: no credentials"};
+  Party party;
+  party.chain = make_chain(ancestry);
+  party.keys = ancestry.back().keys;  // the leaf's keys
+  return party;
+}
+
+void mutual_authenticate(sim::Simulation& sim, sim::Link& link,
+                         const Party& initiator, const Party& acceptor,
+                         const Certificate& trust_anchor,
+                         std::function<void(HandshakeResult)> callback,
+                         HandshakeConfig config) {
+  if (!callback) throw std::invalid_argument{"mutual_authenticate: null callback"};
+
+  // Network time: round_trips * RTT with small handshake messages, plus
+  // both sides' asymmetric-crypto work.
+  Duration total = config.crypto_time * 2;
+  for (int i = 0; i < config.round_trips; ++i) {
+    total += link.transfer_duration(512);  // ->
+    total += link.transfer_duration(512);  // <-
+  }
+
+  // Verification outcome is decided from the current state of both chains
+  // as of handshake *completion* time.
+  const SimTime done_at = sim.now() + total;
+  sim.schedule(total, [&sim, initiator, acceptor, trust_anchor,
+                       cb = std::move(callback), policy = config.policy,
+                       done_at] {
+    (void)sim;
+    HandshakeResult result;
+    const Status initiator_ok =
+        verify_chain(initiator.chain, trust_anchor, done_at, policy);
+    if (!initiator_ok.ok()) {
+      result.status = initiator_ok;
+      cb(std::move(result));
+      return;
+    }
+    const Status acceptor_ok =
+        verify_chain(acceptor.chain, trust_anchor, done_at, policy);
+    if (!acceptor_ok.ok()) {
+      result.status = acceptor_ok;
+      cb(std::move(result));
+      return;
+    }
+    result.initiator_name = initiator.name();
+    result.acceptor_name = acceptor.name();
+    // Session token derived from both parties' key material (a stand-in for
+    // the TLS master secret).
+    result.session_token = sign(initiator.keys.public_id ^
+                                    acceptor.keys.public_id,
+                                0x517cc1b727220a95ULL);
+    cb(std::move(result));
+  });
+}
+
+Expected<Credential> delegate_proxy(const Credential& delegate_from, SimTime now,
+                                    Duration lifetime, std::uint64_t key_seed) {
+  return create_proxy(delegate_from, now, lifetime, key_seed);
+}
+
+std::uint64_t protect(std::uint64_t session_token, const void* data,
+                      std::size_t size) {
+  std::uint64_t h = session_token ^ 0xcbf29ce484222325ULL;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace cg::gsi

@@ -1,0 +1,68 @@
+// GSI mutual authentication and delegation over the simulated network.
+// "All the network communications are GSI-enabled and are therefore a secure
+// connection" (Section 4): before any job crosses a site boundary both ends
+// verify each other's certificate chains, paying the handshake's round trips
+// and crypto time; the broker then *delegates* a restricted proxy so the
+// glide-in agent can act on the user's behalf.
+#pragma once
+
+#include <functional>
+
+#include "gsi/credential.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::gsi {
+
+/// A party in a handshake: its credential chain (leaf first, anchor
+/// excluded) plus the leaf's keys.
+struct Party {
+  CertificateChain chain;
+  KeyPair keys;
+  [[nodiscard]] const DistinguishedName& name() const {
+    return chain.front().subject;
+  }
+};
+
+/// Builds a Party from the credential ancestry (root-most first).
+[[nodiscard]] Party make_party(const std::vector<Credential>& ancestry);
+
+struct HandshakeConfig {
+  /// Round trips of the SSL-style exchange (hello, cert exchange, finished).
+  int round_trips = 2;
+  /// Asymmetric-crypto time per side per handshake (2006-era CPU).
+  Duration crypto_time = Duration::millis(120);
+  VerifyPolicy policy;
+};
+
+struct HandshakeResult {
+  Status status = Status::ok_status();
+  /// Identities each side authenticated (set on success).
+  DistinguishedName initiator_name;
+  DistinguishedName acceptor_name;
+  /// Shared session token for message protection.
+  std::uint64_t session_token = 0;
+};
+
+/// Performs mutual authentication between two parties across `link` on the
+/// virtual clock. The callback fires after the handshake's network + crypto
+/// time with the outcome; both chains are verified against `trust_anchor`.
+void mutual_authenticate(sim::Simulation& sim, sim::Link& link,
+                         const Party& initiator, const Party& acceptor,
+                         const Certificate& trust_anchor,
+                         std::function<void(HandshakeResult)> callback,
+                         HandshakeConfig config = {});
+
+/// Delegation: the holder of `delegate_from` (e.g. the broker, holding the
+/// user's proxy) issues a further-restricted proxy for a remote party (the
+/// glide-in agent). Depth grows by one; lifetime is clamped.
+[[nodiscard]] Expected<Credential> delegate_proxy(const Credential& delegate_from,
+                                                  SimTime now, Duration lifetime,
+                                                  std::uint64_t key_seed);
+
+/// Message protection: a keyed MAC over payload bytes under the session
+/// token (the wrap/unwrap of GSI message integrity).
+[[nodiscard]] std::uint64_t protect(std::uint64_t session_token,
+                                    const void* data, std::size_t size);
+
+}  // namespace cg::gsi

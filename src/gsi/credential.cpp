@@ -1,0 +1,183 @@
+#include "gsi/credential.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace cg::gsi {
+
+namespace {
+
+// FNV-1a over a byte view, the digest primitive for the whole module.
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::uint64_t Certificate::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_str(h, subject);
+  h = fnv1a_str(h, issuer);
+  h = fnv1a_u64(h, subject_public_id);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(not_before.count_micros()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(not_after.count_micros()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(proxy_depth));
+  return h;
+}
+
+// The fixed public transform relating a secret to its public id (see the
+// KeyPair doc comment for the security caveat).
+constexpr std::uint64_t kKeyMagic = 0x6a09e667f3bcc908ULL;
+
+KeyPair KeyPair::from_secret(std::uint64_t secret) {
+  return KeyPair{secret ^ kKeyMagic, secret};
+}
+
+std::uint64_t sign(std::uint64_t digest, std::uint64_t secret) {
+  return fnv1a_u64(fnv1a_u64(0xcbf29ce484222325ULL, digest), secret);
+}
+
+bool verify_signature(std::uint64_t digest, std::uint64_t signature,
+                      std::uint64_t issuer_public_id) {
+  return signature == sign(digest, issuer_public_id ^ kKeyMagic);
+}
+
+CertificateAuthority::CertificateAuthority(DistinguishedName name, SimTime now,
+                                           Duration lifetime, std::uint64_t seed)
+    : seed_{seed} {
+  if (name.empty()) throw std::invalid_argument{"CA: empty name"};
+  Rng rng{seed};
+  root_.keys = KeyPair::from_secret(rng.next_u64());
+  root_.certificate.subject = name;
+  root_.certificate.issuer = name;  // self-signed
+  root_.certificate.subject_public_id = root_.keys.public_id;
+  root_.certificate.not_before = now;
+  root_.certificate.not_after = now + lifetime;
+  root_.certificate.proxy_depth = 0;
+  root_.certificate.signature =
+      sign(root_.certificate.digest(), root_.keys.secret);
+}
+
+Credential CertificateAuthority::issue(const DistinguishedName& subject,
+                                       SimTime now, Duration lifetime) {
+  if (subject.empty()) throw std::invalid_argument{"issue: empty subject"};
+  Rng rng{seed_ ^ (0x9e3779b97f4a7c15ULL * ++next_key_)};
+  Credential cred;
+  cred.keys = KeyPair::from_secret(rng.next_u64());
+  cred.certificate.subject = subject;
+  cred.certificate.issuer = root_.certificate.subject;
+  cred.certificate.subject_public_id = cred.keys.public_id;
+  cred.certificate.not_before = now;
+  cred.certificate.not_after = now + lifetime;
+  cred.certificate.proxy_depth = 0;
+  cred.certificate.signature = sign(cred.certificate.digest(), root_.keys.secret);
+  return cred;
+}
+
+Expected<Credential> create_proxy(const Credential& parent, SimTime now,
+                                  Duration lifetime, std::uint64_t key_seed) {
+  if (now < parent.certificate.not_before || now >= parent.certificate.not_after) {
+    return make_error("gsi.expired", "parent credential is not currently valid");
+  }
+  Rng rng{key_seed ^ parent.keys.public_id};
+  Credential proxy;
+  proxy.keys = KeyPair::from_secret(rng.next_u64());
+  proxy.certificate.subject = parent.certificate.subject + "/CN=proxy";
+  proxy.certificate.issuer = parent.certificate.subject;
+  proxy.certificate.subject_public_id = proxy.keys.public_id;
+  proxy.certificate.not_before = now;
+  // A proxy never outlives its parent.
+  SimTime expiry = now + lifetime;
+  if (expiry > parent.certificate.not_after) {
+    expiry = parent.certificate.not_after;
+  }
+  proxy.certificate.not_after = expiry;
+  proxy.certificate.proxy_depth = parent.certificate.proxy_depth + 1;
+  proxy.certificate.signature =
+      sign(proxy.certificate.digest(), parent.keys.secret);
+  return proxy;
+}
+
+CertificateChain make_chain(const std::vector<Credential>& ancestry) {
+  CertificateChain chain;
+  chain.reserve(ancestry.size());
+  // Outermost credential first: ancestry is given root-most first, so
+  // reverse it into leaf-first order.
+  for (auto it = ancestry.rbegin(); it != ancestry.rend(); ++it) {
+    chain.push_back(it->certificate);
+  }
+  return chain;
+}
+
+Status verify_chain(const CertificateChain& chain, const Certificate& trust_anchor,
+                    SimTime now, const VerifyPolicy& policy) {
+  if (chain.empty()) return make_error("gsi.empty_chain", "no certificates");
+
+  // Anchor sanity: self-signed and currently valid.
+  if (now < trust_anchor.not_before || now >= trust_anchor.not_after) {
+    return make_error("gsi.anchor_expired", "trust anchor not valid now");
+  }
+  if (!verify_signature(trust_anchor.digest(), trust_anchor.signature,
+                        trust_anchor.subject_public_id)) {
+    return make_error("gsi.signature", "trust anchor signature invalid");
+  }
+
+  // Walk leaf -> ... -> (cert issued by the anchor).
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (now < cert.not_before || now >= cert.not_after) {
+      return make_error("gsi.expired",
+                        "certificate for " + cert.subject + " is not valid now");
+    }
+    if (cert.proxy_depth > policy.max_proxy_depth) {
+      return make_error("gsi.depth", "proxy chain too deep");
+    }
+    const bool last = i + 1 == chain.size();
+    const Certificate& issuer_cert = last ? trust_anchor : chain[i + 1];
+    if (cert.issuer != issuer_cert.subject) {
+      return make_error("gsi.chain",
+                        "issuer mismatch at " + cert.subject + " (issuer \"" +
+                            cert.issuer + "\" vs \"" + issuer_cert.subject +
+                            "\")");
+    }
+    // Proxy naming rule: subject extends the issuer's DN.
+    if (cert.is_proxy() && !starts_with(cert.subject, issuer_cert.subject)) {
+      return make_error("gsi.naming",
+                        "proxy subject does not extend its issuer's DN");
+    }
+    // Depth monotonicity: each proxy is exactly one deeper than its issuer.
+    if (cert.is_proxy() && cert.proxy_depth != issuer_cert.proxy_depth + 1) {
+      return make_error("gsi.depth", "proxy depth does not increase by one");
+    }
+  }
+
+  // Signature verification against each issuer's public id. Tampering with
+  // any certificate field changes its digest, breaking this check.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    const bool last = i + 1 == chain.size();
+    const Certificate& issuer_cert = last ? trust_anchor : chain[i + 1];
+    if (!verify_signature(cert.digest(), cert.signature,
+                          issuer_cert.subject_public_id)) {
+      return make_error("gsi.signature", "bad signature on " + cert.subject);
+    }
+  }
+  return Status::ok_status();
+}
+
+}  // namespace cg::gsi

@@ -1,0 +1,110 @@
+// Grid Security Infrastructure substrate. The paper's components all speak
+// GSI: users hold X.509 credentials, create short-lived *proxy certificates*
+// (grid-proxy-init), the broker delegates restricted proxies to glide-in
+// agents, and every gatekeeper performs mutual authentication before
+// accepting a job. This module models that trust machinery over simulated
+// time: certificate chains, signatures (a keyed digest stands in for RSA),
+// validity windows, proxy depth limits, and chain verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+#include "util/time.hpp"
+
+namespace cg::gsi {
+
+/// A distinguished name, e.g. "/O=CrossGrid/OU=UAB/CN=enol".
+using DistinguishedName = std::string;
+
+/// Key material is modelled as an opaque 64-bit secret; signatures are keyed
+/// digests over the certificate fields. SIMULATION-GRADE ONLY: the public id
+/// is derived from the secret by a fixed public transform, which lets any
+/// verifier check signatures without the secret. That catches every *bug*
+/// class the middleware cares about (expired proxies, broken chains,
+/// tampered fields, wrong issuers) while making no cryptographic-strength
+/// claim whatsoever.
+struct KeyPair {
+  std::uint64_t public_id = 0;
+  std::uint64_t secret = 0;
+
+  [[nodiscard]] static KeyPair from_secret(std::uint64_t secret);
+};
+
+struct Certificate {
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  std::uint64_t subject_public_id = 0;
+  SimTime not_before;
+  SimTime not_after;
+  /// 0 = end-entity/CA certificate; >= 1 marks a proxy and its depth.
+  int proxy_depth = 0;
+  std::uint64_t signature = 0;
+
+  [[nodiscard]] bool is_proxy() const { return proxy_depth > 0; }
+  /// The digest the issuer signs (excludes the signature itself).
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+/// A certificate plus the private key that can sign with it.
+struct Credential {
+  Certificate certificate;
+  KeyPair keys;
+};
+
+/// Signs `digest` with a secret (the keyed-digest stand-in for RSA).
+[[nodiscard]] std::uint64_t sign(std::uint64_t digest, std::uint64_t secret);
+
+/// Verifies a signature over `digest` against the signer's public id.
+[[nodiscard]] bool verify_signature(std::uint64_t digest, std::uint64_t signature,
+                                    std::uint64_t issuer_public_id);
+
+/// A simulated certificate authority: the trust anchor that issues user and
+/// host credentials.
+class CertificateAuthority {
+public:
+  /// Creates a CA with a self-signed root valid for `lifetime`.
+  CertificateAuthority(DistinguishedName name, SimTime now, Duration lifetime,
+                       std::uint64_t seed);
+
+  [[nodiscard]] const Certificate& root_certificate() const { return root_.certificate; }
+
+  /// Issues an end-entity credential (user or host).
+  [[nodiscard]] Credential issue(const DistinguishedName& subject, SimTime now,
+                                 Duration lifetime);
+
+private:
+  Credential root_;
+  std::uint64_t next_key_ = 1;
+  std::uint64_t seed_;
+};
+
+/// Creates a proxy certificate from `parent` (grid-proxy-init). The proxy's
+/// subject extends the parent's DN with "/CN=proxy"; its lifetime is clamped
+/// to the parent's and its depth is parent.depth + 1.
+[[nodiscard]] Expected<Credential> create_proxy(const Credential& parent,
+                                                SimTime now, Duration lifetime,
+                                                std::uint64_t key_seed);
+
+/// A chain from end cert (front) back toward the trust anchor (excluded).
+using CertificateChain = std::vector<Certificate>;
+
+struct VerifyPolicy {
+  /// Maximum allowed proxy depth (paper-era GT2 used short chains).
+  int max_proxy_depth = 8;
+};
+
+/// Verifies a chain against a trust anchor at time `now`: signatures link,
+/// validity windows cover `now`, subjects nest (a proxy's subject must
+/// extend its issuer's), and depth is within policy.
+[[nodiscard]] Status verify_chain(const CertificateChain& chain,
+                                  const Certificate& trust_anchor, SimTime now,
+                                  const VerifyPolicy& policy = {});
+
+/// Assembles the chain for a credential derived through `ancestry`
+/// (outermost proxy first, then each parent, ending above the anchor).
+[[nodiscard]] CertificateChain make_chain(const std::vector<Credential>& ancestry);
+
+}  // namespace cg::gsi

@@ -1,0 +1,113 @@
+#include "infosys/information_system.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cg::infosys {
+
+InformationSystem::InformationSystem(sim::Simulation& sim,
+                                     InformationSystemConfig config)
+    : sim_{sim}, config_{config} {}
+
+void InformationSystem::register_site(const SiteStaticInfo& info,
+                                      FreshProvider provider,
+                                      std::optional<Duration> site_query_latency) {
+  if (!info.id.valid()) throw std::invalid_argument{"register_site: invalid id"};
+  if (!provider) throw std::invalid_argument{"register_site: null provider"};
+  SiteEntry entry;
+  entry.static_info = info;
+  entry.provider = std::move(provider);
+  entry.query_latency = site_query_latency.value_or(config_.default_site_query_latency);
+  sites_.insert_or_assign(info.id, std::move(entry));
+}
+
+void InformationSystem::unregister_site(SiteId id) {
+  sites_.erase(id);
+}
+
+void InformationSystem::publish(const SiteRecord& record) {
+  const auto it = sites_.find(record.static_info.id);
+  if (it == sites_.end()) {
+    log_warn("infosys", "publish for unregistered site ", record.static_info.name);
+    return;
+  }
+  it->second.published = record;
+  it->second.published->sampled_at = sim_.now();
+}
+
+void InformationSystem::publish_fresh(SiteId id) {
+  const auto it = sites_.find(id);
+  if (it == sites_.end()) return;
+  SiteRecord record = it->second.provider();
+  record.sampled_at = sim_.now();
+  it->second.published = std::move(record);
+}
+
+void InformationSystem::start_periodic_publication(SiteId id, Duration period) {
+  const auto it = sites_.find(id);
+  if (it == sites_.end()) throw std::invalid_argument{"unknown site"};
+  if (period <= Duration::zero()) throw std::invalid_argument{"period must be positive"};
+  it->second.periodic = true;
+  it->second.period = period;
+  publish_fresh(id);
+  schedule_publication(id);
+}
+
+void InformationSystem::schedule_publication(SiteId id) {
+  const auto it = sites_.find(id);
+  if (it == sites_.end() || !it->second.periodic) return;
+  // Daemon event: periodic publication must not keep the simulation alive.
+  sim_.schedule_daemon(it->second.period, [this, id] {
+    // The site may have been unregistered while the timer was pending.
+    const auto entry = sites_.find(id);
+    if (entry == sites_.end() || !entry->second.periodic) return;
+    publish_fresh(id);
+    schedule_publication(id);
+  });
+}
+
+void InformationSystem::query_index(IndexCallback callback) {
+  if (!callback) throw std::invalid_argument{"query_index: null callback"};
+  ++index_queries_;
+  std::vector<SiteRecord> records;
+  records.reserve(sites_.size());
+  for (const auto& [id, entry] : sites_) {
+    if (entry.published) records.push_back(*entry.published);
+  }
+  sim_.schedule(config_.index_query_latency,
+                [cb = std::move(callback), recs = std::move(records)]() mutable {
+                  cb(std::move(recs));
+                });
+}
+
+void InformationSystem::query_site(SiteId id, SiteCallback callback) {
+  if (!callback) throw std::invalid_argument{"query_site: null callback"};
+  ++site_queries_;
+  const auto it = sites_.find(id);
+  if (it == sites_.end()) {
+    sim_.schedule(Duration::zero(),
+                  [cb = std::move(callback)]() mutable { cb(std::nullopt); });
+    return;
+  }
+  const Duration latency = it->second.query_latency;
+  sim_.schedule(latency, [this, id, cb = std::move(callback)]() mutable {
+    // Re-check: the site may disappear while the query is in flight.
+    const auto entry = sites_.find(id);
+    if (entry == sites_.end()) {
+      cb(std::nullopt);
+      return;
+    }
+    SiteRecord record = entry->second.provider();
+    record.sampled_at = sim_.now();
+    cb(std::move(record));
+  });
+}
+
+std::optional<SiteRecord> InformationSystem::published_record(SiteId id) const {
+  const auto it = sites_.find(id);
+  if (it == sites_.end()) return std::nullopt;
+  return it->second.published;
+}
+
+}  // namespace cg::infosys

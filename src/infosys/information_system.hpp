@@ -1,0 +1,87 @@
+// Globus-MDS-like information system. Two query paths mirror the paper's
+// Section 6.1 timing breakdown:
+//   - index query ("resource discovery"): returns the last *published* record
+//     for every site; one round trip to the (remote) index, ~0.5 s;
+//   - direct site query ("resource selection"): contacts a site's GRIS for
+//     fresh state; per-site latency, ~3 s total across 20 European sites.
+// Publication is periodic, so index data is stale by up to one period — the
+// reason the broker must re-contact candidate sites before committing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "infosys/site_record.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::infosys {
+
+struct InformationSystemConfig {
+  /// Round-trip to the index (paper: index in Germany, broker in Spain).
+  Duration index_query_latency = Duration::millis(500);
+  /// Default round-trip for a direct (fresh) site query.
+  Duration default_site_query_latency = Duration::millis(150);
+};
+
+class InformationSystem {
+public:
+  /// Supplies a site's live state when the IS (or broker) asks directly.
+  using FreshProvider = std::function<SiteRecord()>;
+  using IndexCallback = std::function<void(std::vector<SiteRecord>)>;
+  using SiteCallback = std::function<void(std::optional<SiteRecord>)>;
+
+  InformationSystem(sim::Simulation& sim, InformationSystemConfig config = {});
+
+  /// Registers a site. `provider` answers direct queries with live state;
+  /// `site_query_latency` overrides the default per-site round trip.
+  void register_site(const SiteStaticInfo& info, FreshProvider provider,
+                     std::optional<Duration> site_query_latency = std::nullopt);
+  void unregister_site(SiteId id);
+
+  /// Publishes a snapshot into the index (what GRIS pushes to GIIS).
+  void publish(const SiteRecord& record);
+
+  /// Publishes a fresh snapshot from the registered provider.
+  void publish_fresh(SiteId id);
+
+  /// Starts periodic publication for a site (every `period`, first at +period).
+  void start_periodic_publication(SiteId id, Duration period);
+
+  /// Asynchronous index query; callback fires after the index latency with
+  /// the (possibly stale) published records.
+  void query_index(IndexCallback callback);
+
+  /// Asynchronous fresh query of a single site; nullopt if unknown.
+  void query_site(SiteId id, SiteCallback callback);
+
+  /// Synchronous accessors for tests and local bookkeeping (no latency).
+  [[nodiscard]] std::optional<SiteRecord> published_record(SiteId id) const;
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const InformationSystemConfig& config() const { return config_; }
+
+  /// Total query counts (experiment bookkeeping).
+  [[nodiscard]] std::size_t index_queries() const { return index_queries_; }
+  [[nodiscard]] std::size_t site_queries() const { return site_queries_; }
+
+private:
+  struct SiteEntry {
+    SiteStaticInfo static_info;
+    FreshProvider provider;
+    Duration query_latency;
+    std::optional<SiteRecord> published;
+    bool periodic = false;
+    Duration period = Duration::zero();
+  };
+
+  void schedule_publication(SiteId id);
+
+  sim::Simulation& sim_;
+  InformationSystemConfig config_;
+  std::map<SiteId, SiteEntry> sites_;
+  std::size_t index_queries_ = 0;
+  std::size_t site_queries_ = 0;
+};
+
+}  // namespace cg::infosys

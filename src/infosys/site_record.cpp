@@ -1,0 +1,22 @@
+#include "infosys/site_record.hpp"
+
+namespace cg::infosys {
+
+jdl::ClassAd SiteRecord::to_classad() const {
+  jdl::ClassAd ad;
+  ad.set_string("Name", static_info.name);
+  ad.set_string("Arch", static_info.arch);
+  ad.set_string("OpSys", static_info.op_sys);
+  ad.set_int("WorkerNodes", static_info.worker_nodes);
+  ad.set_int("CpusPerNode", static_info.cpus_per_node);
+  ad.set_int("TotalCPUs", static_info.total_cpus());
+  ad.set_int("MemoryMB", static_info.memory_mb_per_node);
+  ad.set_int("StorageGB", static_info.storage_gb);
+  ad.set_int("FreeCPUs", dynamic_info.free_cpus);
+  ad.set_int("RunningJobs", dynamic_info.running_jobs);
+  ad.set_int("QueuedJobs", dynamic_info.queued_jobs);
+  ad.set_int("FreeInteractiveVMs", dynamic_info.free_interactive_vms);
+  return ad;
+}
+
+}  // namespace cg::infosys

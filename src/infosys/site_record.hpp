@@ -1,0 +1,48 @@
+// Site descriptions as published to the information system. The broker's
+// matchmaking converts these to machine ClassAds; staleness between published
+// and live state is what forces the paper's two-step discovery+selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "jdl/classad.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace cg::infosys {
+
+/// Attributes that do not change while a site is up.
+struct SiteStaticInfo {
+  SiteId id;
+  std::string name;
+  std::string arch = "i686";        ///< paper testbed: PIII..Xeon
+  std::string op_sys = "linux-2.4";
+  int worker_nodes = 0;
+  int cpus_per_node = 1;
+  std::int64_t memory_mb_per_node = 1024;
+  std::int64_t storage_gb = 600;    ///< "most sites offer storage above 600GB"
+
+  [[nodiscard]] int total_cpus() const { return worker_nodes * cpus_per_node; }
+};
+
+/// Attributes that change as jobs come and go.
+struct SiteDynamicInfo {
+  int free_cpus = 0;
+  int running_jobs = 0;
+  int queued_jobs = 0;
+  /// Free interactive-vm slots exported by glide-in agents on this site.
+  int free_interactive_vms = 0;
+};
+
+struct SiteRecord {
+  SiteStaticInfo static_info;
+  SiteDynamicInfo dynamic_info;
+  /// When the dynamic half was sampled (publication timestamp).
+  SimTime sampled_at;
+
+  /// Machine ad used by the matchmaker (`other.*` in job Requirements).
+  [[nodiscard]] jdl::ClassAd to_classad() const;
+};
+
+}  // namespace cg::infosys

@@ -1,0 +1,149 @@
+#include "interpose/child_process.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cg::interpose {
+
+namespace {
+
+struct PipePair {
+  Fd read_end;
+  Fd write_end;
+};
+
+Expected<PipePair> make_pipe() {
+  int fds[2];
+  if (::pipe2(fds, O_CLOEXEC) != 0) {
+    return make_error("pipe", std::strerror(errno));
+  }
+  return PipePair{Fd{fds[0]}, Fd{fds[1]}};
+}
+
+}  // namespace
+
+Expected<ChildProcess> ChildProcess::spawn(std::vector<std::string> argv) {
+  if (argv.empty()) return make_error("spawn", "empty argv");
+  ignore_sigpipe();
+
+  auto in = make_pipe();
+  if (!in) return in.error();
+  auto out = make_pipe();
+  if (!out) return out.error();
+  auto err = make_pipe();
+  if (!err) return err.error();
+
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (auto& arg : argv) c_argv.push_back(arg.data());
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return make_error("fork", std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: wire the pipe ends onto 0/1/2 and exec the unmodified binary.
+    ::dup2(in->read_end.get(), STDIN_FILENO);
+    ::dup2(out->write_end.get(), STDOUT_FILENO);
+    ::dup2(err->write_end.get(), STDERR_FILENO);
+    // O_CLOEXEC closes all the original pipe fds across exec.
+    ::execvp(c_argv[0], c_argv.data());
+    // exec failed: report on the (redirected) stderr and die hard.
+    const char* msg = "console-agent: exec failed\n";
+    [[maybe_unused]] const auto ignored = ::write(STDERR_FILENO, msg, std::strlen(msg));
+    ::_exit(127);
+  }
+  return ChildProcess{static_cast<int>(pid), std::move(in->write_end),
+                      std::move(out->read_end), std::move(err->read_end)};
+}
+
+ChildProcess::ChildProcess(int pid, Fd in, Fd out, Fd err)
+    : pid_{pid}, stdin_{std::move(in)}, stdout_{std::move(out)},
+      stderr_{std::move(err)} {}
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept
+    : pid_{other.pid_},
+      reaped_{other.reaped_},
+      stdin_{std::move(other.stdin_)},
+      stdout_{std::move(other.stdout_)},
+      stderr_{std::move(other.stderr_)} {
+  // The moved-from object must not kill the child on destruction.
+  other.pid_ = -1;
+  other.reaped_ = true;
+}
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !reaped_) {
+      ::kill(pid_, SIGKILL);
+      int status = 0;
+      ::waitpid(pid_, &status, 0);
+    }
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    stdin_ = std::move(other.stdin_);
+    stdout_ = std::move(other.stdout_);
+    stderr_ = std::move(other.stderr_);
+    other.pid_ = -1;
+    other.reaped_ = true;
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+  }
+}
+
+void ChildProcess::close_stdin() {
+  stdin_.reset();
+}
+
+std::optional<int> ChildProcess::try_wait() {
+  if (reaped_ || pid_ <= 0) return std::nullopt;
+  int status = 0;
+  const pid_t rc = ::waitpid(pid_, &status, WNOHANG);
+  if (rc == pid_) {
+    reaped_ = true;
+    return status;
+  }
+  return std::nullopt;
+}
+
+int ChildProcess::wait(int grace_ms) {
+  if (reaped_ || pid_ <= 0) return -1;
+  // Poll for exit, escalate to SIGKILL after the grace period.
+  const int poll_step_ms = 20;
+  int waited = 0;
+  int status = 0;
+  while (true) {
+    const pid_t rc = ::waitpid(pid_, &status, WNOHANG);
+    if (rc == pid_) {
+      reaped_ = true;
+      return status;
+    }
+    if (grace_ms >= 0 && waited >= grace_ms) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, &status, 0);
+      reaped_ = true;
+      return status;
+    }
+    ::usleep(static_cast<useconds_t>(poll_step_ms) * 1000);
+    waited += poll_step_ms;
+  }
+}
+
+void ChildProcess::signal(int signum) {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, signum);
+}
+
+}  // namespace cg::interpose

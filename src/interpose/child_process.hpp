@@ -1,0 +1,60 @@
+// Spawns an *unmodified* executable with its stdin/stdout/stderr replaced by
+// pipes — the interposition point. The paper's agent is an LD_PRELOAD-style
+// shared library trapping I/O calls; replacing the standard descriptors at
+// exec time intercepts exactly the same traffic without recompilation, which
+// is the property the paper requires ("users do not need to recompile their
+// application").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interpose/socket.hpp"
+#include "util/expected.hpp"
+
+namespace cg::interpose {
+
+class ChildProcess {
+public:
+  /// Starts `argv[0]` with the given arguments. The child's fds 0/1/2 are
+  /// connected to the pipes exposed below.
+  [[nodiscard]] static Expected<ChildProcess> spawn(std::vector<std::string> argv);
+
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ~ChildProcess();
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  [[nodiscard]] int pid() const { return pid_; }
+  /// Write end of the child's stdin.
+  [[nodiscard]] int stdin_fd() const { return stdin_.get(); }
+  /// Read ends of the child's stdout/stderr.
+  [[nodiscard]] int stdout_fd() const { return stdout_.get(); }
+  [[nodiscard]] int stderr_fd() const { return stderr_.get(); }
+
+  /// Closes the child's stdin (EOF to the application).
+  void close_stdin();
+
+  /// Non-blocking reap. Returns the exit status if the child has exited.
+  [[nodiscard]] std::optional<int> try_wait();
+
+  /// Blocking reap with SIGKILL escalation after `grace_ms`; a negative
+  /// grace waits forever without escalating.
+  int wait(int grace_ms = 5000);
+
+  /// Sends a signal to the child.
+  void signal(int signum);
+
+private:
+  ChildProcess(int pid, Fd in, Fd out, Fd err);
+
+  int pid_ = -1;
+  bool reaped_ = false;
+  Fd stdin_;
+  Fd stdout_;
+  Fd stderr_;
+};
+
+}  // namespace cg::interpose

@@ -1,0 +1,333 @@
+#include "interpose/console_agent.hpp"
+
+#include <csignal>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace cg::interpose {
+
+namespace {
+constexpr const char* kLog = "interpose.agent";
+}
+
+Expected<std::unique_ptr<ConsoleAgent>> ConsoleAgent::launch(
+    std::vector<std::string> argv, ConsoleAgentConfig config) {
+  if (config.shadow_port == 0 && config.shadow_uds_path.empty()) {
+    return make_error("agent.config", "shadow_port or shadow_uds_path required");
+  }
+  if (config.mode == jdl::StreamingMode::kReliable && config.spool_path.empty()) {
+    return make_error("agent.config", "reliable mode requires a spool_path");
+  }
+  auto child = ChildProcess::spawn(std::move(argv));
+  if (!child) return child.error();
+
+  std::unique_ptr<ConsoleAgent> agent{
+      new ConsoleAgent{std::move(config), std::move(child.value())}};
+
+  if (agent->config_.mode == jdl::StreamingMode::kReliable) {
+    auto spool = SpoolFile::open(agent->config_.spool_path);
+    if (!spool) return spool.error();
+    agent->spool_.emplace(std::move(spool.value()));
+  }
+
+  // Establish the initial connection and replay any frames a previous
+  // incarnation left behind.
+  {
+    const std::lock_guard lock{agent->send_mutex_};
+    if (agent->ensure_connected_locked() < 0 &&
+        agent->config_.mode == jdl::StreamingMode::kReliable) {
+      return make_error("agent.connect", "cannot reach shadow");
+    }
+  }
+  agent->start_threads();
+  return agent;
+}
+
+ConsoleAgent::ConsoleAgent(ConsoleAgentConfig config, ChildProcess child)
+    : config_{config},
+      child_{std::make_unique<ChildProcess>(std::move(child))} {}
+
+ConsoleAgent::~ConsoleAgent() {
+  stopping_.store(true);
+  child_->signal(SIGKILL);
+  {
+    const std::lock_guard lock{send_mutex_};
+    disconnect_locked();
+  }
+  if (stdout_thread_.joinable()) stdout_thread_.join();
+  if (stderr_thread_.joinable()) stderr_thread_.join();
+  std::vector<std::thread> receivers;
+  {
+    const std::lock_guard lock{recv_threads_mutex_};
+    receivers.swap(recv_threads_);
+  }
+  for (auto& t : receivers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ConsoleAgent::start_threads() {
+  stdout_thread_ = std::thread{[this] {
+    reader_loop(child_->stdout_fd(), FrameType::kStdout);
+  }};
+  stderr_thread_ = std::thread{[this] {
+    reader_loop(child_->stderr_fd(), FrameType::kStderr);
+  }};
+}
+
+void ConsoleAgent::reader_loop(int fd, FrameType type) {
+  std::string buffer;
+  buffer.reserve(config_.buffer_capacity);
+  bool has_deadline = false;
+  auto deadline = std::chrono::steady_clock::now();
+
+  const auto flush = [&] {
+    if (buffer.empty()) return;
+    Frame frame;
+    frame.type = type;
+    frame.rank = config_.rank;
+    frame.payload.swap(buffer);
+    send_frame(frame);
+    has_deadline = false;
+  };
+
+  while (!stopping_.load()) {
+    int timeout_ms = config_.flush_timeout_ms;
+    if (has_deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      timeout_ms = static_cast<int>(left < 0 ? 0 : left);
+    }
+    const int ready = wait_readable(fd, timeout_ms);
+    if (ready < 0) break;  // fd error/hangup with no data
+    if (ready == 0) {
+      // Timeout trigger.
+      if (has_deadline) flush();
+      // A reaped child means no more output is coming from *it*; don't hang
+      // on a pipe kept open by an orphaned grandchild or after a kill.
+      if (child_exited_.load() || gave_up_.load()) break;
+      continue;
+    }
+    char chunk[4096];
+    const long n = read_some(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF (child exited) or error
+    std::size_t offset = 0;
+    while (offset < static_cast<std::size_t>(n)) {
+      std::size_t take = static_cast<std::size_t>(n) - offset;
+      bool newline = false;
+      if (config_.flush_on_newline) {
+        for (std::size_t i = 0; i < take; ++i) {
+          if (chunk[offset + i] == '\n') {
+            take = i + 1;
+            newline = true;
+            break;
+          }
+        }
+      }
+      const std::size_t room = config_.buffer_capacity - buffer.size();
+      take = std::min(take, room);
+      buffer.append(chunk + offset, take);
+      offset += take;
+      if (buffer.size() >= config_.buffer_capacity || (newline && take > 0)) {
+        flush();
+      } else if (!buffer.empty() && !has_deadline) {
+        has_deadline = true;
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(config_.flush_timeout_ms);
+      }
+    }
+  }
+  flush();
+  // Announce the closed stream.
+  Frame eof;
+  eof.type = FrameType::kEof;
+  eof.rank = config_.rank;
+  eof.payload = to_string(type);
+  send_frame(eof);
+}
+
+int ConsoleAgent::ensure_connected_locked() {
+  if (stopping_.load()) return -1;
+  if (connection_ && connection_->valid()) {
+    // Probe for a peer that already closed: a TCP write into a half-dead
+    // socket "succeeds" into the kernel buffer, which would make reliable
+    // mode advance its spool cursor over data the shadow never received.
+    char probe = 0;
+    const ssize_t r =
+        ::recv(connection_->get(), &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      disconnect_locked();
+    } else {
+      return connection_->get();
+    }
+  }
+  auto fd = config_.shadow_uds_path.empty()
+                ? tcp_connect_loopback(config_.shadow_port,
+                                       config_.connect_timeout_ms)
+                : uds_connect(config_.shadow_uds_path, config_.connect_timeout_ms);
+  if (!fd) return -1;
+  connection_ = std::make_shared<Fd>(std::move(fd.value()));
+  if (connection_generation_ > 0) reconnects_.fetch_add(1);
+  ++connection_generation_;
+  hello_sent_ = false;
+
+  // Identify ourselves.
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.rank = config_.rank;
+  if (!write_all(connection_->get(), encode_frame(hello))) {
+    connection_.reset();
+    return -1;
+  }
+  hello_sent_ = true;
+
+  // Spawn the stdin receiver for this connection; it shares ownership of
+  // the Fd so the descriptor number cannot be recycled while it polls.
+  const std::uint64_t generation = connection_generation_;
+  const std::lock_guard lock{recv_threads_mutex_};
+  recv_threads_.emplace_back([this, conn = connection_, generation] {
+    receive_loop(conn, generation);
+  });
+  return connection_->get();
+}
+
+void ConsoleAgent::disconnect_locked() {
+  if (connection_ && connection_->valid()) {
+    // Shut down rather than close: the receive thread still holds a
+    // reference; it wakes with EOF and the fd closes with the last owner.
+    ::shutdown(connection_->get(), SHUT_RDWR);
+  }
+  connection_.reset();
+}
+
+void ConsoleAgent::replay_spool_locked() {
+  if (!spool_) return;
+  while (auto frame = spool_->peek()) {
+    if (!connection_ || !connection_->valid()) return;
+    if (!write_all(connection_->get(), encode_frame(*frame))) {
+      disconnect_locked();
+      return;
+    }
+    frames_sent_.fetch_add(1);
+    if (!spool_->advance().ok()) return;
+  }
+}
+
+bool ConsoleAgent::send_frame(const Frame& frame) {
+  const std::lock_guard lock{send_mutex_};
+  if (gave_up_.load()) return false;
+
+  if (config_.mode == jdl::StreamingMode::kReliable && spool_) {
+    const Status appended = spool_->append(frame);
+    if (!appended.ok()) {
+      log_warn(kLog, "spool append failed: ", appended.error().to_string());
+    }
+    // Transmission drains the spool so ordering survives reconnects.
+    int attempts = 0;
+    while (!stopping_.load()) {
+      if (ensure_connected_locked() >= 0) {
+        replay_spool_locked();
+        if (spool_->pending() == 0) return true;
+      }
+      ++attempts;
+      if (attempts > config_.max_retries) {
+        // "After which they will give up and kill the process."
+        gave_up_.store(true);
+        log_error(kLog, "rank ", config_.rank, ": retries exhausted, killing child");
+        child_->signal(SIGKILL);
+        return false;
+      }
+      ++reconnects_;
+      disconnect_locked();
+      // Sleep outside any fast path; the reader thread tolerates the stall
+      // (pipe backpressure slows the child, as with a real network outage).
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.retry_interval_ms));
+    }
+    return false;
+  }
+
+  // Fast mode: one attempt, drop on failure.
+  if (ensure_connected_locked() < 0) {
+    frames_dropped_.fetch_add(1);
+    return false;
+  }
+  if (!write_all(connection_->get(), encode_frame(frame))) {
+    disconnect_locked();
+    frames_dropped_.fetch_add(1);
+    return false;
+  }
+  frames_sent_.fetch_add(1);
+  return true;
+}
+
+void ConsoleAgent::receive_loop(std::shared_ptr<Fd> conn, std::uint64_t generation) {
+  const int fd = conn->get();
+  FrameDecoder decoder;
+  char chunk[4096];
+  const auto mark_connection_dead = [this, generation] {
+    // Tell the sender the shadow hung up so the next frame reconnects (or
+    // retries) instead of vanishing into a dead socket buffer.
+    const std::lock_guard lock{send_mutex_};
+    if (connection_generation_ == generation) disconnect_locked();
+  };
+  while (!stopping_.load()) {
+    const int ready = wait_readable(fd, 200);
+    if (ready < 0) {
+      mark_connection_dead();
+      break;
+    }
+    if (ready == 0) {
+      // Check the connection is still current (reconnect replaces us).
+      const std::lock_guard lock{send_mutex_};
+      if (connection_generation_ != generation) break;
+      continue;
+    }
+    const long n = read_some(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      mark_connection_dead();
+      break;
+    }
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    try {
+      while (auto frame = decoder.next()) {
+        if (frame->type == FrameType::kStdin) {
+          if (!write_all(child_->stdin_fd(), frame->payload)) {
+            // Child stdin closed; nothing to do.
+          }
+        } else if (frame->type == FrameType::kEof) {
+          child_->close_stdin();
+        }
+      }
+    } catch (const std::exception& e) {
+      log_warn(kLog, "protocol error from shadow: ", e.what());
+      break;
+    }
+  }
+}
+
+int ConsoleAgent::wait_for_exit() {
+  // Readers exit on EOF once the child closes its pipes.
+  const int status = child_->wait(/*grace_ms=*/-1);
+  child_exited_.store(true);
+  if (stdout_thread_.joinable()) stdout_thread_.join();
+  if (stderr_thread_.joinable()) stderr_thread_.join();
+
+  Frame exit_frame;
+  exit_frame.type = FrameType::kExit;
+  exit_frame.rank = config_.rank;
+  exit_frame.payload = std::to_string(status);
+  send_frame(exit_frame);
+  if (spool_ && !gave_up_.load() && spool_->pending() == 0) {
+    spool_->remove_files();
+  }
+  return status;
+}
+
+}  // namespace cg::interpose

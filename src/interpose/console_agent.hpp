@@ -1,0 +1,114 @@
+// The real Console Agent: launches an unmodified executable with interposed
+// stdio and relays it to a Console Shadow over TCP. Implements the paper's
+// two streaming modes —
+//   fast:     failed sends are dropped (lowest latency, lossy on outages);
+//   reliable: every outgoing frame is spooled to a local file first, and
+//             sends are retried with reconnection "at regular intervals for
+//             a certain number of times", after which the agent gives up and
+//             kills the process.
+// Output is shaped by the flush policy of Section 4: buffer-full, timeout,
+// or end-of-line.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interpose/child_process.hpp"
+#include "interpose/spool_file.hpp"
+#include "interpose/wire.hpp"
+#include "jdl/job_description.hpp"
+#include "util/expected.hpp"
+
+namespace cg::interpose {
+
+struct ConsoleAgentConfig {
+  std::uint32_t rank = 0;
+  jdl::StreamingMode mode = jdl::StreamingMode::kFast;
+  /// Shadow's listening port on 127.0.0.1.
+  std::uint16_t shadow_port = 0;
+  /// Non-empty: connect to the shadow's Unix-domain socket instead of TCP
+  /// (shadow_port is then ignored).
+  std::string shadow_uds_path;
+  /// Flush policy (Section 4).
+  std::size_t buffer_capacity = 64 * 1024;
+  int flush_timeout_ms = 200;
+  bool flush_on_newline = true;
+  /// Reliable mode: spool file path (required) and retry policy.
+  std::string spool_path;
+  int retry_interval_ms = 500;
+  int max_retries = 10;
+  /// Connect timeout per attempt.
+  int connect_timeout_ms = 2000;
+};
+
+class ConsoleAgent {
+public:
+  /// Launches the application under the agent and connects to the shadow.
+  /// Any frames left in an existing spool file (a previous incarnation that
+  /// died mid-transfer) are replayed first.
+  [[nodiscard]] static Expected<std::unique_ptr<ConsoleAgent>> launch(
+      std::vector<std::string> argv, ConsoleAgentConfig config);
+
+  ~ConsoleAgent();
+  ConsoleAgent(const ConsoleAgent&) = delete;
+  ConsoleAgent& operator=(const ConsoleAgent&) = delete;
+
+  /// Blocks until the child exits and all output has been relayed; sends the
+  /// kExit frame and returns the child's wait status.
+  int wait_for_exit();
+
+  /// True once the reliable mode has exhausted its retries (the child is
+  /// killed per the paper's policy).
+  [[nodiscard]] bool gave_up() const { return gave_up_.load(); }
+
+  [[nodiscard]] std::size_t frames_sent() const { return frames_sent_.load(); }
+  [[nodiscard]] std::size_t frames_dropped() const { return frames_dropped_.load(); }
+  [[nodiscard]] std::size_t reconnects() const { return reconnects_.load(); }
+  [[nodiscard]] int child_pid() const { return child_->pid(); }
+
+private:
+  ConsoleAgent(ConsoleAgentConfig config, ChildProcess child);
+
+  void start_threads();
+  void reader_loop(int fd, FrameType type);
+  void receive_loop(std::shared_ptr<Fd> conn, std::uint64_t generation);
+  /// Sends a frame according to the mode. Returns false if it was dropped.
+  bool send_frame(const Frame& frame);
+  /// Ensures a live connection (under send_mutex_); returns fd or -1.
+  int ensure_connected_locked();
+  void replay_spool_locked();
+  void disconnect_locked();
+
+  ConsoleAgentConfig config_;
+  std::unique_ptr<ChildProcess> child_;
+  std::optional<SpoolFile> spool_;
+
+  std::mutex send_mutex_;
+  /// Shared with the per-connection receive thread: disconnect shuts the
+  /// socket down and drops this reference; the fd closes when the receiver
+  /// drops its own, so the descriptor number cannot be reused underneath it.
+  std::shared_ptr<Fd> connection_;
+  std::uint64_t connection_generation_ = 0;
+  bool hello_sent_ = false;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> gave_up_{false};
+  /// Set once the child has been reaped: readers drain what is buffered and
+  /// exit instead of waiting for EOF (a grandchild may hold the pipe open).
+  std::atomic<bool> child_exited_{false};
+  std::atomic<std::size_t> frames_sent_{0};
+  std::atomic<std::size_t> frames_dropped_{0};
+  std::atomic<std::size_t> reconnects_{0};
+
+  std::thread stdout_thread_;
+  std::thread stderr_thread_;
+  std::mutex recv_threads_mutex_;
+  std::vector<std::thread> recv_threads_;
+};
+
+}  // namespace cg::interpose

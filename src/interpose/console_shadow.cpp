@@ -1,0 +1,224 @@
+#include "interpose/console_shadow.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace cg::interpose {
+
+namespace {
+constexpr const char* kLog = "interpose.shadow";
+}
+
+Expected<std::unique_ptr<ConsoleShadow>> ConsoleShadow::listen(
+    ConsoleShadowConfig config) {
+  ignore_sigpipe();
+  std::unique_ptr<ConsoleShadow> shadow{new ConsoleShadow};
+
+  if (!config.uds_path.empty()) {
+    auto listener = UdsListener::bind(config.uds_path);
+    if (!listener) return listener.error();
+    shadow->uds_listener_.emplace(std::move(listener.value()));
+  } else if (config.port == 0 && config.port_range_begin != 0 &&
+             config.port_range_end >= config.port_range_begin) {
+    // Probe the firewall-approved range for an available port.
+    Expected<TcpListener> listener = make_error("socket.bind", "no port tried");
+    for (std::uint32_t p = config.port_range_begin;
+         p <= config.port_range_end; ++p) {
+      listener = TcpListener::bind_loopback(static_cast<std::uint16_t>(p));
+      if (listener.has_value()) break;
+    }
+    if (!listener.has_value()) {
+      return make_error("socket.bind",
+                        "no free port in [" +
+                            std::to_string(config.port_range_begin) + ", " +
+                            std::to_string(config.port_range_end) + "]");
+    }
+    shadow->tcp_listener_.emplace(std::move(listener.value()));
+  } else {
+    auto listener = TcpListener::bind_loopback(config.port);
+    if (!listener) return listener.error();
+    shadow->tcp_listener_.emplace(std::move(listener.value()));
+  }
+  shadow->accept_thread_ = std::thread{[raw = shadow.get()] { raw->accept_loop(); }};
+  return shadow;
+}
+
+ConsoleShadow::~ConsoleShadow() {
+  shutdown();
+}
+
+void ConsoleShadow::shutdown() {
+  if (stopping_.exchange(true)) {
+    // Already shut down; still join anything left (idempotent).
+  }
+  if (tcp_listener_) tcp_listener_->close();
+  if (uds_listener_) uds_listener_->close();
+  {
+    const std::lock_guard lock{mutex_};
+    agents_.clear();  // closes the shared fds once readers drop their refs
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    const std::lock_guard lock{conn_threads_mutex_};
+    readers.swap(conn_threads_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ConsoleShadow::set_output_handler(OutputHandler handler) {
+  const std::lock_guard lock{mutex_};
+  output_handler_ = std::move(handler);
+}
+
+void ConsoleShadow::set_exit_handler(ExitHandler handler) {
+  const std::lock_guard lock{mutex_};
+  exit_handler_ = std::move(handler);
+}
+
+void ConsoleShadow::set_hello_handler(HelloHandler handler) {
+  const std::lock_guard lock{mutex_};
+  hello_handler_ = std::move(handler);
+}
+
+Expected<Fd> ConsoleShadow::accept_once(int timeout_ms) {
+  if (uds_listener_) return uds_listener_->accept(timeout_ms);
+  if (tcp_listener_) return tcp_listener_->accept(timeout_ms);
+  return make_error("socket.accept", "no listener");
+}
+
+void ConsoleShadow::accept_loop() {
+  while (!stopping_.load()) {
+    auto client = accept_once(200);
+    if (!client) {
+      if (stopping_.load()) break;
+      continue;  // timeout or transient error; keep listening
+    }
+    auto conn = std::make_shared<Fd>(std::move(client.value()));
+    const std::lock_guard lock{conn_threads_mutex_};
+    conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+  }
+}
+
+void ConsoleShadow::connection_loop(std::shared_ptr<Fd> conn) {
+  FrameDecoder decoder;
+  char chunk[8192];
+  bool registered = false;
+  std::uint32_t rank = 0;
+
+  while (!stopping_.load()) {
+    const int fd = conn->get();
+    if (fd < 0) break;
+    const int ready = wait_readable(fd, 200);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const long n = read_some(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    try {
+      while (auto frame = decoder.next()) {
+        frames_.fetch_add(1);
+        switch (frame->type) {
+          case FrameType::kHello: {
+            rank = frame->rank;
+            registered = true;
+            HelloHandler handler;
+            {
+              const std::lock_guard lock{mutex_};
+              agents_.emplace_back(rank, conn);
+              handler = hello_handler_;
+            }
+            if (handler) handler(rank);
+            break;
+          }
+          case FrameType::kStdout:
+          case FrameType::kStderr: {
+            OutputHandler handler;
+            {
+              const std::lock_guard lock{mutex_};
+              handler = output_handler_;
+            }
+            if (handler) handler(frame->rank, frame->type, frame->payload);
+            break;
+          }
+          case FrameType::kExit: {
+            ExitHandler handler;
+            {
+              const std::lock_guard lock{mutex_};
+              handler = exit_handler_;
+            }
+            if (handler) {
+              int status = 0;
+              try {
+                status = std::stoi(frame->payload);
+              } catch (const std::exception&) {
+                status = -1;
+              }
+              handler(frame->rank, status);
+            }
+            break;
+          }
+          case FrameType::kEof:
+          case FrameType::kStdin:
+            break;  // informational / not expected from agents
+        }
+      }
+    } catch (const std::exception& e) {
+      log_warn(kLog, "protocol error from agent: ", e.what());
+      break;
+    }
+  }
+
+  if (registered) {
+    const std::lock_guard lock{mutex_};
+    agents_.erase(std::remove_if(agents_.begin(), agents_.end(),
+                                 [&](const auto& entry) {
+                                   return entry.second == conn;
+                                 }),
+                  agents_.end());
+  }
+}
+
+std::size_t ConsoleShadow::broadcast(const Frame& frame) {
+  const std::string encoded = encode_frame(frame);
+  std::vector<std::shared_ptr<Fd>> targets;
+  {
+    const std::lock_guard lock{mutex_};
+    targets.reserve(agents_.size());
+    for (const auto& [rank, conn] : agents_) targets.push_back(conn);
+  }
+  std::size_t delivered = 0;
+  for (const auto& conn : targets) {
+    const int fd = conn->get();
+    if (fd >= 0 && write_all(fd, encoded)) ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t ConsoleShadow::send_line(std::string line) {
+  if (line.empty() || line.back() != '\n') line += '\n';
+  return send_stdin(line);
+}
+
+std::size_t ConsoleShadow::send_stdin(const std::string& data) {
+  Frame frame;
+  frame.type = FrameType::kStdin;
+  frame.payload = data;
+  return broadcast(frame);
+}
+
+std::size_t ConsoleShadow::send_eof() {
+  Frame frame;
+  frame.type = FrameType::kEof;
+  return broadcast(frame);
+}
+
+std::size_t ConsoleShadow::connected_agents() const {
+  const std::lock_guard lock{mutex_};
+  return agents_.size();
+}
+
+}  // namespace cg::interpose

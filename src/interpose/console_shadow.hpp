@@ -1,0 +1,110 @@
+// The real Console Shadow / Job Shadow: listens on the user's machine for
+// Console Agent connections (one per subjob for MPICH-G2-style jobs),
+// demultiplexes their stdout/stderr frames, and fans typed input lines out
+// to every connected agent — the user-side half of the split execution
+// system of Section 4.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interpose/socket.hpp"
+#include "interpose/wire.hpp"
+#include "util/expected.hpp"
+
+namespace cg::interpose {
+
+struct ConsoleShadowConfig {
+  /// 0 = pick a free port ("listening in a randomly selected port, probing
+  /// for an available port"); nonzero = the user-pinned firewall port.
+  std::uint16_t port = 0;
+  /// Non-empty: listen on a Unix-domain socket at this path instead of TCP
+  /// (co-located agent and shadow; port fields are ignored).
+  std::string uds_path;
+  /// Alternatively, probe a firewall-approved range [begin, end] until a
+  /// free port is found (the paper's predefined-open-port scenario; both 0
+  /// disables range probing). Ignored when `port` is nonzero.
+  std::uint16_t port_range_begin = 0;
+  std::uint16_t port_range_end = 0;
+  /// Maximum time accept() blocks per loop iteration.
+  int accept_poll_ms = 200;
+};
+
+class ConsoleShadow {
+public:
+  /// (rank, stream, data) — called from reader threads; handlers must be
+  /// thread-safe.
+  using OutputHandler =
+      std::function<void(std::uint32_t rank, FrameType stream, const std::string&)>;
+  using ExitHandler = std::function<void(std::uint32_t rank, int status)>;
+  using HelloHandler = std::function<void(std::uint32_t rank)>;
+
+  [[nodiscard]] static Expected<std::unique_ptr<ConsoleShadow>> listen(
+      ConsoleShadowConfig config = {});
+
+  ~ConsoleShadow();
+  ConsoleShadow(const ConsoleShadow&) = delete;
+  ConsoleShadow& operator=(const ConsoleShadow&) = delete;
+
+  /// TCP port (0 when listening on a Unix-domain socket).
+  [[nodiscard]] std::uint16_t port() const {
+    return tcp_listener_ ? tcp_listener_->port() : 0;
+  }
+  /// UDS path ("" when listening on TCP).
+  [[nodiscard]] std::string uds_path() const {
+    return uds_listener_ ? uds_listener_->path() : std::string{};
+  }
+
+  void set_output_handler(OutputHandler handler);
+  void set_exit_handler(ExitHandler handler);
+  void set_hello_handler(HelloHandler handler);
+
+  /// Sends a stdin line to every connected agent (appends '\n' if missing,
+  /// mirroring the Enter-key forwarding rule). Returns how many agents
+  /// received it.
+  std::size_t send_line(std::string line);
+  /// Sends raw stdin bytes without newline handling.
+  std::size_t send_stdin(const std::string& data);
+  /// Signals end-of-input to all agents.
+  std::size_t send_eof();
+
+  [[nodiscard]] std::size_t connected_agents() const;
+  [[nodiscard]] std::size_t frames_received() const { return frames_.load(); }
+
+  /// Stops accepting and closes all connections (also done by destruction).
+  void shutdown();
+
+private:
+  ConsoleShadow() = default;
+
+  void accept_loop();
+  [[nodiscard]] Expected<Fd> accept_once(int timeout_ms);
+  void connection_loop(std::shared_ptr<Fd> conn);
+  std::size_t broadcast(const Frame& frame);
+
+  std::optional<TcpListener> tcp_listener_;
+  std::optional<UdsListener> uds_listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> frames_{0};
+
+  mutable std::mutex mutex_;
+  OutputHandler output_handler_;
+  ExitHandler exit_handler_;
+  HelloHandler hello_handler_;
+  /// Connections that completed the hello handshake, by arrival order.
+  std::vector<std::pair<std::uint32_t, std::shared_ptr<Fd>>> agents_;
+
+  std::thread accept_thread_;
+  std::mutex conn_threads_mutex_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace cg::interpose

@@ -1,0 +1,95 @@
+#include "interpose/interactive_session.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace cg::interpose {
+
+Expected<std::unique_ptr<InteractiveSession>> InteractiveSession::start(
+    std::vector<std::string> argv, InteractiveSessionConfig config) {
+  std::unique_ptr<InteractiveSession> session{new InteractiveSession};
+
+  ConsoleShadowConfig shadow_config;
+  shadow_config.port = config.port;
+  auto shadow = ConsoleShadow::listen(shadow_config);
+  if (!shadow) return shadow.error();
+  session->shadow_ = std::move(shadow.value());
+
+  InteractiveSession* raw = session.get();
+  session->shadow_->set_output_handler(
+      [raw](std::uint32_t, FrameType, const std::string& data) {
+        {
+          const std::lock_guard lock{raw->mutex_};
+          raw->output_ += data;
+        }
+        raw->output_cv_.notify_all();
+      });
+  session->shadow_->set_exit_handler([raw](std::uint32_t, int status) {
+    {
+      const std::lock_guard lock{raw->mutex_};
+      raw->exit_status_ = status;
+    }
+    raw->output_cv_.notify_all();
+  });
+
+  ConsoleAgentConfig agent_config;
+  agent_config.mode = config.mode;
+  agent_config.shadow_port = session->shadow_->port();
+  agent_config.flush_timeout_ms = config.flush_timeout_ms;
+  if (config.mode == jdl::StreamingMode::kReliable) {
+    const std::string dir = config.spool_dir.empty() ? "/tmp" : config.spool_dir;
+    agent_config.spool_path = dir + "/cg-session-spool-" +
+                              std::to_string(::getpid()) + "-" +
+                              std::to_string(session->shadow_->port());
+  }
+  auto agent = ConsoleAgent::launch(std::move(argv), agent_config);
+  if (!agent) return agent.error();
+  session->agent_ = std::move(agent.value());
+
+  // Wait for the agent's hello so that input typed immediately after start
+  // is not broadcast into the void (the child may still be exec'ing).
+  for (int waited_ms = 0; waited_ms < 5000; waited_ms += 10) {
+    if (session->shadow_->connected_agents() > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (session->shadow_->connected_agents() == 0) {
+    return make_error("session.connect", "agent never connected to the shadow");
+  }
+  return session;
+}
+
+InteractiveSession::~InteractiveSession() {
+  // The agent (and its child) must die before the shadow stops accepting.
+  agent_.reset();
+  shadow_.reset();
+}
+
+void InteractiveSession::send_line(const std::string& line) {
+  shadow_->send_line(line);
+}
+
+void InteractiveSession::send_eof() {
+  shadow_->send_eof();
+}
+
+std::string InteractiveSession::drain_output() {
+  const std::lock_guard lock{mutex_};
+  std::string out;
+  out.swap(output_);
+  return out;
+}
+
+bool InteractiveSession::wait_for_output(const std::string& needle, int timeout_ms) {
+  std::unique_lock lock{mutex_};
+  return output_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return output_.find(needle) != std::string::npos;
+  });
+}
+
+int InteractiveSession::wait_exit() {
+  return agent_->wait_for_exit();
+}
+
+}  // namespace cg::interpose

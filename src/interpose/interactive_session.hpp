@@ -1,0 +1,69 @@
+// Convenience wrapper tying a real Console Shadow and Console Agent together
+// on the local machine: run an unmodified command "as if it were running on
+// the same machine as the shadow", type lines to it, and read its output.
+// This is the end-user surface of the split-execution system and what the
+// realtime_console example drives.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interpose/console_agent.hpp"
+#include "interpose/console_shadow.hpp"
+
+namespace cg::interpose {
+
+struct InteractiveSessionConfig {
+  jdl::StreamingMode mode = jdl::StreamingMode::kFast;
+  /// Directory for reliable-mode spool files ("" = /tmp).
+  std::string spool_dir;
+  /// Pin the shadow port (0 = pick a free one).
+  std::uint16_t port = 0;
+  int flush_timeout_ms = 50;
+};
+
+class InteractiveSession {
+public:
+  [[nodiscard]] static Expected<std::unique_ptr<InteractiveSession>> start(
+      std::vector<std::string> argv, InteractiveSessionConfig config = {});
+
+  ~InteractiveSession();
+  InteractiveSession(const InteractiveSession&) = delete;
+  InteractiveSession& operator=(const InteractiveSession&) = delete;
+
+  /// Types a line (Enter included) into the remote application.
+  void send_line(const std::string& line);
+  /// Closes the application's stdin.
+  void send_eof();
+
+  /// Drains all output received so far (stdout and stderr interleaved in
+  /// arrival order).
+  [[nodiscard]] std::string drain_output();
+
+  /// Blocks until the accumulated output contains `needle` or the timeout
+  /// expires. The matched output stays in the buffer for drain_output().
+  [[nodiscard]] bool wait_for_output(const std::string& needle, int timeout_ms);
+
+  /// Waits for the child to exit; returns its wait status.
+  int wait_exit();
+
+  [[nodiscard]] const ConsoleShadow& shadow() const { return *shadow_; }
+  [[nodiscard]] const ConsoleAgent& agent() const { return *agent_; }
+
+private:
+  InteractiveSession() = default;
+
+  std::unique_ptr<ConsoleShadow> shadow_;
+  std::unique_ptr<ConsoleAgent> agent_;
+
+  std::mutex mutex_;
+  std::condition_variable output_cv_;
+  std::string output_;
+  std::optional<int> exit_status_;
+};
+
+}  // namespace cg::interpose

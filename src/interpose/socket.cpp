@@ -1,0 +1,252 @@
+#include "interpose/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <signal.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+namespace cg::interpose {
+
+void ignore_sigpipe() {
+  // Pipes to dead children and half-closed sockets deliver SIGPIPE on
+  // write(2); the split-execution machinery handles EPIPE instead. Done once
+  // per process, on first use of any interpose facility.
+  static std::once_flag flag;
+  std::call_once(flag, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ENOTSOCK) {
+        // Plain pipe/file descriptor: fall back to write(2).
+        const ssize_t w = ::write(fd, data + written, size - written);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return false;
+        }
+        written += static_cast<std::size_t>(w);
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long read_some(int fd, char* buffer, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n < 0 && errno == EINTR) continue;
+    return static_cast<long>(n);
+  }
+}
+
+int wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc == 0) return 0;
+    if ((pfd.revents & POLLIN) != 0) return 1;
+    // POLLHUP/POLLERR with no readable data.
+    return -1;
+  }
+}
+
+void configure_socket(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Expected<TcpListener> TcpListener::bind_loopback(std::uint16_t port) {
+  Fd fd{::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+  if (!fd.valid()) {
+    return make_error("socket.create", std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return make_error("socket.bind",
+                      "port " + std::to_string(port) + ": " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), 16) != 0) {
+    return make_error("socket.listen", std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return make_error("socket.getsockname", std::strerror(errno));
+  }
+  return TcpListener{std::move(fd), ntohs(addr.sin_port)};
+}
+
+Expected<Fd> TcpListener::accept(int timeout_ms) {
+  if (!fd_.valid()) return make_error("socket.accept", "listener closed");
+  const int ready = wait_readable(fd_.get(), timeout_ms);
+  if (ready <= 0) {
+    return make_error("socket.accept",
+                      ready == 0 ? "accept timed out" : "listener error");
+  }
+  Fd client{::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC)};
+  if (!client.valid()) {
+    return make_error("socket.accept", std::strerror(errno));
+  }
+  configure_socket(client.get());
+  return client;
+}
+
+void TcpListener::close() {
+  fd_.reset();
+}
+
+namespace {
+
+Expected<sockaddr_un> uds_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return make_error("socket.uds", "socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Expected<UdsListener> UdsListener::bind(const std::string& path) {
+  const auto addr = uds_address(path);
+  if (!addr) return addr.error();
+  Fd fd{::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+  if (!fd.valid()) return make_error("socket.create", std::strerror(errno));
+  ::unlink(path.c_str());  // a stale socket file from a crashed shadow
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(addr.value())) != 0) {
+    return make_error("socket.bind", path + ": " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), 16) != 0) {
+    return make_error("socket.listen", std::strerror(errno));
+  }
+  return UdsListener{std::move(fd), path};
+}
+
+UdsListener::UdsListener(UdsListener&& other) noexcept
+    : fd_{std::move(other.fd_)}, path_{std::move(other.path_)} {
+  other.path_.clear();
+}
+
+UdsListener& UdsListener::operator=(UdsListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::move(other.fd_);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UdsListener::~UdsListener() {
+  close();
+}
+
+void UdsListener::close() {
+  fd_.reset();
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+Expected<Fd> UdsListener::accept(int timeout_ms) {
+  if (!fd_.valid()) return make_error("socket.accept", "listener closed");
+  const int ready = wait_readable(fd_.get(), timeout_ms);
+  if (ready <= 0) {
+    return make_error("socket.accept",
+                      ready == 0 ? "accept timed out" : "listener error");
+  }
+  Fd client{::accept4(fd_.get(), nullptr, nullptr, SOCK_CLOEXEC)};
+  if (!client.valid()) return make_error("socket.accept", std::strerror(errno));
+  return client;
+}
+
+Expected<Fd> uds_connect(const std::string& path, int timeout_ms) {
+  const auto addr = uds_address(path);
+  if (!addr) return addr.error();
+  Fd fd{::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+  if (!fd.valid()) return make_error("socket.create", std::strerror(errno));
+  (void)timeout_ms;  // local connects complete or fail immediately
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr.value()),
+                sizeof(addr.value())) != 0) {
+    return make_error("socket.connect", path + ": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+Expected<Fd> tcp_connect_loopback(std::uint16_t port, int timeout_ms) {
+  Fd fd{::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+  if (!fd.valid()) {
+    return make_error("socket.create", std::strerror(errno));
+  }
+  // Non-blocking connect with poll-based timeout.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return make_error("socket.connect", std::strerror(errno));
+  }
+  if (rc != 0) {
+    struct pollfd pfd{};
+    pfd.fd = fd.get();
+    pfd.events = POLLOUT;
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) {
+      return make_error("socket.connect", rc == 0 ? "connect timed out"
+                                                  : std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return make_error("socket.connect", std::strerror(err != 0 ? err : errno));
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);
+  configure_socket(fd.get());
+  return fd;
+}
+
+}  // namespace cg::interpose

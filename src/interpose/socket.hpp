@@ -1,0 +1,121 @@
+// Thin RAII layer over POSIX sockets and file descriptors used by the real
+// split-execution implementation. TCP on loopback stands in for the
+// GSI-secured WAN channel; the framing and relay logic above it is identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/expected.hpp"
+
+namespace cg::interpose {
+
+/// Owning file descriptor.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_{fd} {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+private:
+  int fd_ = -1;
+};
+
+/// Writes the whole buffer, retrying on EINTR/short writes.
+/// Returns false on any hard error (EPIPE, ECONNRESET, ...).
+[[nodiscard]] bool write_all(int fd, const char* data, std::size_t size);
+[[nodiscard]] inline bool write_all(int fd, std::string_view data) {
+  return write_all(fd, data.data(), data.size());
+}
+
+/// Reads up to `size` bytes; returns bytes read, 0 on EOF, -1 on error.
+[[nodiscard]] long read_some(int fd, char* buffer, std::size_t size);
+
+/// Waits until `fd` is readable or `timeout_ms` elapses (-1 = forever).
+/// Returns +1 readable, 0 timeout, -1 error/hangup-with-no-data.
+[[nodiscard]] int wait_readable(int fd, int timeout_ms);
+
+/// TCP listener bound to 127.0.0.1. Port 0 picks a free port (the paper's
+/// "randomly selected port probing for an available port"); a fixed port
+/// models the user's firewall-pinned choice.
+class TcpListener {
+public:
+  [[nodiscard]] static Expected<TcpListener> bind_loopback(std::uint16_t port);
+
+  /// Blocks until a client connects or `timeout_ms` elapses.
+  [[nodiscard]] Expected<Fd> accept(int timeout_ms = -1);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  /// Unblocks a pending accept by closing the listener.
+  void close();
+
+private:
+  TcpListener(Fd fd, std::uint16_t port) : fd_{std::move(fd)}, port_{port} {}
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port.
+[[nodiscard]] Expected<Fd> tcp_connect_loopback(std::uint16_t port,
+                                                int timeout_ms = 5000);
+
+/// Unix-domain-socket listener: the lower-overhead transport for a Console
+/// Agent and Shadow on the same machine (co-located testing, or a site-edge
+/// relay). The socket file is unlinked on close.
+class UdsListener {
+public:
+  [[nodiscard]] static Expected<UdsListener> bind(const std::string& path);
+
+  UdsListener(UdsListener&& other) noexcept;
+  UdsListener& operator=(UdsListener&& other) noexcept;
+  ~UdsListener();
+  UdsListener(const UdsListener&) = delete;
+  UdsListener& operator=(const UdsListener&) = delete;
+
+  [[nodiscard]] Expected<Fd> accept(int timeout_ms = -1);
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  void close();
+
+private:
+  UdsListener(Fd fd, std::string path) : fd_{std::move(fd)}, path_{std::move(path)} {}
+  Fd fd_;
+  std::string path_;
+};
+
+/// Connects to a Unix-domain socket at `path`.
+[[nodiscard]] Expected<Fd> uds_connect(const std::string& path,
+                                       int timeout_ms = 5000);
+
+/// Disables SIGPIPE delivery for writes on this socket (portable enough for
+/// Linux via MSG_NOSIGNAL in write_all; this sets it as a fallback no-op).
+void configure_socket(int fd);
+
+/// Installs SIG_IGN for SIGPIPE process-wide, once. Writes to pipes of dead
+/// children then fail with EPIPE instead of killing the process.
+void ignore_sigpipe();
+
+}  // namespace cg::interpose

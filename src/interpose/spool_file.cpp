@@ -1,0 +1,184 @@
+#include "interpose/spool_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace cg::interpose {
+
+namespace {
+
+std::string cursor_path(const std::string& path) {
+  return path + ".cursor";
+}
+
+long load_cursor(const std::string& path) {
+  std::FILE* f = std::fopen(cursor_path(path).c_str(), "rb");
+  if (f == nullptr) return 0;
+  long value = 0;
+  if (std::fscanf(f, "%ld", &value) != 1 || value < 0) value = 0;
+  std::fclose(f);
+  return value;
+}
+
+}  // namespace
+
+Expected<SpoolFile> SpoolFile::open(std::string path) {
+  // "a+b": reads anywhere, writes always append.
+  std::FILE* file = std::fopen(path.c_str(), "a+b");
+  if (file == nullptr) {
+    return make_error("spool.open", path + ": " + std::strerror(errno));
+  }
+  const long cursor = load_cursor(path);
+  return SpoolFile{std::move(path), file, cursor};
+}
+
+SpoolFile::SpoolFile(std::string path, std::FILE* file, long cursor)
+    : path_{std::move(path)}, file_{file}, cursor_{cursor} {}
+
+SpoolFile::SpoolFile(SpoolFile&& other) noexcept {
+  const std::lock_guard lock{other.mutex_};
+  path_ = std::move(other.path_);
+  file_ = other.file_;
+  cursor_ = other.cursor_;
+  last_peek_size_ = other.last_peek_size_;
+  other.file_ = nullptr;
+}
+
+SpoolFile& SpoolFile::operator=(SpoolFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    const std::lock_guard lock{other.mutex_};
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    cursor_ = other.cursor_;
+    last_peek_size_ = other.last_peek_size_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+SpoolFile::~SpoolFile() {
+  close();
+}
+
+void SpoolFile::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status SpoolFile::append(const Frame& frame) {
+  const std::lock_guard lock{mutex_};
+  if (file_ == nullptr) return make_error("spool.append", "spool closed");
+  const std::string encoded = encode_frame(frame);
+  if (std::fwrite(encoded.data(), 1, encoded.size(), file_) != encoded.size()) {
+    return make_error("spool.append", std::strerror(errno));
+  }
+  if (std::fflush(file_) != 0) {
+    return make_error("spool.append", std::strerror(errno));
+  }
+  return Status::ok_status();
+}
+
+std::optional<Frame> SpoolFile::peek() {
+  const std::lock_guard lock{mutex_};
+  if (file_ == nullptr) return std::nullopt;
+  std::fflush(file_);
+  if (std::fseek(file_, cursor_, SEEK_SET) != 0) return std::nullopt;
+
+  char header[kFrameHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+    std::fseek(file_, 0, SEEK_END);
+    return std::nullopt;
+  }
+  FrameDecoder decoder;
+  decoder.feed(header, sizeof(header));
+  // Header alone never yields a frame unless the payload is empty; decode by
+  // reading the declared payload length manually.
+  const auto length =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[5])) << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[6])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[7])) << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[8]));
+  if (length > kMaxFramePayload) {
+    std::fseek(file_, 0, SEEK_END);
+    return std::nullopt;
+  }
+  std::string payload(length, '\0');
+  if (length > 0 && std::fread(payload.data(), 1, length, file_) != length) {
+    std::fseek(file_, 0, SEEK_END);
+    return std::nullopt;
+  }
+  std::fseek(file_, 0, SEEK_END);
+
+  decoder.feed(payload.data(), payload.size());
+  std::optional<Frame> frame;
+  try {
+    frame = decoder.next();
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (frame) {
+    last_peek_size_ = static_cast<long>(kFrameHeaderBytes + length);
+  }
+  return frame;
+}
+
+Status SpoolFile::advance() {
+  const std::lock_guard lock{mutex_};
+  if (last_peek_size_ <= 0) {
+    return make_error("spool.advance", "advance without a successful peek");
+  }
+  cursor_ += last_peek_size_;
+  last_peek_size_ = 0;
+  persist_cursor();
+  return Status::ok_status();
+}
+
+std::size_t SpoolFile::pending() {
+  std::size_t count = 0;
+  long saved_cursor;
+  {
+    const std::lock_guard lock{mutex_};
+    saved_cursor = cursor_;
+  }
+  // Walk the file from the cursor, counting frames.
+  long walk = saved_cursor;
+  while (true) {
+    const std::lock_guard lock{mutex_};
+    if (file_ == nullptr) break;
+    std::fflush(file_);
+    if (std::fseek(file_, walk, SEEK_SET) != 0) break;
+    char header[kFrameHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header)) {
+      std::fseek(file_, 0, SEEK_END);
+      break;
+    }
+    const auto length =
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[5])) << 24) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[6])) << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[7])) << 8) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(header[8]));
+    std::fseek(file_, 0, SEEK_END);
+    walk += static_cast<long>(kFrameHeaderBytes + length);
+    ++count;
+  }
+  return count;
+}
+
+void SpoolFile::persist_cursor() {
+  std::FILE* f = std::fopen(cursor_path(path_).c_str(), "wb");
+  if (f == nullptr) return;
+  std::fprintf(f, "%ld", cursor_);
+  std::fclose(f);
+}
+
+void SpoolFile::remove_files() {
+  const std::lock_guard lock{mutex_};
+  close();
+  std::remove(path_.c_str());
+  std::remove(cursor_path(path_).c_str());
+}
+
+}  // namespace cg::interpose

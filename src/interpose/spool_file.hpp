@@ -1,0 +1,59 @@
+// Disk-backed frame spool for the real reliable mode: outgoing frames are
+// appended to a file before transmission; a read cursor tracks what has been
+// acknowledged. After a connection failure, unsent frames are replayed from
+// the file, surviving even an agent restart.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "interpose/wire.hpp"
+#include "util/expected.hpp"
+
+namespace cg::interpose {
+
+class SpoolFile {
+public:
+  /// Opens (creating or appending to) the spool at `path`. An existing spool
+  /// resumes from its persisted cursor side-file (`path` + ".cursor").
+  [[nodiscard]] static Expected<SpoolFile> open(std::string path);
+
+  SpoolFile(SpoolFile&& other) noexcept;
+  SpoolFile& operator=(SpoolFile&& other) noexcept;
+  ~SpoolFile();
+  SpoolFile(const SpoolFile&) = delete;
+  SpoolFile& operator=(const SpoolFile&) = delete;
+
+  /// Appends a frame and flushes it to the OS. Thread-safe.
+  [[nodiscard]] Status append(const Frame& frame);
+
+  /// Reads the frame at the cursor without advancing. nullopt when drained.
+  [[nodiscard]] std::optional<Frame> peek();
+
+  /// Advances the cursor past the frame returned by the last peek() and
+  /// persists the new position.
+  [[nodiscard]] Status advance();
+
+  /// Frames remaining between cursor and end of file.
+  [[nodiscard]] std::size_t pending() ;
+
+  /// Deletes the spool files from disk (called on clean shutdown).
+  void remove_files();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+  SpoolFile(std::string path, std::FILE* file, long cursor);
+  void persist_cursor();
+  void close();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  long cursor_ = 0;        ///< byte offset of the next unacknowledged frame
+  long last_peek_size_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace cg::interpose

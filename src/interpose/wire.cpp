@@ -1,0 +1,93 @@
+#include "interpose/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cg::interpose {
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kStdin: return "stdin";
+    case FrameType::kStdout: return "stdout";
+    case FrameType::kStderr: return "stderr";
+    case FrameType::kEof: return "eof";
+    case FrameType::kExit: return "exit";
+  }
+  return "?";
+}
+
+bool is_valid_frame_type(std::uint8_t raw) {
+  return raw <= static_cast<std::uint8_t>(FrameType::kExit);
+}
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument{"frame payload too large"};
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  out.push_back(static_cast<char>(frame.type));
+  put_u32(out, frame.rank);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::nullopt;
+  const char* p = buffer_.data() + consumed_;
+
+  const auto raw_type = static_cast<std::uint8_t>(p[0]);
+  if (!is_valid_frame_type(raw_type)) {
+    throw std::runtime_error{"FrameDecoder: corrupt frame type " +
+                             std::to_string(raw_type)};
+  }
+  const std::uint32_t rank = get_u32(p + 1);
+  const std::uint32_t length = get_u32(p + 5);
+  if (length > kMaxFramePayload) {
+    throw std::runtime_error{"FrameDecoder: implausible frame length"};
+  }
+  if (available < kFrameHeaderBytes + length) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.rank = rank;
+  frame.payload.assign(p + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  compact();
+  return frame;
+}
+
+void FrameDecoder::compact() {
+  // Reclaim consumed space once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+}  // namespace cg::interpose

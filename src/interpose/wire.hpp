@@ -1,0 +1,66 @@
+// Wire protocol between a real Console Agent and Console Shadow: length-
+// prefixed frames over a byte stream.
+//
+//   [u8 type][u32 rank (big-endian)][u32 length (big-endian)][payload]
+//
+// kHello announces an agent (rank in header, empty payload); kStdin flows
+// shadow -> agent; kStdout/kStderr flow agent -> shadow; kEof marks a closed
+// stream; kExit carries the child's wait status as a decimal string.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cg::interpose {
+
+enum class FrameType : std::uint8_t {
+  kHello = 0,
+  kStdin = 1,
+  kStdout = 2,
+  kStderr = 3,
+  kEof = 4,
+  kExit = 5,
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+[[nodiscard]] bool is_valid_frame_type(std::uint8_t raw);
+
+struct Frame {
+  FrameType type = FrameType::kStdout;
+  std::uint32_t rank = 0;
+  std::string payload;
+
+  [[nodiscard]] bool operator==(const Frame&) const = default;
+};
+
+/// Fixed header size on the wire.
+inline constexpr std::size_t kFrameHeaderBytes = 1 + 4 + 4;
+/// Upper bound on a frame payload (sanity check against stream corruption).
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// Serializes a frame.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Incremental decoder: feed bytes, pull complete frames.
+class FrameDecoder {
+public:
+  /// Appends raw bytes from the stream.
+  void feed(const char* data, std::size_t size);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Extracts the next complete frame, if any. Returns nullopt when more
+  /// bytes are needed. Throws std::runtime_error on a corrupt header.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+private:
+  void compact();
+
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace cg::interpose

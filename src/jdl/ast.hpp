@@ -1,0 +1,72 @@
+// Expression AST for the Job Description Language. Expressions are stored
+// unevaluated inside a ClassAd (so `Requirements` can reference `other.*`
+// attributes of a machine ad at matchmaking time) and evaluated on demand.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jdl/value.hpp"
+
+namespace cg::jdl {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class UnaryOp { kNot, kNeg };
+enum class BinaryOp {
+  kAnd, kOr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv, kMod,
+};
+
+/// Which ad a scoped reference resolves in.
+enum class Scope { kSelf, kOther };
+
+struct Expr {
+  struct Literal {
+    Value value;
+  };
+  struct AttrRef {
+    Scope scope = Scope::kSelf;
+    bool explicit_scope = false;  ///< written as self.X / other.X
+    std::string name;
+  };
+  struct Unary {
+    UnaryOp op;
+    ExprPtr operand;
+  };
+  struct Binary {
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+  };
+  struct Ternary {
+    ExprPtr cond;
+    ExprPtr if_true;
+    ExprPtr if_false;
+  };
+  struct ListExpr {
+    std::vector<ExprPtr> items;
+  };
+  struct Call {
+    std::string function;  ///< lowercase
+    std::vector<ExprPtr> args;
+  };
+
+  std::variant<Literal, AttrRef, Unary, Binary, Ternary, ListExpr, Call> node;
+};
+
+[[nodiscard]] ExprPtr make_literal(Value v);
+[[nodiscard]] ExprPtr make_attr_ref(Scope scope, bool explicit_scope, std::string name);
+[[nodiscard]] ExprPtr make_unary(UnaryOp op, ExprPtr operand);
+[[nodiscard]] ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+[[nodiscard]] ExprPtr make_ternary(ExprPtr cond, ExprPtr t, ExprPtr f);
+[[nodiscard]] ExprPtr make_list(std::vector<ExprPtr> items);
+[[nodiscard]] ExprPtr make_call(std::string function, std::vector<ExprPtr> args);
+
+/// Renders the expression in JDL source syntax (fully parenthesized).
+[[nodiscard]] std::string to_source(const Expr& expr);
+
+}  // namespace cg::jdl

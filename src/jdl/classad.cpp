@@ -1,0 +1,105 @@
+#include "jdl/classad.hpp"
+
+#include "jdl/eval.hpp"
+#include "util/strings.hpp"
+
+namespace cg::jdl {
+
+void ClassAd::set(std::string_view name, ExprPtr expr) {
+  attrs_.insert_or_assign(to_lower(name), Attr{std::string{name}, std::move(expr)});
+}
+
+void ClassAd::set_string(std::string_view name, std::string value) {
+  set(name, make_literal(Value::string(std::move(value))));
+}
+
+void ClassAd::set_int(std::string_view name, std::int64_t value) {
+  set(name, make_literal(Value::integer(value)));
+}
+
+void ClassAd::set_real(std::string_view name, double value) {
+  set(name, make_literal(Value::real(value)));
+}
+
+void ClassAd::set_bool(std::string_view name, bool value) {
+  set(name, make_literal(Value::boolean(value)));
+}
+
+void ClassAd::set_string_list(std::string_view name,
+                              const std::vector<std::string>& values) {
+  ValueList items;
+  items.reserve(values.size());
+  for (const auto& v : values) items.push_back(Value::string(v));
+  set(name, make_literal(Value::list(std::move(items))));
+}
+
+bool ClassAd::has(std::string_view name) const {
+  return attrs_.contains(to_lower(name));
+}
+
+ExprPtr ClassAd::lookup(std::string_view name) const {
+  const auto it = attrs_.find(to_lower(name));
+  return it != attrs_.end() ? it->second.expr : nullptr;
+}
+
+bool ClassAd::erase(std::string_view name) {
+  return attrs_.erase(to_lower(name)) > 0;
+}
+
+std::vector<std::string> ClassAd::names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& [key, attr] : attrs_) out.push_back(attr.original_name);
+  return out;
+}
+
+std::string ClassAd::to_source() const {
+  std::string out;
+  for (const auto& [key, attr] : attrs_) {
+    out += attr.original_name;
+    out += " = ";
+    out += cg::jdl::to_source(*attr.expr);
+    out += ";\n";
+  }
+  return out;
+}
+
+std::optional<std::string> ClassAd::get_string(std::string_view name) const {
+  const Value v = evaluate_attr(*this, name);
+  if (!v.is_string()) return std::nullopt;
+  return v.as_string();
+}
+
+std::optional<std::int64_t> ClassAd::get_int(std::string_view name) const {
+  const Value v = evaluate_attr(*this, name);
+  if (v.is_int()) return v.as_int();
+  return std::nullopt;
+}
+
+std::optional<double> ClassAd::get_real(std::string_view name) const {
+  const Value v = evaluate_attr(*this, name);
+  if (!v.is_number()) return std::nullopt;
+  return v.as_number();
+}
+
+std::optional<bool> ClassAd::get_bool(std::string_view name) const {
+  const Value v = evaluate_attr(*this, name);
+  if (!v.is_bool()) return std::nullopt;
+  return v.as_bool();
+}
+
+std::optional<std::vector<std::string>> ClassAd::get_string_list(
+    std::string_view name) const {
+  const Value v = evaluate_attr(*this, name);
+  if (v.is_string()) return std::vector<std::string>{v.as_string()};
+  if (!v.is_list()) return std::nullopt;
+  std::vector<std::string> out;
+  out.reserve(v.as_list().size());
+  for (const auto& item : v.as_list()) {
+    if (!item.is_string()) return std::nullopt;
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace cg::jdl

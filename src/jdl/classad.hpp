@@ -1,0 +1,61 @@
+// A ClassAd: an unordered set of (attribute name -> unevaluated expression).
+// Jobs and machines are both described as ads; matchmaking evaluates each
+// ad's Requirements with the other ad bound to `other`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jdl/ast.hpp"
+#include "util/expected.hpp"
+
+namespace cg::jdl {
+
+class ClassAd {
+public:
+  /// Attribute names are case-insensitive (stored lowercased for lookup,
+  /// original spelling preserved for printing).
+  void set(std::string_view name, ExprPtr expr);
+  void set_string(std::string_view name, std::string value);
+  void set_int(std::string_view name, std::int64_t value);
+  void set_real(std::string_view name, double value);
+  void set_bool(std::string_view name, bool value);
+  void set_string_list(std::string_view name, const std::vector<std::string>& values);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  /// The unevaluated expression, or nullptr if absent.
+  [[nodiscard]] ExprPtr lookup(std::string_view name) const;
+  bool erase(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+  [[nodiscard]] bool empty() const { return attrs_.empty(); }
+
+  /// Attribute names in original spelling, sorted case-insensitively.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Renders the ad as a JDL document.
+  [[nodiscard]] std::string to_source() const;
+
+  // -- Evaluated typed accessors (self-scope evaluation, no `other` ad). ----
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view name) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(std::string_view name) const;
+  [[nodiscard]] std::optional<double> get_real(std::string_view name) const;
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view name) const;
+  /// A list of strings; a single string is accepted as a one-element list
+  /// (JDL allows `JobType = "interactive"` and `JobType = {"a","b"}`).
+  [[nodiscard]] std::optional<std::vector<std::string>> get_string_list(
+      std::string_view name) const;
+
+private:
+  struct Attr {
+    std::string original_name;
+    ExprPtr expr;
+  };
+  // Keyed by lowercased name.
+  std::map<std::string, Attr> attrs_;
+};
+
+}  // namespace cg::jdl

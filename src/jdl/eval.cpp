@@ -1,0 +1,220 @@
+#include "jdl/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace cg::jdl {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+Value eval_impl(const Expr& expr, const EvalContext& ctx, int depth);
+
+Value eval_call(const Expr::Call& call, const EvalContext& ctx, int depth) {
+  std::vector<Value> args;
+  args.reserve(call.args.size());
+  for (const auto& a : call.args) args.push_back(eval_impl(*a, ctx, depth));
+
+  const std::string& fn = call.function;
+  if (fn == "isundefined") {
+    if (args.size() != 1) return Value::undefined();
+    return Value::boolean(args[0].is_undefined());
+  }
+  if (fn == "member") {
+    // member(x, list): true iff some element equals x (ClassAd ==).
+    if (args.size() != 2 || !args[1].is_list()) return Value::undefined();
+    bool saw_undefined = false;
+    for (const auto& item : args[1].as_list()) {
+      const Value eq = cmp_eq(args[0], item);
+      if (eq.is_true()) return Value::boolean(true);
+      if (eq.is_undefined()) saw_undefined = true;
+    }
+    return saw_undefined ? Value::undefined() : Value::boolean(false);
+  }
+  if (fn == "size") {
+    if (args.size() != 1) return Value::undefined();
+    if (args[0].is_list()) {
+      return Value::integer(static_cast<std::int64_t>(args[0].as_list().size()));
+    }
+    if (args[0].is_string()) {
+      return Value::integer(static_cast<std::int64_t>(args[0].as_string().size()));
+    }
+    return Value::undefined();
+  }
+  if (fn == "abs") {
+    if (args.size() != 1) return Value::undefined();
+    if (args[0].is_int()) return Value::integer(std::abs(args[0].as_int()));
+    if (args[0].is_real()) return Value::real(std::fabs(args[0].as_real()));
+    return Value::undefined();
+  }
+  if (fn == "floor" || fn == "ceil" || fn == "round") {
+    if (args.size() != 1 || !args[0].is_number()) return Value::undefined();
+    const double x = args[0].as_number();
+    double r = 0.0;
+    if (fn == "floor") r = std::floor(x);
+    else if (fn == "ceil") r = std::ceil(x);
+    else r = std::round(x);
+    return Value::integer(static_cast<std::int64_t>(r));
+  }
+  if (fn == "int") {
+    if (args.size() != 1 || !args[0].is_number()) return Value::undefined();
+    return Value::integer(static_cast<std::int64_t>(args[0].as_number()));
+  }
+  if (fn == "real") {
+    if (args.size() != 1 || !args[0].is_number()) return Value::undefined();
+    return Value::real(args[0].as_number());
+  }
+  if (fn == "min" || fn == "max") {
+    // min/max over a list or over the argument values themselves.
+    const ValueList* items = nullptr;
+    ValueList direct;
+    if (args.size() == 1 && args[0].is_list()) {
+      items = &args[0].as_list();
+    } else {
+      direct = args;
+      items = &direct;
+    }
+    if (items->empty()) return Value::undefined();
+    double best = 0.0;
+    bool first = true;
+    bool all_int = true;
+    for (const auto& v : *items) {
+      if (!v.is_number()) return Value::undefined();
+      all_int = all_int && v.is_int();
+      const double x = v.as_number();
+      if (first || (fn == "min" ? x < best : x > best)) best = x;
+      first = false;
+    }
+    if (all_int) return Value::integer(static_cast<std::int64_t>(best));
+    return Value::real(best);
+  }
+  if (fn == "strcat") {
+    std::string out;
+    for (const auto& v : args) {
+      if (!v.is_string()) return Value::undefined();
+      out += v.as_string();
+    }
+    return Value::string(std::move(out));
+  }
+  if (fn == "tolower" || fn == "toupper") {
+    if (args.size() != 1 || !args[0].is_string()) return Value::undefined();
+    std::string s = args[0].as_string();
+    std::transform(s.begin(), s.end(), s.begin(), [&](unsigned char c) {
+      return static_cast<char>(fn == "tolower" ? std::tolower(c) : std::toupper(c));
+    });
+    return Value::string(std::move(s));
+  }
+  return Value::undefined();  // unknown function
+}
+
+Value eval_impl(const Expr& expr, const EvalContext& ctx, int depth) {
+  if (depth > kMaxDepth) return Value::undefined();
+
+  struct Visitor {
+    const EvalContext& ctx;
+    int depth;
+
+    Value operator()(const Expr::Literal& l) const { return l.value; }
+
+    Value operator()(const Expr::AttrRef& r) const {
+      const ClassAd* ad = (r.scope == Scope::kOther) ? ctx.other : ctx.self;
+      if (ad == nullptr) return Value::undefined();
+      const ExprPtr e = ad->lookup(r.name);
+      if (!e) return Value::undefined();
+      // Attribute expressions are evaluated in the owning ad's scope: inside
+      // `other.X`, further bare references resolve in the other ad.
+      EvalContext inner = ctx;
+      if (r.scope == Scope::kOther) {
+        inner.self = ctx.other;
+        inner.other = ctx.self;
+      }
+      return eval_impl(*e, inner, depth + 1);
+    }
+
+    Value operator()(const Expr::Unary& u) const {
+      const Value v = eval_impl(*u.operand, ctx, depth + 1);
+      return u.op == UnaryOp::kNot ? logical_not(v) : arith_neg(v);
+    }
+
+    Value operator()(const Expr::Binary& b) const {
+      // Short-circuit where three-valued logic allows it.
+      if (b.op == BinaryOp::kAnd) {
+        const Value lhs = eval_impl(*b.lhs, ctx, depth + 1);
+        if (lhs.is_bool() && !lhs.as_bool()) return Value::boolean(false);
+        return logical_and(lhs, eval_impl(*b.rhs, ctx, depth + 1));
+      }
+      if (b.op == BinaryOp::kOr) {
+        const Value lhs = eval_impl(*b.lhs, ctx, depth + 1);
+        if (lhs.is_true()) return Value::boolean(true);
+        return logical_or(lhs, eval_impl(*b.rhs, ctx, depth + 1));
+      }
+      const Value lhs = eval_impl(*b.lhs, ctx, depth + 1);
+      const Value rhs = eval_impl(*b.rhs, ctx, depth + 1);
+      switch (b.op) {
+        case BinaryOp::kEq: return cmp_eq(lhs, rhs);
+        case BinaryOp::kNe: return cmp_ne(lhs, rhs);
+        case BinaryOp::kLt: return cmp_lt(lhs, rhs);
+        case BinaryOp::kLe: return cmp_le(lhs, rhs);
+        case BinaryOp::kGt: return cmp_gt(lhs, rhs);
+        case BinaryOp::kGe: return cmp_ge(lhs, rhs);
+        case BinaryOp::kAdd: return arith_add(lhs, rhs);
+        case BinaryOp::kSub: return arith_sub(lhs, rhs);
+        case BinaryOp::kMul: return arith_mul(lhs, rhs);
+        case BinaryOp::kDiv: return arith_div(lhs, rhs);
+        case BinaryOp::kMod: return arith_mod(lhs, rhs);
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: break;  // handled above
+      }
+      return Value::undefined();
+    }
+
+    Value operator()(const Expr::Ternary& t) const {
+      const Value cond = eval_impl(*t.cond, ctx, depth + 1);
+      if (!cond.is_bool()) return Value::undefined();
+      return eval_impl(cond.as_bool() ? *t.if_true : *t.if_false, ctx, depth + 1);
+    }
+
+    Value operator()(const Expr::ListExpr& l) const {
+      ValueList items;
+      items.reserve(l.items.size());
+      for (const auto& e : l.items) items.push_back(eval_impl(*e, ctx, depth + 1));
+      return Value::list(std::move(items));
+    }
+
+    Value operator()(const Expr::Call& c) const { return eval_call(c, ctx, depth + 1); }
+  };
+
+  return std::visit(Visitor{ctx, depth}, expr.node);
+}
+
+}  // namespace
+
+Value evaluate(const Expr& expr, const EvalContext& ctx) {
+  return eval_impl(expr, ctx, 0);
+}
+
+Value evaluate_attr(const ClassAd& self, std::string_view name, const ClassAd* other) {
+  const ExprPtr e = self.lookup(name);
+  if (!e) return Value::undefined();
+  EvalContext ctx;
+  ctx.self = &self;
+  ctx.other = other;
+  return evaluate(*e, ctx);
+}
+
+bool symmetric_match(const ClassAd& left, const ClassAd& right) {
+  const auto side_ok = [](const ClassAd& self, const ClassAd& other) {
+    const ExprPtr req = self.lookup("requirements");
+    if (!req) return true;
+    EvalContext ctx;
+    ctx.self = &self;
+    ctx.other = &other;
+    return evaluate(*req, ctx).is_true();
+  };
+  return side_ok(left, right) && side_ok(right, left);
+}
+
+}  // namespace cg::jdl

@@ -1,0 +1,31 @@
+// Expression evaluation against a pair of ads (self, other). Undefined
+// attribute references evaluate to Undefined and flow through operators per
+// ClassAd semantics; recursion through attribute references is depth-limited
+// so cyclic ads cannot hang the matchmaker.
+#pragma once
+
+#include "jdl/ast.hpp"
+#include "jdl/classad.hpp"
+
+namespace cg::jdl {
+
+struct EvalContext {
+  const ClassAd* self = nullptr;
+  const ClassAd* other = nullptr;
+};
+
+/// Evaluates `expr` in `ctx`. Never throws on malformed input: type errors
+/// and unknown functions yield Undefined (matchmaking treats that as no
+/// match), matching ClassAd behaviour.
+[[nodiscard]] Value evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// Convenience: evaluates an attribute of `self` (nullptr-safe).
+[[nodiscard]] Value evaluate_attr(const ClassAd& self, std::string_view name,
+                                  const ClassAd* other = nullptr);
+
+/// The symmetric match test: both ads' Requirements must evaluate to true
+/// with the opposite ad bound to `other`. An absent Requirements counts as
+/// unconditionally true (a machine with no constraints accepts any job).
+[[nodiscard]] bool symmetric_match(const ClassAd& left, const ClassAd& right);
+
+}  // namespace cg::jdl

@@ -1,0 +1,206 @@
+#include "jdl/job_description.hpp"
+
+#include "jdl/parser.hpp"
+#include "util/strings.hpp"
+
+namespace cg::jdl {
+
+std::string to_string(JobCategory c) {
+  return c == JobCategory::kBatch ? "batch" : "interactive";
+}
+
+std::string to_string(JobFlavor f) {
+  switch (f) {
+    case JobFlavor::kSequential: return "sequential";
+    case JobFlavor::kMpichP4: return "mpich-p4";
+    case JobFlavor::kMpichG2: return "mpich-g2";
+  }
+  return "?";
+}
+
+std::string to_string(StreamingMode m) {
+  return m == StreamingMode::kFast ? "fast" : "reliable";
+}
+
+std::string to_string(MachineAccess a) {
+  return a == MachineAccess::kExclusive ? "exclusive" : "shared";
+}
+
+Expected<JobDescription> JobDescription::parse(std::string_view source) {
+  auto ad = parse_classad(source);
+  if (!ad) return ad.error();
+  return from_classad(std::move(ad.value()));
+}
+
+Expected<JobDescription> JobDescription::from_classad(ClassAd ad) {
+  JobDescription jd;
+
+  const auto exec = ad.get_string("Executable");
+  if (!exec || exec->empty()) {
+    return make_error("jdl.validate", "Executable is required and must be a string");
+  }
+  jd.executable_ = *exec;
+  jd.arguments_ = ad.get_string("Arguments").value_or("");
+
+  // JobType: a single string or a list combining category and flavor, e.g.
+  // {"interactive", "mpich-g2"}. Defaults: batch, sequential.
+  if (ad.has("JobType")) {
+    const auto types = ad.get_string_list("JobType");
+    if (!types) {
+      return make_error("jdl.validate", "JobType must be a string or list of strings");
+    }
+    bool category_seen = false;
+    bool flavor_seen = false;
+    for (const auto& t : *types) {
+      if (iequals(t, "batch") || iequals(t, "normal")) {
+        if (category_seen) return make_error("jdl.validate", "duplicate job category in JobType");
+        jd.category_ = JobCategory::kBatch;
+        category_seen = true;
+      } else if (iequals(t, "interactive")) {
+        if (category_seen) return make_error("jdl.validate", "duplicate job category in JobType");
+        jd.category_ = JobCategory::kInteractive;
+        category_seen = true;
+      } else if (iequals(t, "sequential")) {
+        if (flavor_seen) return make_error("jdl.validate", "duplicate job flavor in JobType");
+        jd.flavor_ = JobFlavor::kSequential;
+        flavor_seen = true;
+      } else if (iequals(t, "mpich-p4") || iequals(t, "mpich_p4")) {
+        if (flavor_seen) return make_error("jdl.validate", "duplicate job flavor in JobType");
+        jd.flavor_ = JobFlavor::kMpichP4;
+        flavor_seen = true;
+      } else if (iequals(t, "mpich-g2") || iequals(t, "mpich_g2")) {
+        if (flavor_seen) return make_error("jdl.validate", "duplicate job flavor in JobType");
+        jd.flavor_ = JobFlavor::kMpichG2;
+        flavor_seen = true;
+      } else {
+        return make_error("jdl.validate", "unknown JobType element: \"" + t + "\"");
+      }
+    }
+  }
+
+  if (ad.has("NodeNumber")) {
+    const auto nn = ad.get_int("NodeNumber");
+    if (!nn || *nn < 1) {
+      return make_error("jdl.validate", "NodeNumber must be an integer >= 1");
+    }
+    if (*nn > 100000) {
+      return make_error("jdl.validate", "NodeNumber is implausibly large");
+    }
+    jd.node_number_ = static_cast<int>(*nn);
+  }
+  if (jd.flavor_ == JobFlavor::kSequential && jd.node_number_ != 1) {
+    return make_error("jdl.validate", "sequential jobs must have NodeNumber = 1");
+  }
+
+  if (ad.has("StreamingMode")) {
+    const auto mode = ad.get_string("StreamingMode");
+    if (!mode) return make_error("jdl.validate", "StreamingMode must be a string");
+    if (iequals(*mode, "fast")) {
+      jd.streaming_mode_ = StreamingMode::kFast;
+    } else if (iequals(*mode, "reliable")) {
+      jd.streaming_mode_ = StreamingMode::kReliable;
+    } else {
+      return make_error("jdl.validate",
+                        "StreamingMode must be \"fast\" or \"reliable\"");
+    }
+  }
+
+  if (ad.has("MachineAccess")) {
+    const auto access = ad.get_string("MachineAccess");
+    if (!access) return make_error("jdl.validate", "MachineAccess must be a string");
+    if (iequals(*access, "exclusive")) {
+      jd.machine_access_ = MachineAccess::kExclusive;
+    } else if (iequals(*access, "shared")) {
+      jd.machine_access_ = MachineAccess::kShared;
+    } else {
+      return make_error("jdl.validate",
+                        "MachineAccess must be \"exclusive\" or \"shared\"");
+    }
+  }
+
+  if (ad.has("PerformanceLoss")) {
+    const auto pl = ad.get_int("PerformanceLoss");
+    // Paper: "Values for Performance Loss can be 0, 5, 10, 15, and so on" —
+    // multiples of 5; it must leave the interactive job a strict majority.
+    if (!pl || *pl < 0 || *pl > 50 || *pl % 5 != 0) {
+      return make_error(
+          "jdl.validate",
+          "PerformanceLoss must be a multiple of 5 between 0 and 50");
+    }
+    jd.performance_loss_ = static_cast<int>(*pl);
+  }
+
+  if (ad.has("ShadowPort")) {
+    const auto port = ad.get_int("ShadowPort");
+    if (!port || *port < 1 || *port > 65535) {
+      return make_error("jdl.validate", "ShadowPort must be in [1, 65535]");
+    }
+    jd.shadow_port_ = static_cast<std::uint16_t>(*port);
+  }
+
+  if (ad.has("InputSandbox")) {
+    const auto files = ad.get_string_list("InputSandbox");
+    if (!files) {
+      return make_error("jdl.validate", "InputSandbox must be a list of strings");
+    }
+    jd.input_sandbox_ = *files;
+  }
+
+  if (ad.has("OutputSandbox")) {
+    const auto files = ad.get_string_list("OutputSandbox");
+    if (!files) {
+      return make_error("jdl.validate", "OutputSandbox must be a list of strings");
+    }
+    jd.output_sandbox_ = *files;
+  }
+
+  if (ad.has("RetryCount")) {
+    const auto retries = ad.get_int("RetryCount");
+    if (!retries || *retries < 0 || *retries > 100) {
+      return make_error("jdl.validate", "RetryCount must be in [0, 100]");
+    }
+    jd.retry_count_ = static_cast<int>(*retries);
+  }
+
+  if (ad.has("Environment")) {
+    const auto env = ad.get_string_list("Environment");
+    if (!env) {
+      return make_error("jdl.validate", "Environment must be a list of strings");
+    }
+    for (const auto& entry : *env) {
+      const auto eq = entry.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return make_error("jdl.validate",
+                          "Environment entries must look like NAME=value: " +
+                              entry);
+      }
+    }
+    jd.environment_ = *env;
+  }
+
+  if (ad.has("VirtualOrganisation")) {
+    const auto vo = ad.get_string("VirtualOrganisation");
+    if (!vo || vo->empty()) {
+      return make_error("jdl.validate",
+                        "VirtualOrganisation must be a non-empty string");
+    }
+    jd.virtual_organisation_ = *vo;
+  }
+
+  // Streaming attributes only make sense for interactive jobs.
+  if (jd.category_ == JobCategory::kBatch && ad.has("MachineAccess") &&
+      jd.machine_access_ == MachineAccess::kShared) {
+    return make_error("jdl.validate",
+                      "MachineAccess = \"shared\" applies to interactive jobs only");
+  }
+
+  jd.ad_ = std::move(ad);
+  return jd;
+}
+
+int JobDescription::console_agent_count() const {
+  if (flavor_ == JobFlavor::kMpichG2) return node_number_;
+  return 1;
+}
+
+}  // namespace cg::jdl

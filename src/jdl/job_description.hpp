@@ -1,0 +1,93 @@
+// Typed view over a job's ClassAd, exposing the attributes the paper's
+// CrossBroker understands (Figure 2 and Section 3): JobType, NodeNumber,
+// StreamingMode, MachineAccess, PerformanceLoss, plus the standard
+// Executable / Arguments / Requirements / Rank.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jdl/classad.hpp"
+#include "util/expected.hpp"
+
+namespace cg::jdl {
+
+enum class JobCategory { kBatch, kInteractive };
+enum class JobFlavor { kSequential, kMpichP4, kMpichG2 };
+enum class StreamingMode { kFast, kReliable };
+enum class MachineAccess { kExclusive, kShared };
+
+[[nodiscard]] std::string to_string(JobCategory c);
+[[nodiscard]] std::string to_string(JobFlavor f);
+[[nodiscard]] std::string to_string(StreamingMode m);
+[[nodiscard]] std::string to_string(MachineAccess a);
+
+/// A validated job description. Construct from JDL text or from a ClassAd;
+/// validation enforces the paper's attribute domains (PerformanceLoss in
+/// multiples of 5, NodeNumber >= 1, parallel jobs require NodeNumber, ...).
+class JobDescription {
+public:
+  /// Default-constructed descriptions are empty placeholders (no
+  /// executable); build real ones through parse()/from_classad().
+  JobDescription() = default;
+
+  /// Parses and validates JDL source.
+  [[nodiscard]] static Expected<JobDescription> parse(std::string_view source);
+  /// Validates an already-parsed ad.
+  [[nodiscard]] static Expected<JobDescription> from_classad(ClassAd ad);
+
+  [[nodiscard]] const ClassAd& ad() const { return ad_; }
+
+  [[nodiscard]] const std::string& executable() const { return executable_; }
+  [[nodiscard]] const std::string& arguments() const { return arguments_; }
+  [[nodiscard]] JobCategory category() const { return category_; }
+  [[nodiscard]] JobFlavor flavor() const { return flavor_; }
+  [[nodiscard]] bool is_interactive() const { return category_ == JobCategory::kInteractive; }
+  [[nodiscard]] bool is_parallel() const { return flavor_ != JobFlavor::kSequential; }
+  [[nodiscard]] int node_number() const { return node_number_; }
+  [[nodiscard]] StreamingMode streaming_mode() const { return streaming_mode_; }
+  [[nodiscard]] MachineAccess machine_access() const { return machine_access_; }
+  /// Percentage of CPU the interactive job leaves to a co-resident batch job.
+  [[nodiscard]] int performance_loss() const { return performance_loss_; }
+  /// User-pinned shadow port (e.g. a firewall hole), if any.
+  [[nodiscard]] std::optional<std::uint16_t> shadow_port() const { return shadow_port_; }
+  /// Input files to stage to the remote site before execution.
+  [[nodiscard]] const std::vector<std::string>& input_sandbox() const { return input_sandbox_; }
+  /// Output files staged back to the submitter after completion.
+  [[nodiscard]] const std::vector<std::string>& output_sandbox() const { return output_sandbox_; }
+  /// Per-job resubmission budget (RetryCount); overrides the broker default
+  /// when set.
+  [[nodiscard]] std::optional<int> retry_count() const { return retry_count_; }
+  /// Environment variables ("NAME=value" entries) exported to the job.
+  [[nodiscard]] const std::vector<std::string>& environment() const { return environment_; }
+  /// The submitting user's virtual organisation, if declared.
+  [[nodiscard]] const std::string& virtual_organisation() const { return virtual_organisation_; }
+
+  [[nodiscard]] ExprPtr requirements() const { return ad_.lookup("requirements"); }
+  [[nodiscard]] ExprPtr rank() const { return ad_.lookup("rank"); }
+
+  /// Number of Console Agents this job needs: one for sequential/MPICH-P4,
+  /// one per subjob for MPICH-G2 (Section 4).
+  [[nodiscard]] int console_agent_count() const;
+
+private:
+  ClassAd ad_;
+  std::string executable_;
+  std::string arguments_;
+  JobCategory category_ = JobCategory::kBatch;
+  JobFlavor flavor_ = JobFlavor::kSequential;
+  int node_number_ = 1;
+  StreamingMode streaming_mode_ = StreamingMode::kFast;
+  MachineAccess machine_access_ = MachineAccess::kExclusive;
+  int performance_loss_ = 0;
+  std::optional<std::uint16_t> shadow_port_;
+  std::vector<std::string> input_sandbox_;
+  std::vector<std::string> output_sandbox_;
+  std::optional<int> retry_count_;
+  std::vector<std::string> environment_;
+  std::string virtual_organisation_;
+};
+
+}  // namespace cg::jdl

@@ -1,0 +1,321 @@
+#include "jdl/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace cg::jdl {
+
+std::string_view to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kReal: return "real";
+    case TokenKind::kString: return "string";
+    case TokenKind::kBoolTrue: return "true";
+    case TokenKind::kBoolFalse: return "false";
+    case TokenKind::kUndefined: return "undefined";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Cursor {
+public:
+  explicit Cursor(std::string_view src) : src_{src} {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+Error lex_error(const Cursor& cur, const std::string& what) {
+  return make_error("jdl.lex",
+                    what + " at line " + std::to_string(cur.line()) + ", column " +
+                        std::to_string(cur.column()));
+}
+
+}  // namespace
+
+Expected<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur{source};
+
+  const auto push = [&](TokenKind kind, std::size_t line, std::size_t col) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = col;
+    tokens.push_back(std::move(t));
+  };
+
+  while (!cur.eof()) {
+    const char c = cur.peek();
+    const std::size_t line = cur.line();
+    const std::size_t col = cur.column();
+
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.advance();
+      continue;
+    }
+    // Comments.
+    if (c == '#' || (c == '/' && cur.peek(1) == '/')) {
+      while (!cur.eof() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      bool closed = false;
+      while (!cur.eof()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.advance();
+          cur.advance();
+          closed = true;
+          break;
+        }
+        cur.advance();
+      }
+      if (!closed) return lex_error(cur, "unterminated block comment");
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      cur.advance();
+      std::string text;
+      bool closed = false;
+      while (!cur.eof()) {
+        const char ch = cur.advance();
+        if (ch == '"') {
+          closed = true;
+          break;
+        }
+        if (ch == '\\') {
+          if (cur.eof()) break;
+          const char esc = cur.advance();
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case 'r': text += '\r'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default: return lex_error(cur, std::string{"bad escape '\\"} + esc + "'");
+          }
+        } else {
+          text += ch;
+        }
+      }
+      if (!closed) return lex_error(cur, "unterminated string literal");
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.line = line;
+      t.column = col;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))) != 0)) {
+      const std::size_t start = cur.pos();
+      bool is_real = false;
+      while (!cur.eof() && std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) {
+        cur.advance();
+      }
+      if (cur.peek() == '.' &&
+          std::isdigit(static_cast<unsigned char>(cur.peek(1))) != 0) {
+        is_real = true;
+        cur.advance();
+        while (!cur.eof() &&
+               std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) {
+          cur.advance();
+        }
+      }
+      if (cur.peek() == 'e' || cur.peek() == 'E') {
+        std::size_t ahead = 1;
+        if (cur.peek(1) == '+' || cur.peek(1) == '-') ahead = 2;
+        if (std::isdigit(static_cast<unsigned char>(cur.peek(ahead))) != 0) {
+          is_real = true;
+          for (std::size_t i = 0; i < ahead; ++i) cur.advance();
+          while (!cur.eof() &&
+                 std::isdigit(static_cast<unsigned char>(cur.peek())) != 0) {
+            cur.advance();
+          }
+        }
+      }
+      const std::string_view lexeme = cur.slice(start);
+      Token t;
+      t.line = line;
+      t.column = col;
+      if (is_real) {
+        t.kind = TokenKind::kReal;
+        t.real_value = std::stod(std::string{lexeme});
+      } else {
+        t.kind = TokenKind::kInt;
+        std::int64_t v = 0;
+        const auto [ptr, ec] =
+            std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(), v);
+        if (ec != std::errc{}) return lex_error(cur, "integer literal out of range");
+        t.int_value = v;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = cur.pos();
+      while (!cur.eof() &&
+             (std::isalnum(static_cast<unsigned char>(cur.peek())) != 0 ||
+              cur.peek() == '_')) {
+        cur.advance();
+      }
+      const std::string_view lexeme = cur.slice(start);
+      Token t;
+      t.line = line;
+      t.column = col;
+      if (iequals(lexeme, "true")) {
+        t.kind = TokenKind::kBoolTrue;
+      } else if (iequals(lexeme, "false")) {
+        t.kind = TokenKind::kBoolFalse;
+      } else if (iequals(lexeme, "undefined")) {
+        t.kind = TokenKind::kUndefined;
+      } else {
+        t.kind = TokenKind::kIdent;
+        t.text = std::string{lexeme};
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    cur.advance();
+    switch (c) {
+      case '=':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kEq, line, col);
+        } else {
+          push(TokenKind::kAssign, line, col);
+        }
+        break;
+      case ';': push(TokenKind::kSemicolon, line, col); break;
+      case ',': push(TokenKind::kComma, line, col); break;
+      case '.': push(TokenKind::kDot, line, col); break;
+      case '(': push(TokenKind::kLParen, line, col); break;
+      case ')': push(TokenKind::kRParen, line, col); break;
+      case '{': push(TokenKind::kLBrace, line, col); break;
+      case '}': push(TokenKind::kRBrace, line, col); break;
+      case '[': push(TokenKind::kLBracket, line, col); break;
+      case ']': push(TokenKind::kRBracket, line, col); break;
+      case '+': push(TokenKind::kPlus, line, col); break;
+      case '-': push(TokenKind::kMinus, line, col); break;
+      case '*': push(TokenKind::kStar, line, col); break;
+      case '/': push(TokenKind::kSlash, line, col); break;
+      case '%': push(TokenKind::kPercent, line, col); break;
+      case '?': push(TokenKind::kQuestion, line, col); break;
+      case ':': push(TokenKind::kColon, line, col); break;
+      case '!':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kNe, line, col);
+        } else {
+          push(TokenKind::kBang, line, col);
+        }
+        break;
+      case '&':
+        if (cur.peek() == '&') {
+          cur.advance();
+          push(TokenKind::kAndAnd, line, col);
+        } else {
+          return lex_error(cur, "expected '&&'");
+        }
+        break;
+      case '|':
+        if (cur.peek() == '|') {
+          cur.advance();
+          push(TokenKind::kOrOr, line, col);
+        } else {
+          return lex_error(cur, "expected '||'");
+        }
+        break;
+      case '<':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kLe, line, col);
+        } else {
+          push(TokenKind::kLt, line, col);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kGe, line, col);
+        } else {
+          push(TokenKind::kGt, line, col);
+        }
+        break;
+      default:
+        return lex_error(cur, std::string{"unexpected character '"} + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = cur.line();
+  end.column = cur.column();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cg::jdl

@@ -1,0 +1,66 @@
+// Tokenizer for the Job Description Language (ClassAd-style syntax used by
+// the EU DataGrid / CrossGrid JDL, see Figure 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hpp"
+
+namespace cg::jdl {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kReal,
+  kString,
+  kBoolTrue,
+  kBoolFalse,
+  kUndefined,
+  kAssign,      // =
+  kSemicolon,   // ;
+  kComma,       // ,
+  kDot,         // .
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kBang,        // !
+  kAndAnd,
+  kOrOr,
+  kEq,          // ==
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kQuestion,    // ?
+  kColon,       // :
+  kEnd,
+};
+
+[[nodiscard]] std::string_view to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;          ///< identifier or string contents
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  std::size_t line = 1;      ///< 1-based source line, for error messages
+  std::size_t column = 1;
+};
+
+/// Tokenizes JDL source. Comments: `//` and `#` to end of line, `/* */`.
+/// Keywords `true`/`false`/`undefined` are case-insensitive, like ClassAds.
+[[nodiscard]] Expected<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace cg::jdl

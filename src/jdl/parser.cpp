@@ -1,0 +1,296 @@
+#include "jdl/parser.hpp"
+
+#include "jdl/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace cg::jdl {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> tokens) : tokens_{std::move(tokens)} {}
+
+  Expected<ClassAd> parse_document() {
+    ClassAd ad;
+    // Optional classad wrapper: [ a = 1; b = 2; ]
+    const bool bracketed = peek().kind == TokenKind::kLBracket;
+    if (bracketed) advance();
+    while (peek().kind != TokenKind::kEnd &&
+           !(bracketed && peek().kind == TokenKind::kRBracket)) {
+      if (peek().kind != TokenKind::kIdent) {
+        return error("expected attribute name");
+      }
+      const std::string name = advance().text;
+      if (peek().kind != TokenKind::kAssign) {
+        return error("expected '=' after attribute name");
+      }
+      advance();
+      auto expr = parse_expr();
+      if (!expr) return expr.error();
+      ad.set(name, std::move(expr.value()));
+      // Semicolons separate assignments; the final one is optional.
+      if (peek().kind == TokenKind::kSemicolon) {
+        advance();
+      } else if (peek().kind != TokenKind::kEnd &&
+                 !(bracketed && peek().kind == TokenKind::kRBracket)) {
+        return error("expected ';' after attribute value");
+      }
+    }
+    if (bracketed) {
+      if (peek().kind != TokenKind::kRBracket) return error("expected ']'");
+      advance();
+      if (peek().kind != TokenKind::kEnd) return error("trailing input after ']'");
+    }
+    return ad;
+  }
+
+  Expected<ExprPtr> parse_single_expression() {
+    auto expr = parse_expr();
+    if (!expr) return expr;
+    if (peek().kind == TokenKind::kSemicolon) advance();
+    if (peek().kind != TokenKind::kEnd) return error("trailing input after expression");
+    return expr;
+  }
+
+private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  [[nodiscard]] Error error(const std::string& what) const {
+    const Token& t = peek();
+    return make_error("jdl.parse",
+                      what + " (got " + std::string{cg::jdl::to_string(t.kind)} +
+                          " at line " + std::to_string(t.line) + ", column " +
+                          std::to_string(t.column) + ")");
+  }
+
+  Expected<ExprPtr> parse_expr() { return parse_ternary(); }
+
+  Expected<ExprPtr> parse_ternary() {
+    auto cond = parse_or();
+    if (!cond) return cond;
+    if (peek().kind != TokenKind::kQuestion) return cond;
+    advance();
+    auto t = parse_expr();
+    if (!t) return t;
+    if (peek().kind != TokenKind::kColon) return error("expected ':' in ternary");
+    advance();
+    auto f = parse_expr();
+    if (!f) return f;
+    return make_ternary(std::move(cond.value()), std::move(t.value()),
+                        std::move(f.value()));
+  }
+
+  Expected<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs) return lhs;
+    while (peek().kind == TokenKind::kOrOr) {
+      advance();
+      auto rhs = parse_and();
+      if (!rhs) return rhs;
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs.value()), std::move(rhs.value()));
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_and() {
+    auto lhs = parse_comparison();
+    if (!lhs) return lhs;
+    while (peek().kind == TokenKind::kAndAnd) {
+      advance();
+      auto rhs = parse_comparison();
+      if (!rhs) return rhs;
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs.value()), std::move(rhs.value()));
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs) return lhs;
+    BinaryOp op{};
+    switch (peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default: return lhs;
+    }
+    advance();
+    auto rhs = parse_additive();
+    if (!rhs) return rhs;
+    return make_binary(op, std::move(lhs.value()), std::move(rhs.value()));
+  }
+
+  Expected<ExprPtr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs) return lhs;
+    while (peek().kind == TokenKind::kPlus || peek().kind == TokenKind::kMinus) {
+      const BinaryOp op =
+          peek().kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+      advance();
+      auto rhs = parse_multiplicative();
+      if (!rhs) return rhs;
+      lhs = make_binary(op, std::move(lhs.value()), std::move(rhs.value()));
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    if (!lhs) return lhs;
+    while (true) {
+      BinaryOp op{};
+      switch (peek().kind) {
+        case TokenKind::kStar: op = BinaryOp::kMul; break;
+        case TokenKind::kSlash: op = BinaryOp::kDiv; break;
+        case TokenKind::kPercent: op = BinaryOp::kMod; break;
+        default: return lhs;
+      }
+      advance();
+      auto rhs = parse_unary();
+      if (!rhs) return rhs;
+      lhs = make_binary(op, std::move(lhs.value()), std::move(rhs.value()));
+    }
+  }
+
+  Expected<ExprPtr> parse_unary() {
+    if (peek().kind == TokenKind::kBang) {
+      advance();
+      auto operand = parse_unary();
+      if (!operand) return operand;
+      return make_unary(UnaryOp::kNot, std::move(operand.value()));
+    }
+    if (peek().kind == TokenKind::kMinus) {
+      advance();
+      auto operand = parse_unary();
+      if (!operand) return operand;
+      return make_unary(UnaryOp::kNeg, std::move(operand.value()));
+    }
+    return parse_primary();
+  }
+
+  Expected<ExprPtr> parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        advance();
+        return make_literal(Value::integer(t.int_value));
+      }
+      case TokenKind::kReal: {
+        advance();
+        return make_literal(Value::real(t.real_value));
+      }
+      case TokenKind::kString: {
+        advance();
+        return make_literal(Value::string(t.text));
+      }
+      case TokenKind::kBoolTrue:
+        advance();
+        return make_literal(Value::boolean(true));
+      case TokenKind::kBoolFalse:
+        advance();
+        return make_literal(Value::boolean(false));
+      case TokenKind::kUndefined:
+        advance();
+        return make_literal(Value::undefined());
+      case TokenKind::kLParen: {
+        advance();
+        auto inner = parse_expr();
+        if (!inner) return inner;
+        if (peek().kind != TokenKind::kRParen) return error("expected ')'");
+        advance();
+        return inner;
+      }
+      case TokenKind::kLBrace: {
+        advance();
+        std::vector<ExprPtr> items;
+        if (peek().kind != TokenKind::kRBrace) {
+          while (true) {
+            auto item = parse_expr();
+            if (!item) return item;
+            items.push_back(std::move(item.value()));
+            if (peek().kind == TokenKind::kComma) {
+              advance();
+              continue;
+            }
+            break;
+          }
+        }
+        if (peek().kind != TokenKind::kRBrace) return error("expected '}' after list");
+        advance();
+        return make_list(std::move(items));
+      }
+      case TokenKind::kIdent:
+        return parse_ident();
+      default:
+        return error("expected expression");
+    }
+  }
+
+  Expected<ExprPtr> parse_ident() {
+    const std::string first = advance().text;
+    const std::string lowered = to_lower(first);
+
+    // Scoped references: self.X / other.X
+    if ((lowered == "self" || lowered == "other") &&
+        peek().kind == TokenKind::kDot) {
+      advance();
+      if (peek().kind != TokenKind::kIdent) {
+        return error("expected attribute name after scope");
+      }
+      const std::string attr = advance().text;
+      return make_attr_ref(lowered == "other" ? Scope::kOther : Scope::kSelf,
+                           /*explicit_scope=*/true, attr);
+    }
+    // Function call.
+    if (peek().kind == TokenKind::kLParen) {
+      advance();
+      std::vector<ExprPtr> args;
+      if (peek().kind != TokenKind::kRParen) {
+        while (true) {
+          auto arg = parse_expr();
+          if (!arg) return arg;
+          args.push_back(std::move(arg.value()));
+          if (peek().kind == TokenKind::kComma) {
+            advance();
+            continue;
+          }
+          break;
+        }
+      }
+      if (peek().kind != TokenKind::kRParen) return error("expected ')' after arguments");
+      advance();
+      return make_call(lowered, std::move(args));
+    }
+    // Bare attribute reference (self scope).
+    return make_attr_ref(Scope::kSelf, /*explicit_scope=*/false, first);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<ClassAd> parse_classad(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens) return tokens.error();
+  Parser parser{std::move(tokens.value())};
+  return parser.parse_document();
+}
+
+Expected<ExprPtr> parse_expression(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens) return tokens.error();
+  Parser parser{std::move(tokens.value())};
+  return parser.parse_single_expression();
+}
+
+}  // namespace cg::jdl

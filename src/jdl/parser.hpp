@@ -1,0 +1,20 @@
+// Recursive-descent parser for JDL documents (attribute assignments, as in
+// the paper's Figure 2) and standalone expressions.
+#pragma once
+
+#include <string_view>
+
+#include "jdl/classad.hpp"
+#include "util/expected.hpp"
+
+namespace cg::jdl {
+
+/// Parses a full JDL document: a sequence of `Name = expr;` assignments.
+/// A trailing semicolon on the last assignment is optional, and the whole
+/// document may optionally be wrapped in `[ ... ]` (classad list form).
+[[nodiscard]] Expected<ClassAd> parse_classad(std::string_view source);
+
+/// Parses a single expression (e.g. a Requirements string on its own).
+[[nodiscard]] Expected<ExprPtr> parse_expression(std::string_view source);
+
+}  // namespace cg::jdl

@@ -1,0 +1,215 @@
+#include "jdl/value.hpp"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace cg::jdl {
+
+Value::Type Value::type() const {
+  switch (data_.index()) {
+    case 0: return Type::kUndefined;
+    case 1: return Type::kBool;
+    case 2: return Type::kInt;
+    case 3: return Type::kReal;
+    case 4: return Type::kString;
+    case 5: return Type::kList;
+  }
+  return Type::kUndefined;
+}
+
+bool Value::same_as(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case Type::kUndefined: return true;
+    case Type::kBool: return as_bool() == other.as_bool();
+    case Type::kInt: return as_int() == other.as_int();
+    case Type::kReal: return as_real() == other.as_real();
+    case Type::kString: return as_string() == other.as_string();
+    case Type::kList: {
+      const auto& a = as_list();
+      const auto& b = other.as_list();
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!a[i].same_as(b[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case Type::kUndefined: return "undefined";
+    case Type::kBool: return as_bool() ? "true" : "false";
+    case Type::kInt: return std::to_string(as_int());
+    case Type::kReal: {
+      std::ostringstream os;
+      os << as_real();
+      return os.str();
+    }
+    case Type::kString: return "\"" + as_string() + "\"";
+    case Type::kList: {
+      std::string out = "{";
+      const auto& items = as_list();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].to_string();
+      }
+      return out + "}";
+    }
+  }
+  return "undefined";
+}
+
+namespace {
+
+bool both_numbers(const Value& a, const Value& b) {
+  return a.is_number() && b.is_number();
+}
+
+bool both_ints(const Value& a, const Value& b) {
+  return a.is_int() && b.is_int();
+}
+
+}  // namespace
+
+Value logical_and(const Value& a, const Value& b) {
+  // Three-valued AND: false dominates Undefined.
+  const auto truth = [](const Value& v) -> int {
+    if (v.is_bool()) return v.as_bool() ? 1 : 0;
+    return -1;  // undefined / non-boolean
+  };
+  const int ta = truth(a);
+  const int tb = truth(b);
+  if (ta == 0 || tb == 0) return Value::boolean(false);
+  if (ta == 1 && tb == 1) return Value::boolean(true);
+  return Value::undefined();
+}
+
+Value logical_or(const Value& a, const Value& b) {
+  const auto truth = [](const Value& v) -> int {
+    if (v.is_bool()) return v.as_bool() ? 1 : 0;
+    return -1;
+  };
+  const int ta = truth(a);
+  const int tb = truth(b);
+  if (ta == 1 || tb == 1) return Value::boolean(true);
+  if (ta == 0 && tb == 0) return Value::boolean(false);
+  return Value::undefined();
+}
+
+Value logical_not(const Value& a) {
+  if (!a.is_bool()) return Value::undefined();
+  return Value::boolean(!a.as_bool());
+}
+
+Value arith_add(const Value& a, const Value& b) {
+  if (a.is_string() && b.is_string()) {
+    return Value::string(a.as_string() + b.as_string());
+  }
+  if (!both_numbers(a, b)) return Value::undefined();
+  if (both_ints(a, b)) return Value::integer(a.as_int() + b.as_int());
+  return Value::real(a.as_number() + b.as_number());
+}
+
+Value arith_sub(const Value& a, const Value& b) {
+  if (!both_numbers(a, b)) return Value::undefined();
+  if (both_ints(a, b)) return Value::integer(a.as_int() - b.as_int());
+  return Value::real(a.as_number() - b.as_number());
+}
+
+Value arith_mul(const Value& a, const Value& b) {
+  if (!both_numbers(a, b)) return Value::undefined();
+  if (both_ints(a, b)) return Value::integer(a.as_int() * b.as_int());
+  return Value::real(a.as_number() * b.as_number());
+}
+
+Value arith_div(const Value& a, const Value& b) {
+  if (!both_numbers(a, b)) return Value::undefined();
+  if (both_ints(a, b)) {
+    if (b.as_int() == 0) return Value::undefined();
+    return Value::integer(a.as_int() / b.as_int());
+  }
+  if (b.as_number() == 0.0) return Value::undefined();
+  return Value::real(a.as_number() / b.as_number());
+}
+
+Value arith_mod(const Value& a, const Value& b) {
+  if (!both_ints(a, b) || b.as_int() == 0) return Value::undefined();
+  return Value::integer(a.as_int() % b.as_int());
+}
+
+Value arith_neg(const Value& a) {
+  if (a.is_int()) return Value::integer(-a.as_int());
+  if (a.is_real()) return Value::real(-a.as_real());
+  return Value::undefined();
+}
+
+namespace {
+
+// Shared comparison kernel: returns -1/0/+1, or nullopt when incomparable.
+// Strings compare case-insensitively, ClassAd style.
+std::optional<int> compare(const Value& a, const Value& b) {
+  if (both_numbers(a, b)) {
+    const double x = a.as_number();
+    const double y = b.as_number();
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.is_string() && b.is_string()) {
+    const std::string x = to_lower(a.as_string());
+    const std::string y = to_lower(b.as_string());
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Value cmp_eq(const Value& a, const Value& b) {
+  const auto c = compare(a, b);
+  if (!c) return Value::undefined();
+  return Value::boolean(*c == 0);
+}
+
+Value cmp_ne(const Value& a, const Value& b) {
+  const auto c = compare(a, b);
+  if (!c) return Value::undefined();
+  return Value::boolean(*c != 0);
+}
+
+Value cmp_lt(const Value& a, const Value& b) {
+  const auto c = compare(a, b);
+  if (!c) return Value::undefined();
+  return Value::boolean(*c < 0);
+}
+
+Value cmp_le(const Value& a, const Value& b) {
+  const auto c = compare(a, b);
+  if (!c) return Value::undefined();
+  return Value::boolean(*c <= 0);
+}
+
+Value cmp_gt(const Value& a, const Value& b) {
+  const auto c = compare(a, b);
+  if (!c) return Value::undefined();
+  return Value::boolean(*c > 0);
+}
+
+Value cmp_ge(const Value& a, const Value& b) {
+  const auto c = compare(a, b);
+  if (!c) return Value::undefined();
+  return Value::boolean(*c >= 0);
+}
+
+}  // namespace cg::jdl

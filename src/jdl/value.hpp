@@ -1,0 +1,94 @@
+// Runtime values of the Job Description Language. JDL follows ClassAd
+// semantics: expressions evaluate to typed values with an explicit Undefined
+// that propagates through operators (three-valued logic), which is what makes
+// matchmaking robust to sites that do not publish an attribute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cg::jdl {
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+public:
+  enum class Type { kUndefined, kBool, kInt, kReal, kString, kList };
+
+  Value() : data_{Undefined{}} {}
+  static Value undefined() { return Value{}; }
+  static Value boolean(bool b) { return Value{b}; }
+  static Value integer(std::int64_t i) { return Value{i}; }
+  static Value real(double d) { return Value{d}; }
+  static Value string(std::string s) { return Value{std::move(s)}; }
+  static Value list(ValueList items) { return Value{std::move(items)}; }
+
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_undefined() const { return type() == Type::kUndefined; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type() == Type::kInt; }
+  [[nodiscard]] bool is_real() const { return type() == Type::kReal; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_real(); }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_list() const { return type() == Type::kList; }
+
+  /// Accessors; behaviour is undefined unless the type matches (callers check).
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] double as_real() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(data_); }
+  [[nodiscard]] const ValueList& as_list() const { return std::get<ValueList>(data_); }
+
+  /// Numeric value widened to double; requires is_number().
+  [[nodiscard]] double as_number() const {
+    return is_int() ? static_cast<double>(as_int()) : as_real();
+  }
+
+  /// True iff the value is boolean true (the matchmaking acceptance test:
+  /// Undefined and non-bool values do NOT match).
+  [[nodiscard]] bool is_true() const { return is_bool() && as_bool(); }
+
+  /// Structural equality (exact, no numeric coercion); used by tests.
+  [[nodiscard]] bool same_as(const Value& other) const;
+
+  /// Renders the value in JDL source syntax.
+  [[nodiscard]] std::string to_string() const;
+
+private:
+  struct Undefined {
+    bool operator==(const Undefined&) const = default;
+  };
+  explicit Value(bool b) : data_{b} {}
+  explicit Value(std::int64_t i) : data_{i} {}
+  explicit Value(double d) : data_{d} {}
+  explicit Value(std::string s) : data_{std::move(s)} {}
+  explicit Value(ValueList l) : data_{std::move(l)} {}
+
+  std::variant<Undefined, bool, std::int64_t, double, std::string, ValueList> data_;
+};
+
+// ---- ClassAd operator semantics (Undefined propagates; && and || use
+// three-valued logic so `Undefined && false` is false). ----
+
+[[nodiscard]] Value logical_and(const Value& a, const Value& b);
+[[nodiscard]] Value logical_or(const Value& a, const Value& b);
+[[nodiscard]] Value logical_not(const Value& a);
+
+[[nodiscard]] Value arith_add(const Value& a, const Value& b);
+[[nodiscard]] Value arith_sub(const Value& a, const Value& b);
+[[nodiscard]] Value arith_mul(const Value& a, const Value& b);
+[[nodiscard]] Value arith_div(const Value& a, const Value& b);
+[[nodiscard]] Value arith_mod(const Value& a, const Value& b);
+[[nodiscard]] Value arith_neg(const Value& a);
+
+[[nodiscard]] Value cmp_eq(const Value& a, const Value& b);
+[[nodiscard]] Value cmp_ne(const Value& a, const Value& b);
+[[nodiscard]] Value cmp_lt(const Value& a, const Value& b);
+[[nodiscard]] Value cmp_le(const Value& a, const Value& b);
+[[nodiscard]] Value cmp_gt(const Value& a, const Value& b);
+[[nodiscard]] Value cmp_ge(const Value& a, const Value& b);
+
+}  // namespace cg::jdl

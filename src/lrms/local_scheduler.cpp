@@ -1,0 +1,170 @@
+#include "lrms/local_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "jdl/eval.hpp"
+#include "util/log.hpp"
+
+namespace cg::lrms {
+
+LocalScheduler::LocalScheduler(sim::Simulation& sim,
+                               std::vector<WorkerNodeSpec> nodes,
+                               LocalSchedulerConfig config)
+    : sim_{sim}, config_{config} {
+  if (nodes.empty()) throw std::invalid_argument{"LocalScheduler: no nodes"};
+  nodes_.reserve(nodes.size());
+  for (const auto& spec : nodes) {
+    nodes_.push_back(std::make_unique<WorkerNode>(sim_, node_ids_.next(), spec));
+  }
+}
+
+bool LocalScheduler::submit(LocalJob job) {
+  // A full queue only matters when no node can take the job right away.
+  if (queue_.size() >= config_.max_queue_length && first_idle_node() == nullptr) {
+    log_warn("lrms", "queue full, rejecting ", job.id);
+    return false;
+  }
+  // Wrap completion so a finishing job pulls the next one from the queue.
+  auto user_complete = std::move(job.on_complete);
+  job.on_complete = [this, user_complete = std::move(user_complete)] {
+    if (user_complete) user_complete();
+    try_dispatch();
+  };
+  queue_.push_back(std::move(job));
+  try_dispatch();
+  return true;
+}
+
+bool LocalScheduler::cancel_queued(JobId id) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [id](const LocalJob& j) { return j.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+bool LocalScheduler::kill_running(JobId id) {
+  for (auto& node : nodes_) {
+    if (node->current_job() == id) {
+      const NodeId where = node->id();
+      node->kill_current();
+      if (on_killed_) on_killed_(id, where);
+      try_dispatch();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LocalScheduler::release_barrier(JobId id) {
+  for (auto& node : nodes_) {
+    if (node->current_job() == id) {
+      node->release_barrier();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LocalScheduler::finish_manual(JobId id) {
+  for (auto& node : nodes_) {
+    if (node->current_job() == id) {
+      node->finish_current_manual();
+      return true;
+    }
+  }
+  return false;
+}
+
+int LocalScheduler::free_nodes() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node->idle()) ++n;
+  }
+  return n;
+}
+
+int LocalScheduler::running_jobs() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node->current_job()) ++n;
+  }
+  return n;
+}
+
+bool LocalScheduler::has_capacity_or_queue_space() const {
+  return free_nodes() > 0 || queue_.size() < config_.max_queue_length;
+}
+
+std::optional<NodeId> LocalScheduler::node_of(JobId id) const {
+  for (const auto& node : nodes_) {
+    if (node->current_job() == id) return node->id();
+  }
+  return std::nullopt;
+}
+
+WorkerNode* LocalScheduler::find_node(NodeId id) {
+  for (auto& node : nodes_) {
+    if (node->id() == id) return node.get();
+  }
+  return nullptr;
+}
+
+WorkerNode* LocalScheduler::first_idle_node() {
+  for (auto& node : nodes_) {
+    if (node->idle()) return node.get();
+  }
+  return nullptr;
+}
+
+std::deque<LocalJob>::iterator LocalScheduler::next_queued() {
+  if (config_.policy == QueuePolicy::kShortestFirst) {
+    return std::min_element(queue_.begin(), queue_.end(),
+                            [](const LocalJob& a, const LocalJob& b) {
+                              return a.workload.total_cpu() < b.workload.total_cpu();
+                            });
+  }
+  return queue_.begin();
+}
+
+bool LocalScheduler::find_match(std::deque<LocalJob>::iterator& job_out,
+                                WorkerNode** node_out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    for (auto& node : nodes_) {
+      if (!node->idle()) continue;
+      if (it->job_ad && !jdl::symmetric_match(*it->job_ad, node->machine_ad())) {
+        continue;
+      }
+      job_out = it;
+      *node_out = node.get();
+      return true;
+    }
+  }
+  return false;
+}
+
+void LocalScheduler::try_dispatch() {
+  while (!queue_.empty()) {
+    WorkerNode* node = nullptr;
+    std::deque<LocalJob>::iterator it;
+    if (config_.policy == QueuePolicy::kMatchmaking) {
+      if (!find_match(it, &node)) return;
+    } else {
+      node = first_idle_node();
+      if (node == nullptr) return;
+      it = next_queued();
+    }
+    LocalJob job = std::move(*it);
+    queue_.erase(it);
+    node->reserve();
+    const NodeId node_id = node->id();
+    sim_.schedule(config_.dispatch_latency, [this, node_id, job = std::move(job)]() mutable {
+      WorkerNode* target = find_node(node_id);
+      if (target == nullptr) return;
+      target->run(std::move(job));
+    });
+  }
+}
+
+}  // namespace cg::lrms

@@ -1,0 +1,96 @@
+// Local resource management system (PBS/Condor-like): a FIFO (optionally
+// priority-ordered) queue in front of a pool of worker nodes. The dispatch
+// latency models the batch system's scheduling cycle — one of the costs that
+// make normal grid submission slow for interactive jobs (Table I).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lrms/worker_node.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::lrms {
+
+enum class QueuePolicy {
+  kFifo,            ///< strict arrival order (PBS default)
+  kShortestFirst,   ///< shortest declared CPU first (illustrative alternative)
+  /// Condor-style matchmaking: the earliest queued job whose ClassAd
+  /// Requirements match a free node's machine ad runs on *that* node; jobs
+  /// without an ad match any node. Heterogeneous pools schedule around
+  /// non-matching jobs instead of head-of-line blocking.
+  kMatchmaking,
+};
+
+struct LocalSchedulerConfig {
+  QueuePolicy policy = QueuePolicy::kFifo;
+  /// Time from "node free + job queued" to the job actually starting
+  /// (the LRMS scheduling cycle, e.g. a PBS server iteration).
+  Duration dispatch_latency = Duration::millis(2000);
+  /// Upper bound on queued jobs; submissions beyond it are rejected.
+  std::size_t max_queue_length = 1024;
+};
+
+class LocalScheduler {
+public:
+  using JobKilledFn = std::function<void(JobId, NodeId)>;
+
+  LocalScheduler(sim::Simulation& sim, std::vector<WorkerNodeSpec> nodes,
+                 LocalSchedulerConfig config = {});
+
+  /// Enqueues a job. Returns false if the queue is full.
+  bool submit(LocalJob job);
+
+  /// Removes a queued job. Returns false if it is not in the queue
+  /// (already running or unknown).
+  bool cancel_queued(JobId id);
+
+  /// Kills a running job wherever it is (simulates qdel / node failure).
+  /// Fires the on_killed observer, not the job's on_complete.
+  bool kill_running(JobId id);
+
+  /// Completes a running manual-workload job (agent dismissal).
+  bool finish_manual(JobId id);
+
+  /// Releases a running job from a barrier. Returns false if not running.
+  bool release_barrier(JobId id);
+
+  /// Installed by failure-injection tests and the glide-in layer to learn
+  /// about kills.
+  void set_kill_observer(JobKilledFn fn) { on_killed_ = std::move(fn); }
+
+  // -- State inspection (drives the information-system provider). ----------
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int free_nodes() const;
+  [[nodiscard]] int running_jobs() const;
+  [[nodiscard]] int queued_jobs() const { return static_cast<int>(queue_.size()); }
+  [[nodiscard]] bool has_capacity_or_queue_space() const;
+  [[nodiscard]] const LocalSchedulerConfig& config() const { return config_; }
+
+  /// The node a job is running on, if it is running.
+  [[nodiscard]] std::optional<NodeId> node_of(JobId id) const;
+  /// Access to a node (tests, glide-in wiring). Index is 0-based.
+  [[nodiscard]] WorkerNode& node(std::size_t index) { return *nodes_.at(index); }
+  [[nodiscard]] WorkerNode* find_node(NodeId id);
+
+private:
+  void try_dispatch();
+  [[nodiscard]] WorkerNode* first_idle_node();
+  [[nodiscard]] std::deque<LocalJob>::iterator next_queued();
+  /// Matchmaking dispatch: finds a (queued job, idle node) pair.
+  [[nodiscard]] bool find_match(std::deque<LocalJob>::iterator& job_out,
+                                WorkerNode** node_out);
+
+  sim::Simulation& sim_;
+  LocalSchedulerConfig config_;
+  std::vector<std::unique_ptr<WorkerNode>> nodes_;
+  std::deque<LocalJob> queue_;
+  JobKilledFn on_killed_;
+  IdGenerator<NodeId> node_ids_;
+};
+
+}  // namespace cg::lrms

@@ -1,0 +1,51 @@
+#include "lrms/site.hpp"
+
+#include <stdexcept>
+
+namespace cg::lrms {
+
+Site::Site(sim::Simulation& sim, sim::Network& network, SiteId id, SiteConfig config)
+    : sim_{sim}, id_{id}, config_{std::move(config)} {
+  if (config_.name.empty()) throw std::invalid_argument{"Site: empty name"};
+  if (config_.worker_nodes < 1) throw std::invalid_argument{"Site: needs >= 1 node"};
+  endpoint_ = "site:" + config_.name;
+  WorkerNodeSpec node_spec;
+  node_spec.memory_mb = config_.memory_mb_per_node;
+  node_spec.cpu_speed = config_.cpu_speed;
+  std::vector<WorkerNodeSpec> nodes(
+      static_cast<std::size_t>(config_.worker_nodes), node_spec);
+  scheduler_ = std::make_unique<LocalScheduler>(sim_, std::move(nodes), config_.lrms);
+  gatekeeper_ = std::make_unique<Gatekeeper>(sim_, network, endpoint_, *scheduler_,
+                                             config_.gatekeeper);
+}
+
+infosys::SiteStaticInfo Site::static_info() const {
+  infosys::SiteStaticInfo info;
+  info.id = id_;
+  info.name = config_.name;
+  info.arch = config_.arch;
+  info.op_sys = config_.op_sys;
+  info.worker_nodes = config_.worker_nodes;
+  info.cpus_per_node = 1;
+  info.memory_mb_per_node = config_.memory_mb_per_node;
+  info.storage_gb = config_.storage_gb;
+  return info;
+}
+
+infosys::SiteRecord Site::snapshot() const {
+  infosys::SiteRecord record;
+  record.static_info = static_info();
+  record.dynamic_info.free_cpus = scheduler_->free_nodes();
+  record.dynamic_info.running_jobs = scheduler_->running_jobs();
+  record.dynamic_info.queued_jobs = scheduler_->queued_jobs();
+  record.dynamic_info.free_interactive_vms =
+      interactive_vm_counter_ ? interactive_vm_counter_() : 0;
+  record.sampled_at = sim_.now();
+  return record;
+}
+
+void Site::set_interactive_vm_counter(std::function<int()> counter) {
+  interactive_vm_counter_ = std::move(counter);
+}
+
+}  // namespace cg::lrms

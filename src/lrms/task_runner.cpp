@@ -1,0 +1,125 @@
+#include "lrms/task_runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cg::lrms {
+
+TaskRunner::TaskRunner(sim::Simulation& sim, Workload workload, DilationFn dilation,
+                       CompletionFn on_complete, PhaseObserver observer)
+    : sim_{sim},
+      workload_{std::move(workload)},
+      dilation_{std::move(dilation)},
+      on_complete_{std::move(on_complete)},
+      observer_{std::move(observer)} {
+  if (!on_complete_) throw std::invalid_argument{"TaskRunner: null completion"};
+}
+
+TaskRunner::~TaskRunner() {
+  if (pending_.valid()) sim_.cancel(pending_);
+}
+
+void TaskRunner::start() {
+  if (state_ != State::kIdle) throw std::logic_error{"TaskRunner: already started"};
+  state_ = State::kRunning;
+  if (workload_.is_manual()) return;  // waits for finish_manual()
+  begin_phase();
+}
+
+void TaskRunner::begin_phase() {
+  if (phase_index_ >= workload_.phases.size()) {
+    state_ = State::kFinished;
+    on_complete_();
+    return;
+  }
+  const Phase& phase = workload_.phases[phase_index_];
+  phase_first_started_at_ = sim_.now();
+  if (phase.kind == PhaseKind::kBarrier) {
+    if (barrier_handler_) {
+      // Block until a sibling coordinator releases us.
+      at_barrier_ = true;
+      barrier_handler_(barriers_passed_);
+    } else {
+      // No coordination requested: the barrier is free.
+      if (observer_) observer_(phase, Duration::zero());
+      ++barriers_passed_;
+      ++phase_index_;
+      begin_phase();
+    }
+    return;
+  }
+  phase_remaining_base_ = phase.base;
+  schedule_phase_end();
+}
+
+void TaskRunner::set_barrier_handler(BarrierFn handler) {
+  if (state_ != State::kIdle) {
+    throw std::logic_error{"set_barrier_handler: task already started"};
+  }
+  barrier_handler_ = std::move(handler);
+}
+
+void TaskRunner::release_barrier() {
+  if (state_ != State::kRunning || !at_barrier_) return;
+  at_barrier_ = false;
+  const Phase& phase = workload_.phases[phase_index_];
+  if (observer_) observer_(phase, sim_.now() - phase_first_started_at_);
+  ++barriers_passed_;
+  ++phase_index_;
+  begin_phase();
+}
+
+void TaskRunner::schedule_phase_end() {
+  const Phase& phase = workload_.phases[phase_index_];
+  current_dilation_ = dilation_for(phase.kind);
+  phase_started_at_ = sim_.now();
+  const Duration dilated = phase_remaining_base_.scaled(current_dilation_);
+  pending_ = sim_.schedule(dilated, [this] { on_phase_end(); });
+}
+
+void TaskRunner::on_phase_end() {
+  pending_ = sim::EventHandle{};
+  if (state_ != State::kRunning) return;
+  const Phase& phase = workload_.phases[phase_index_];
+  if (observer_) observer_(phase, sim_.now() - phase_first_started_at_);
+  ++phase_index_;
+  begin_phase();
+}
+
+void TaskRunner::notify_dilation_changed() {
+  if (state_ != State::kRunning || workload_.is_manual()) return;
+  if (phase_index_ >= workload_.phases.size()) return;
+  const Phase& phase = workload_.phases[phase_index_];
+  const double new_dilation = dilation_for(phase.kind);
+  if (new_dilation == current_dilation_) return;
+  // Convert elapsed dilated time back to consumed base work, then re-time
+  // the remainder under the new factor.
+  const Duration elapsed = sim_.now() - phase_started_at_;
+  const Duration consumed_base = elapsed.scaled(1.0 / current_dilation_);
+  phase_remaining_base_ -= consumed_base;
+  if (phase_remaining_base_.is_negative()) phase_remaining_base_ = Duration::zero();
+  if (pending_.valid()) sim_.cancel(pending_);
+  schedule_phase_end();
+}
+
+void TaskRunner::finish_manual() {
+  if (state_ != State::kRunning || !workload_.is_manual()) return;
+  state_ = State::kFinished;
+  on_complete_();
+}
+
+void TaskRunner::cancel() {
+  if (state_ == State::kFinished || state_ == State::kCancelled) return;
+  if (pending_.valid()) sim_.cancel(pending_);
+  pending_ = sim::EventHandle{};
+  state_ = State::kCancelled;
+}
+
+double TaskRunner::dilation_for(PhaseKind kind) const {
+  double d = dilation_ ? dilation_(kind) : 1.0;
+  // Execution noise may dip a hair below 1.0; only nonsense is rejected.
+  if (!(d > 0.0) || !std::isfinite(d)) d = 1.0;
+  return d;
+}
+
+}  // namespace cg::lrms

@@ -1,0 +1,65 @@
+#include "lrms/workload.hpp"
+
+#include <stdexcept>
+
+namespace cg::lrms {
+
+Duration Workload::total_cpu() const {
+  Duration total = Duration::zero();
+  for (const auto& p : phases) {
+    if (p.kind == PhaseKind::kCpu) total += p.base;
+  }
+  return total;
+}
+
+Duration Workload::total_io() const {
+  Duration total = Duration::zero();
+  for (const auto& p : phases) {
+    if (p.kind == PhaseKind::kIo) total += p.base;
+  }
+  return total;
+}
+
+Workload Workload::cpu(Duration d) {
+  if (d <= Duration::zero()) throw std::invalid_argument{"cpu workload must be positive"};
+  Workload w;
+  w.phases.push_back(Phase{PhaseKind::kCpu, d, 0});
+  return w;
+}
+
+Workload Workload::iterative(int iterations, Duration io_op, Duration cpu_burst,
+                             std::size_t io_bytes) {
+  if (iterations <= 0) throw std::invalid_argument{"iterations must be positive"};
+  Workload w;
+  w.phases.reserve(static_cast<std::size_t>(iterations) * 2);
+  for (int i = 0; i < iterations; ++i) {
+    w.phases.push_back(Phase{PhaseKind::kIo, io_op, io_bytes});
+    w.phases.push_back(Phase{PhaseKind::kCpu, cpu_burst, 0});
+  }
+  return w;
+}
+
+Workload Workload::bulk_synchronous(int supersteps, Duration cpu_burst) {
+  if (supersteps <= 0) throw std::invalid_argument{"supersteps must be positive"};
+  Workload w;
+  w.phases.reserve(static_cast<std::size_t>(supersteps) * 2);
+  for (int i = 0; i < supersteps; ++i) {
+    w.phases.push_back(Phase{PhaseKind::kCpu, cpu_burst, 0});
+    w.phases.push_back(Phase{PhaseKind::kBarrier, Duration::zero(), 0});
+  }
+  return w;
+}
+
+int Workload::barrier_count() const {
+  int n = 0;
+  for (const auto& p : phases) {
+    if (p.kind == PhaseKind::kBarrier) ++n;
+  }
+  return n;
+}
+
+Workload Workload::manual() {
+  return Workload{};
+}
+
+}  // namespace cg::lrms

@@ -1,0 +1,62 @@
+// Workload shapes for simulated jobs. A workload is a sequence of phases
+// (CPU bursts and I/O operations). The Figure-8 experiment is an interactive
+// job of 1,000 iterations, each an I/O operation followed by a CPU burst;
+// batch background jobs are long CPU phases; glide-in agents are manual
+// (they run until the broker dismisses them).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace cg::lrms {
+
+enum class PhaseKind {
+  kCpu,
+  kIo,
+  /// Synchronization point of a parallel job: the rank blocks until every
+  /// sibling rank reaches the same barrier (released externally via
+  /// TaskRunner::release_barrier). `base` is ignored.
+  kBarrier,
+};
+
+struct Phase {
+  PhaseKind kind = PhaseKind::kCpu;
+  /// Undilated duration of the phase on an idle machine.
+  Duration base = Duration::zero();
+  /// Payload for I/O phases (bookkeeping only; timing is in `base`).
+  std::size_t bytes = 0;
+};
+
+struct Workload {
+  std::vector<Phase> phases;
+
+  /// True for workloads that never finish on their own (glide-in agents,
+  /// interactive sessions driven from outside); completed via external call.
+  [[nodiscard]] bool is_manual() const { return phases.empty(); }
+
+  /// Number of barrier phases.
+  [[nodiscard]] int barrier_count() const;
+
+  /// Total undilated CPU time across phases.
+  [[nodiscard]] Duration total_cpu() const;
+  /// Total undilated I/O time across phases.
+  [[nodiscard]] Duration total_io() const;
+
+  /// A single CPU phase of the given length.
+  [[nodiscard]] static Workload cpu(Duration d);
+  /// `iterations` repetitions of (I/O op, CPU burst) — the Fig. 8 shape.
+  [[nodiscard]] static Workload iterative(int iterations, Duration io_op,
+                                          Duration cpu_burst,
+                                          std::size_t io_bytes = 0);
+  /// BSP-style parallel workload: `supersteps` repetitions of (CPU burst,
+  /// barrier) — the shape of the CrossGrid MPI applications, where each
+  /// step's duration is gated by the slowest rank.
+  [[nodiscard]] static Workload bulk_synchronous(int supersteps,
+                                                 Duration cpu_burst);
+  /// Runs until completed externally.
+  [[nodiscard]] static Workload manual();
+};
+
+}  // namespace cg::lrms

@@ -1,0 +1,19 @@
+#include "sim/disk.hpp"
+
+namespace cg::sim {
+
+DiskSpec DiskSpec::default_2006() {
+  return DiskSpec{};
+}
+
+Duration DiskModel::write_duration(std::size_t bytes) const {
+  const double s = static_cast<double>(bytes) / spec_.write_bandwidth_bytes_per_sec;
+  return spec_.op_overhead + Duration::from_seconds(s);
+}
+
+Duration DiskModel::read_duration(std::size_t bytes) const {
+  const double s = static_cast<double>(bytes) / spec_.read_bandwidth_bytes_per_sec;
+  return spec_.op_overhead + Duration::from_seconds(s);
+}
+
+}  // namespace cg::sim

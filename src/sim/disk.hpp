@@ -1,0 +1,46 @@
+// Local-disk cost model. The reliable streaming mode spools every message to
+// disk at both ends; this model charges the per-operation overhead that makes
+// reliable mode the slowest method for small payloads in Figure 6/7 while its
+// large internal buffers let it beat ssh at 10 KB.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace cg::sim {
+
+struct DiskSpec {
+  Duration op_overhead = Duration::micros(1000);  ///< syscall + filesystem cost
+  double write_bandwidth_bytes_per_sec = 40e6;    ///< ~2006 IDE/SCSI disk
+  double read_bandwidth_bytes_per_sec = 45e6;
+
+  [[nodiscard]] static DiskSpec default_2006();
+};
+
+class DiskModel {
+public:
+  explicit DiskModel(DiskSpec spec = DiskSpec::default_2006()) : spec_{spec} {}
+
+  [[nodiscard]] const DiskSpec& spec() const { return spec_; }
+
+  [[nodiscard]] Duration write_duration(std::size_t bytes) const;
+  [[nodiscard]] Duration read_duration(std::size_t bytes) const;
+
+  /// Cumulative bytes written/read (experiment bookkeeping).
+  void note_write(std::size_t bytes) { bytes_written_ += bytes; ++writes_; }
+  void note_read(std::size_t bytes) { bytes_read_ += bytes; ++reads_; }
+  [[nodiscard]] std::size_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::size_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::size_t write_ops() const { return writes_; }
+  [[nodiscard]] std::size_t read_ops() const { return reads_; }
+
+private:
+  DiskSpec spec_;
+  std::size_t bytes_written_ = 0;
+  std::size_t bytes_read_ = 0;
+  std::size_t writes_ = 0;
+  std::size_t reads_ = 0;
+};
+
+}  // namespace cg::sim

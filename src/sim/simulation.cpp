@@ -1,0 +1,105 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+namespace cg::sim {
+
+EventHandle Simulation::schedule(Duration delay, Callback fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_impl(now_ + delay, std::move(fn), /*daemon=*/false);
+}
+
+EventHandle Simulation::schedule_at(SimTime when, Callback fn) {
+  return schedule_impl(when, std::move(fn), /*daemon=*/false);
+}
+
+EventHandle Simulation::schedule_daemon(Duration delay, Callback fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_impl(now_ + delay, std::move(fn), /*daemon=*/true);
+}
+
+EventHandle Simulation::schedule_impl(SimTime when, Callback fn, bool daemon) {
+  if (!fn) throw std::invalid_argument{"Simulation::schedule: null callback"};
+  if (when < now_) when = now_;
+  const EventHandle handle{next_seq_};
+  queue_.push(Event{when, next_seq_, std::move(fn), daemon});
+  pending_.emplace(next_seq_, daemon);
+  if (!daemon) ++pending_user_;
+  ++next_seq_;
+  return handle;
+}
+
+bool Simulation::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // Lazy deletion: drop from the pending set; pop_one discards stale entries.
+  const auto it = pending_.find(handle.seq());
+  if (it == pending_.end()) return false;
+  if (!it->second) --pending_user_;
+  pending_.erase(it);
+  return true;
+}
+
+bool Simulation::pop_one(Event& out) {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = pending_.find(ev.seq);
+    if (it == pending_.end()) continue;  // cancelled
+    if (!it->second) --pending_user_;
+    pending_.erase(it);
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run() {
+  return run_until(SimTime::max());
+}
+
+std::size_t Simulation::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  Event ev;
+  // An unbounded run() stops when only daemon maintenance remains: an idle
+  // grid whose information system keeps republishing is "finished". A run
+  // to an explicit deadline processes daemons too — bounded experiments want
+  // accounting ticks and publications to happen.
+  const bool stop_when_only_daemons = deadline == SimTime::max();
+  while ((!stop_when_only_daemons || pending_user_ > 0) && pop_one(ev)) {
+    if (ev.when > deadline) {
+      // The event fires after the horizon: requeue it and stop the clock at
+      // the deadline.
+      pending_.emplace(ev.seq, ev.daemon);
+      if (!ev.daemon) ++pending_user_;
+      queue_.push(std::move(ev));
+      now_ = deadline;
+      return n;
+    }
+    now_ = ev.when;
+    ++processed_;
+    ++n;
+    ev.fn();
+  }
+  // The queue drained before the horizon: the clock still advances to it.
+  if (!stop_when_only_daemons && now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulation::step() {
+  Event ev;
+  if (!pop_one(ev)) return false;
+  now_ = ev.when;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+bool Simulation::empty() const {
+  return pending_user_ == 0;
+}
+
+std::size_t Simulation::pending_events() const {
+  return pending_user_;
+}
+
+}  // namespace cg::sim

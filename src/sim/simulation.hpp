@@ -1,0 +1,143 @@
+// Discrete-event simulation engine. Single-threaded, deterministic: events at
+// equal timestamps fire in scheduling order (a monotonic sequence number
+// breaks ties). Every grid-side experiment in this repository runs on this
+// engine in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace cg::sim {
+
+/// Token identifying a scheduled event; used to cancel timers (retry loops,
+/// match leases, flush timeouts).
+class EventHandle {
+public:
+  constexpr EventHandle() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t seq() const { return seq_; }
+  constexpr bool operator==(const EventHandle&) const = default;
+
+private:
+  friend class Simulation;
+  constexpr explicit EventHandle(std::uint64_t seq) : seq_{seq} {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The virtual clock and event queue.
+class Simulation {
+public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time. Negative delays
+  /// are clamped to zero (fire "now", after already-queued events at now).
+  EventHandle schedule(Duration delay, Callback fn);
+
+  /// Schedules `fn` at an absolute time (clamped to now if in the past).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Schedules a *daemon* event: periodic maintenance work (information-
+  /// system publication, fair-share updates) that must not keep the
+  /// simulation alive. run()/run_until() stop once only daemon events remain.
+  EventHandle schedule_daemon(Duration delay, Callback fn);
+
+  /// Cancels a pending event. Returns true if the event had not yet fired.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the queue is empty. Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs until the queue is empty or the clock passes `deadline`. Events at
+  /// exactly `deadline` are processed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Processes a single event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending_events() const;
+
+  /// Total events processed since construction.
+  [[nodiscard]] std::size_t processed_events() const { return processed_; }
+
+private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+    bool daemon = false;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Event& out);
+  EventHandle schedule_impl(SimTime when, Callback fn, bool daemon);
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t processed_ = 0;
+  std::size_t pending_user_ = 0;  ///< non-daemon pending events
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Seq -> daemon flag of scheduled-but-not-fired events; cancel() removes
+  // from here and pop_one() skips queue entries whose seq is absent.
+  std::unordered_map<std::uint64_t, bool> pending_;
+};
+
+/// RAII timer that cancels its event on destruction; used by components whose
+/// lifetime can end while a retry/flush timer is pending.
+class ScopedTimer {
+public:
+  ScopedTimer() = default;
+  ScopedTimer(Simulation& sim, EventHandle handle) : sim_{&sim}, handle_{handle} {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ScopedTimer(ScopedTimer&& other) noexcept { *this = std::move(other); }
+  ScopedTimer& operator=(ScopedTimer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      sim_ = other.sim_;
+      handle_ = other.handle_;
+      other.sim_ = nullptr;
+      other.handle_ = EventHandle{};
+    }
+    return *this;
+  }
+  ~ScopedTimer() { reset(); }
+
+  /// Cancels the pending event, if any.
+  void reset() {
+    if (sim_ != nullptr && handle_.valid()) sim_->cancel(handle_);
+    sim_ = nullptr;
+    handle_ = EventHandle{};
+  }
+
+  /// Replaces the tracked event.
+  void rearm(Simulation& sim, EventHandle handle) {
+    reset();
+    sim_ = &sim;
+    handle_ = handle;
+  }
+
+  [[nodiscard]] bool armed() const { return sim_ != nullptr && handle_.valid(); }
+
+private:
+  Simulation* sim_ = nullptr;
+  EventHandle handle_;
+};
+
+}  // namespace cg::sim

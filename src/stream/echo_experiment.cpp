@@ -1,0 +1,135 @@
+#include "stream/echo_experiment.hpp"
+
+#include <memory>
+
+#include "sim/disk.hpp"
+#include "sim/simulation.hpp"
+#include "stream/reliable_channel.hpp"
+
+namespace cg::stream {
+
+std::string to_string(EchoMethod method) {
+  switch (method) {
+    case EchoMethod::kSsh: return "ssh";
+    case EchoMethod::kGlogin: return "glogin";
+    case EchoMethod::kFast: return "fast";
+    case EchoMethod::kReliable: return "reliable";
+  }
+  return "?";
+}
+
+namespace {
+
+ChannelSpec spec_for(EchoMethod method) {
+  switch (method) {
+    case EchoMethod::kSsh: return ChannelSpec::ssh();
+    case EchoMethod::kGlogin: return ChannelSpec::glogin();
+    case EchoMethod::kFast:
+    case EchoMethod::kReliable: return ChannelSpec::interposition_fast();
+  }
+  return ChannelSpec::interposition_fast();
+}
+
+/// Driver state machine for one experiment run.
+class EchoDriver {
+public:
+  EchoDriver(sim::Simulation& sim, sim::Link& link, const EchoConfig& config)
+      : sim_{sim}, config_{config}, rng_{config.seed} {
+    const ChannelSpec spec = spec_for(config.method);
+    request_channel_ = std::make_unique<SimChannel>(sim_, link, spec, rng_.fork());
+    response_channel_ = std::make_unique<SimChannel>(sim_, link, spec, rng_.fork());
+    if (config_.method == EchoMethod::kReliable) {
+      reliable_request_ = std::make_unique<ReliableChannel>(
+          sim_, *request_channel_, client_disk_, &server_disk_);
+      reliable_response_ = std::make_unique<ReliableChannel>(
+          sim_, *response_channel_, server_disk_, &client_disk_);
+      reliable_request_->set_give_up_handler([this] { result_.gave_up = true; });
+      reliable_response_->set_give_up_handler([this] { result_.gave_up = true; });
+    }
+    result_.round_trips_s.reserve(static_cast<std::size_t>(config.sequences));
+  }
+
+  void run() {
+    start_sequence();
+    sim_.run();
+    result_.bytes_lost = request_channel_->messages_failed() * config_.payload_bytes +
+                         response_channel_->messages_failed() * config_.payload_bytes;
+    result_.disk_bytes_written =
+        client_disk_.bytes_written() + server_disk_.bytes_written();
+    result_.disk_ops = client_disk_.write_ops() + server_disk_.write_ops() +
+                       client_disk_.read_ops() + server_disk_.read_ops();
+  }
+
+  [[nodiscard]] EchoResult take_result() { return std::move(result_); }
+
+private:
+  void start_sequence() {
+    if (result_.sequences_completed >= config_.sequences || result_.gave_up) return;
+    sequence_start_ = sim_.now();
+    send_request();
+  }
+
+  void send_request() {
+    auto on_deliver = [this](std::size_t) { server_respond(); };
+    if (reliable_request_) {
+      reliable_request_->send(config_.payload_bytes, std::move(on_deliver));
+    } else {
+      request_channel_->send(config_.payload_bytes, std::move(on_deliver),
+                             [this](std::size_t) { drop_sequence(); });
+    }
+  }
+
+  void server_respond() {
+    auto on_deliver = [this](std::size_t) { complete_sequence(); };
+    if (reliable_response_) {
+      reliable_response_->send(config_.payload_bytes, std::move(on_deliver));
+    } else {
+      response_channel_->send(config_.payload_bytes, std::move(on_deliver),
+                              [this](std::size_t) { drop_sequence(); });
+    }
+  }
+
+  void complete_sequence() {
+    result_.round_trips_s.add((sim_.now() - sequence_start_).to_seconds());
+    ++result_.sequences_completed;
+    start_sequence();
+  }
+
+  void drop_sequence() {
+    // Fast mode on a down link: the sequence is lost; the coordinated client
+    // retries the next one after a beat (a real client would notice the
+    // missing answer via timeout).
+    ++result_.sequences_completed;
+    sim_.schedule(Duration::millis(100), [this] { start_sequence(); });
+  }
+
+  sim::Simulation& sim_;
+  EchoConfig config_;
+  Rng rng_;
+  sim::DiskModel client_disk_;
+  sim::DiskModel server_disk_;
+  std::unique_ptr<SimChannel> request_channel_;
+  std::unique_ptr<SimChannel> response_channel_;
+  std::unique_ptr<ReliableChannel> reliable_request_;
+  std::unique_ptr<ReliableChannel> reliable_response_;
+  SimTime sequence_start_;
+  EchoResult result_;
+};
+
+}  // namespace
+
+EchoResult run_echo_experiment(const sim::LinkSpec& link_spec,
+                               const EchoConfig& config) {
+  sim::Simulation sim;
+  Rng rng{config.seed ^ 0xabcdef12345678ULL};
+  sim::Link link{link_spec, rng.fork()};
+  if (config.outage_end_s > config.outage_start_s) {
+    link.failures().add_outage(SimTime::from_seconds(config.outage_start_s),
+                               SimTime::from_seconds(config.outage_end_s));
+  }
+  EchoDriver driver{sim, link, config};
+  driver.run();
+  return driver.take_result();
+}
+
+}  // namespace cg::stream

@@ -1,0 +1,46 @@
+// The Section 6.2 measurement harness: a client on the submission machine
+// and a server on the execution machine run a coordinated sequence of 1,000
+// read/write operations over their stdio — client writes N bytes, server
+// reads and answers with N bytes, client reads; the round trip of each
+// sequence is recorded. Methods compared: ssh, Glogin, and our interposition
+// agents in fast and reliable modes (Figures 6 and 7).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/network.hpp"
+#include "util/stats.hpp"
+
+namespace cg::stream {
+
+enum class EchoMethod { kSsh, kGlogin, kFast, kReliable };
+
+[[nodiscard]] std::string to_string(EchoMethod method);
+
+struct EchoConfig {
+  EchoMethod method = EchoMethod::kFast;
+  std::size_t payload_bytes = 10;
+  int sequences = 1000;
+  std::uint64_t seed = 42;
+  /// Optional outage window injected into the link, [start, end) in seconds
+  /// of experiment time (0 width = none). Exercises failure behaviour.
+  double outage_start_s = 0.0;
+  double outage_end_s = 0.0;
+};
+
+struct EchoResult {
+  SampleSeries round_trips_s;   ///< per-sequence round-trip time, seconds
+  int sequences_completed = 0;
+  std::size_t bytes_lost = 0;   ///< fast mode only: payload dropped on outage
+  bool gave_up = false;         ///< reliable mode ran out of retries
+  std::size_t disk_bytes_written = 0;
+  std::size_t disk_ops = 0;
+};
+
+/// Runs the echo experiment on a fresh simulation over the given link
+/// profile. Deterministic for a given config.
+[[nodiscard]] EchoResult run_echo_experiment(const sim::LinkSpec& link_spec,
+                                             const EchoConfig& config);
+
+}  // namespace cg::stream

@@ -1,0 +1,57 @@
+#include "stream/flush_buffer.hpp"
+
+#include <stdexcept>
+
+namespace cg::stream {
+
+FlushBuffer::FlushBuffer(sim::Simulation& sim, FlushBufferConfig config,
+                         FlushFn on_flush)
+    : sim_{sim}, config_{config}, on_flush_{std::move(on_flush)} {
+  if (config_.capacity == 0) throw std::invalid_argument{"capacity must be > 0"};
+  if (!on_flush_) throw std::invalid_argument{"null flush callback"};
+}
+
+void FlushBuffer::append(std::string_view data) {
+  while (!data.empty()) {
+    const std::size_t room = config_.capacity - buffer_.size();
+    std::size_t take = std::min(room, data.size());
+
+    // End-of-line trigger: cut the chunk at the first newline so the line
+    // (including its '\n') goes out immediately.
+    bool newline_flush = false;
+    if (config_.flush_on_newline) {
+      const std::size_t nl = data.substr(0, take).find('\n');
+      if (nl != std::string_view::npos) {
+        take = nl + 1;
+        newline_flush = true;
+      }
+    }
+
+    buffer_.append(data.substr(0, take));
+    data.remove_prefix(take);
+
+    if (buffer_.size() >= config_.capacity || newline_flush) {
+      emit();
+    } else if (!buffer_.empty() && !timer_.armed()) {
+      arm_timeout();
+    }
+  }
+}
+
+void FlushBuffer::flush() {
+  if (!buffer_.empty()) emit();
+}
+
+void FlushBuffer::arm_timeout() {
+  timer_.rearm(sim_, sim_.schedule(config_.timeout, [this] { flush(); }));
+}
+
+void FlushBuffer::emit() {
+  timer_.reset();
+  std::string out;
+  out.swap(buffer_);
+  ++flushes_;
+  on_flush_(std::move(out));
+}
+
+}  // namespace cg::stream

@@ -1,0 +1,54 @@
+// Output buffering with the paper's three flush triggers (Section 4):
+//   1. the buffer fills,
+//   2. a timeout elapses since the first unflushed byte,
+//   3. an end-of-line arrives.
+// Used on each executing machine (per-subjob output buffer) and on the
+// submitting machine (Job Shadow buffer flushed to the screen).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace cg::stream {
+
+struct FlushBufferConfig {
+  std::size_t capacity = 64 * 1024;
+  Duration timeout = Duration::millis(200);
+  bool flush_on_newline = true;
+};
+
+class FlushBuffer {
+public:
+  using FlushFn = std::function<void(std::string data)>;
+
+  FlushBuffer(sim::Simulation& sim, FlushBufferConfig config, FlushFn on_flush);
+  ~FlushBuffer() = default;
+  FlushBuffer(const FlushBuffer&) = delete;
+  FlushBuffer& operator=(const FlushBuffer&) = delete;
+
+  /// Appends data, applying the flush policy. A single append may trigger
+  /// multiple flushes (e.g. data larger than the capacity).
+  void append(std::string_view data);
+
+  /// Forces out any buffered data (job exit, explicit flush).
+  void flush();
+
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t flush_count() const { return flushes_; }
+  [[nodiscard]] const FlushBufferConfig& config() const { return config_; }
+
+private:
+  void arm_timeout();
+  void emit();
+
+  sim::Simulation& sim_;
+  FlushBufferConfig config_;
+  FlushFn on_flush_;
+  std::string buffer_;
+  std::size_t flushes_ = 0;
+  sim::ScopedTimer timer_;
+};
+
+}  // namespace cg::stream

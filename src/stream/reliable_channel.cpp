@@ -1,0 +1,106 @@
+#include "stream/reliable_channel.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cg::stream {
+
+ReliableChannel::ReliableChannel(sim::Simulation& sim, SimChannel& channel,
+                                 sim::DiskModel& sender_disk,
+                                 sim::DiskModel* receiver_disk, RetryPolicy policy)
+    : sim_{sim},
+      channel_{channel},
+      spool_{sender_disk},
+      receiver_disk_{receiver_disk},
+      policy_{policy} {
+  if (policy_.max_retries < 0) throw std::invalid_argument{"max_retries < 0"};
+  if (policy_.retry_interval <= Duration::zero()) {
+    throw std::invalid_argument{"retry_interval must be positive"};
+  }
+}
+
+ReliableChannel::~ReliableChannel() {
+  // Invalidate in-flight SimChannel callbacks (they check the epoch).
+  ++epoch_;
+}
+
+void ReliableChannel::send(std::size_t bytes, DeliverFn on_deliver) {
+  if (gave_up_) return;  // the process is being killed; drop silently
+  const Duration write_cost = spool_.push(bytes);
+  queue_.push_back(Entry{bytes, std::move(on_deliver), false});
+  if (!transmitting_) {
+    transmitting_ = true;
+    transmit_head(write_cost);
+  }
+}
+
+void ReliableChannel::transmit_head(Duration extra_delay) {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule(extra_delay, [this, epoch] {
+    if (epoch != epoch_ || gave_up_ || queue_.empty()) return;
+    const Entry& head = queue_.front();
+    channel_.send(
+        head.bytes,
+        [this, epoch](std::size_t) {
+          if (epoch == epoch_) on_head_delivered();
+        },
+        [this, epoch](std::size_t) {
+          if (epoch == epoch_) on_head_failed();
+        });
+  });
+}
+
+void ReliableChannel::on_head_delivered() {
+  if (queue_.empty()) return;
+  failures_ = 0;
+  Entry head = std::move(queue_.front());
+  queue_.pop_front();
+  spool_.pop_acknowledged();
+  if (head.on_deliver) {
+    if (receiver_disk_ != nullptr) {
+      // Receive-side intermediate file: the application sees the data only
+      // after it has hit the other end's disk.
+      receiver_disk_->note_write(head.bytes);
+      const Duration cost = receiver_disk_->write_duration(head.bytes);
+      sim_.schedule(cost, [cb = std::move(head.on_deliver), bytes = head.bytes] {
+        cb(bytes);
+      });
+    } else {
+      head.on_deliver(head.bytes);
+    }
+  }
+  if (queue_.empty()) {
+    transmitting_ = false;
+  } else {
+    // Subsequent messages were already spooled at send time; no extra cost.
+    transmit_head(Duration::zero());
+  }
+}
+
+void ReliableChannel::on_head_failed() {
+  if (queue_.empty()) return;
+  ++failures_;
+  if (failures_ > policy_.max_retries) {
+    gave_up_ = true;
+    transmitting_ = false;
+    log_warn("stream", "reliable channel exhausted ", policy_.max_retries,
+             " retries; giving up");
+    if (on_give_up_) on_give_up_();
+    return;
+  }
+  ++retries_;
+  queue_.front().recovered_from_disk = true;
+  retry_timer_.rearm(sim_, sim_.schedule(policy_.retry_interval, [this] {
+    if (gave_up_ || queue_.empty()) return;
+    // The in-memory copy is gone after a failure; re-read from the spool.
+    const Duration read_cost = spool_.charge_recovery_read();
+    transmit_head(read_cost);
+  }));
+}
+
+}  // namespace cg::stream

@@ -1,0 +1,77 @@
+// Reliable streaming endpoint (Section 4): every message is spooled to local
+// disk before transmission; failed sends stay in the spool and are retried
+// at a fixed interval "for a certain number of times, after which they give
+// up and kill the process". Delivery order is preserved across failures.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "stream/channel_model.hpp"
+#include "stream/spool.hpp"
+
+namespace cg::stream {
+
+struct RetryPolicy {
+  Duration retry_interval = Duration::seconds(5);
+  int max_retries = 12;  ///< consecutive failed attempts before giving up
+};
+
+class ReliableChannel {
+public:
+  using DeliverFn = std::function<void(std::size_t bytes)>;
+  /// Fires once when the channel exhausts its retries (the paper's response:
+  /// kill the process).
+  using GiveUpFn = std::function<void()>;
+
+  /// `sender_disk` spools outgoing messages before transmission;
+  /// `receiver_disk` (optional) models the other end's intermediate file —
+  /// when present, delivery callbacks fire only after the receive-side write.
+  ReliableChannel(sim::Simulation& sim, SimChannel& channel,
+                  sim::DiskModel& sender_disk,
+                  sim::DiskModel* receiver_disk = nullptr, RetryPolicy policy = {});
+  ~ReliableChannel();
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Queues a message. It is spooled to disk (cost charged) and transmitted
+  /// as soon as all earlier messages have been delivered.
+  void send(std::size_t bytes, DeliverFn on_deliver);
+
+  void set_give_up_handler(GiveUpFn fn) { on_give_up_ = std::move(fn); }
+
+  [[nodiscard]] bool gave_up() const { return gave_up_; }
+  [[nodiscard]] std::size_t in_flight_or_queued() const { return queue_.size(); }
+  [[nodiscard]] const Spool& spool() const { return spool_; }
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+  [[nodiscard]] std::size_t retries_performed() const { return retries_; }
+
+private:
+  struct Entry {
+    std::size_t bytes;
+    DeliverFn on_deliver;
+    bool recovered_from_disk = false;
+  };
+
+  void pump();
+  void transmit_head(Duration extra_delay);
+  void on_head_delivered();
+  void on_head_failed();
+
+  sim::Simulation& sim_;
+  SimChannel& channel_;
+  Spool spool_;
+  sim::DiskModel* receiver_disk_;
+  RetryPolicy policy_;
+  GiveUpFn on_give_up_;
+
+  std::deque<Entry> queue_;
+  bool transmitting_ = false;
+  bool gave_up_ = false;
+  int failures_ = 0;
+  std::size_t retries_ = 0;
+  sim::ScopedTimer retry_timer_;
+  std::uint64_t epoch_ = 0;  ///< invalidates in-flight callbacks on teardown
+};
+
+}  // namespace cg::stream

@@ -1,0 +1,32 @@
+#include "stream/spool.hpp"
+
+#include <stdexcept>
+
+namespace cg::stream {
+
+Duration Spool::push(std::size_t bytes) {
+  entries_.push_back(bytes);
+  pending_bytes_ += bytes;
+  total_spooled_ += bytes;
+  disk_.note_write(bytes);
+  return disk_.write_duration(bytes);
+}
+
+std::size_t Spool::front_bytes() const {
+  return entries_.empty() ? 0 : entries_.front();
+}
+
+void Spool::pop_acknowledged() {
+  if (entries_.empty()) throw std::logic_error{"Spool::pop on empty spool"};
+  pending_bytes_ -= entries_.front();
+  entries_.pop_front();
+}
+
+Duration Spool::charge_recovery_read() {
+  if (entries_.empty()) throw std::logic_error{"Spool::recover on empty spool"};
+  const std::size_t bytes = entries_.front();
+  disk_.note_read(bytes);
+  return disk_.read_duration(bytes);
+}
+
+}  // namespace cg::stream

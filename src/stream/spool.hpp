@@ -1,0 +1,45 @@
+// Simulated disk spool for the reliable streaming mode: a FIFO of messages
+// persisted to local disk. Writes are charged at enqueue; reads are charged
+// when a message is recovered after a network failure (the happy path
+// delivers from memory while the disk copy is just insurance).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/disk.hpp"
+#include "util/time.hpp"
+
+namespace cg::stream {
+
+class Spool {
+public:
+  explicit Spool(sim::DiskModel& disk) : disk_{disk} {}
+
+  /// Persists a message; returns the disk-write cost to charge.
+  Duration push(std::size_t bytes);
+
+  /// Bytes at the head of the spool (0 if empty).
+  [[nodiscard]] std::size_t front_bytes() const;
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t depth() const { return entries_.size(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return pending_bytes_; }
+
+  /// Acknowledges the head entry (delivered); no disk cost — the file cursor
+  /// only advances.
+  void pop_acknowledged();
+
+  /// Recovers the head entry from disk (after the in-memory copy was lost to
+  /// a failure); returns the read cost to charge.
+  Duration charge_recovery_read();
+
+  [[nodiscard]] std::size_t total_spooled() const { return total_spooled_; }
+
+private:
+  sim::DiskModel& disk_;
+  std::deque<std::size_t> entries_;
+  std::size_t pending_bytes_ = 0;
+  std::size_t total_spooled_ = 0;
+};
+
+}  // namespace cg::stream

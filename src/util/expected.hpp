@@ -1,0 +1,92 @@
+// Minimal expected/result type (std::expected is C++23; we target C++20).
+// Used at API boundaries where failure is a normal outcome: JDL parsing,
+// matchmaking, socket setup.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cg {
+
+/// Error payload: a machine-checkable code plus a human-readable message.
+struct Error {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+[[nodiscard]] inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+/// Result of an operation that produces a T or fails with an Error.
+template <typename T>
+class Expected {
+public:
+  Expected(T value) : data_{std::in_place_index<0>, std::move(value)} {}  // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_{std::in_place_index<1>, std::move(error)} {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (has_value()) throw std::logic_error{"Expected: no error present"};
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+private:
+  void require_value() const {
+    if (!has_value()) {
+      throw std::logic_error{"Expected: accessed value of failed result: " +
+                             std::get<1>(data_).to_string()};
+    }
+  }
+
+  std::variant<T, Error> data_;
+};
+
+/// Specialization-free void result.
+class Status {
+public:
+  Status() = default;
+  Status(Error error) : error_{std::move(error)}, ok_{false} {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status ok_status() { return Status{}; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  [[nodiscard]] const Error& error() const {
+    if (ok_) throw std::logic_error{"Status: no error present"};
+    return error_;
+  }
+
+private:
+  Error error_{};
+  bool ok_ = true;
+};
+
+}  // namespace cg

@@ -1,0 +1,54 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace cg {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  const std::lock_guard lock{mutex_};
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  const std::lock_guard lock{mutex_};
+  return level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard lock{mutex_};
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  Sink sink;
+  {
+    const std::lock_guard lock{mutex_};
+    if (level < level_) return;
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, component, message);
+  } else {
+    std::cerr << "[" << to_string(level) << "] " << component << ": " << message
+              << '\n';
+  }
+}
+
+}  // namespace cg

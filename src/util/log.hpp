@@ -1,0 +1,77 @@
+// Lightweight leveled logger with per-component tags. The simulator routes
+// messages through a pluggable sink so tests can capture and assert on them.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Process-wide logger. Thread-safe: the interposition layer logs from relay
+/// threads concurrently with the main thread.
+class Logger {
+public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+  /// Replaces the sink (default writes to stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+private:
+  Logger() = default;
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  auto& l = Logger::instance();
+  if (l.level() <= LogLevel::kDebug)
+    l.log(LogLevel::kDebug, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  auto& l = Logger::instance();
+  if (l.level() <= LogLevel::kInfo)
+    l.log(LogLevel::kInfo, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  auto& l = Logger::instance();
+  if (l.level() <= LogLevel::kWarn)
+    l.log(LogLevel::kWarn, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(std::string_view component, Args&&... args) {
+  auto& l = Logger::instance();
+  if (l.level() <= LogLevel::kError)
+    l.log(LogLevel::kError, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace cg

@@ -1,0 +1,74 @@
+// Statistics accumulators used by the benchmark harnesses to report the
+// mean / stddev / percentile rows that the paper's tables and figures show.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cg {
+
+/// Streaming mean/variance (Welford) with min/max tracking.
+class RunningStats {
+public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel-combine form of Welford).
+  void merge(const RunningStats& other);
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles. Used for per-sequence
+/// series (Figures 6-8) where the paper plots each individual iteration.
+class SampleSeries {
+public:
+  void add(double x) { samples_.push_back(x); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile by nearest-rank on a sorted copy; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width table printer for bench output ("same rows the paper reports").
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders the table with a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (bench output helper).
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+
+}  // namespace cg

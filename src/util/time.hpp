@@ -1,0 +1,105 @@
+// Strong time types for the discrete-event simulator and the real-time
+// interposition layer. All simulated time is integer microseconds: additions
+// are exact, event ordering is deterministic, and conversions to seconds are
+// explicit at the edges (display, statistics).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace cg {
+
+/// A span of simulated (or real) time, in whole microseconds.
+class Duration {
+public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000}; }
+
+  /// Converts fractional seconds, rounding to the nearest microsecond.
+  [[nodiscard]] static Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(std::llround(s * 1e6))};
+  }
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{us_ * k}; }
+  [[nodiscard]] Duration scaled(double k) const {
+    return Duration{static_cast<std::int64_t>(std::llround(static_cast<double>(us_) * k))};
+  }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{us_ / k}; }
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return us_ < 0; }
+
+private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant on the simulation clock (microseconds since simulation start).
+class SimTime {
+public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(std::llround(s * 1e6))};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return SimTime{us_ + d.count_micros()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{us_ - d.count_micros()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration::micros(us_ - o.us_); }
+  constexpr SimTime& operator+=(Duration d) { us_ += d.count_micros(); return *this; }
+
+private:
+  constexpr explicit SimTime(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.to_seconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << "t=" << t.to_seconds() << "s";
+}
+
+namespace literals {
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace cg

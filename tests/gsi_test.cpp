@@ -1,0 +1,292 @@
+// GSI substrate tests: certificate issuance, proxy creation and delegation
+// chains, chain verification (expiry, tampering, forged issuers, depth),
+// the mutual-authentication handshake, and the broker-level security
+// integration (pre-flight checks, gatekeeper verification, proxy expiry
+// mid-flight).
+#include <gtest/gtest.h>
+
+#include "broker/grid_scenario.hpp"
+#include "gsi/auth.hpp"
+
+namespace cg::gsi {
+namespace {
+
+using namespace cg::literals;
+
+class GsiFixture : public ::testing::Test {
+protected:
+  GsiFixture()
+      : ca{"/O=CrossGrid/CN=CA", SimTime::zero(), Duration::seconds(365 * 24 * 3600),
+           0xca} {}
+
+  CertificateAuthority ca;
+  const SimTime now = SimTime::from_seconds(100);
+};
+
+TEST_F(GsiFixture, CaIssuesVerifiableCredentials) {
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  EXPECT_EQ(user.certificate.issuer, "/O=CrossGrid/CN=CA");
+  EXPECT_FALSE(user.certificate.is_proxy());
+  const Status ok = verify_chain({user.certificate}, ca.root_certificate(), now);
+  EXPECT_TRUE(ok.ok()) << ok.error().to_string();
+}
+
+TEST_F(GsiFixture, ProxyChainVerifies) {
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  auto proxy = create_proxy(user, now, Duration::seconds(12 * 3600), 7);
+  ASSERT_TRUE(proxy.has_value());
+  EXPECT_EQ(proxy->certificate.subject, "/O=CrossGrid/CN=enol/CN=proxy");
+  EXPECT_EQ(proxy->certificate.proxy_depth, 1);
+
+  const CertificateChain chain = make_chain({user, proxy.value()});
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.front().subject, proxy->certificate.subject);  // leaf first
+  const Status ok = verify_chain(chain, ca.root_certificate(), now);
+  EXPECT_TRUE(ok.ok()) << ok.error().to_string();
+}
+
+TEST_F(GsiFixture, DelegationDeepensTheChain) {
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  auto proxy = create_proxy(user, now, Duration::seconds(12 * 3600), 7);
+  ASSERT_TRUE(proxy.has_value());
+  auto delegated = delegate_proxy(proxy.value(), now, Duration::seconds(3600), 9);
+  ASSERT_TRUE(delegated.has_value());
+  EXPECT_EQ(delegated->certificate.proxy_depth, 2);
+  const Status ok = verify_chain(
+      make_chain({user, proxy.value(), delegated.value()}),
+      ca.root_certificate(), now);
+  EXPECT_TRUE(ok.ok()) << ok.error().to_string();
+}
+
+TEST_F(GsiFixture, ExpiredProxyFailsVerification) {
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  auto proxy = create_proxy(user, now, Duration::seconds(60), 7);
+  ASSERT_TRUE(proxy.has_value());
+  const SimTime later = now + Duration::seconds(120);
+  const Status result =
+      verify_chain(make_chain({user, proxy.value()}), ca.root_certificate(), later);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "gsi.expired");
+}
+
+TEST_F(GsiFixture, ProxyLifetimeClampedToParent) {
+  const Credential user =
+      ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(), Duration::seconds(1000));
+  auto proxy = create_proxy(user, now, Duration::seconds(1'000'000), 7);
+  ASSERT_TRUE(proxy.has_value());
+  EXPECT_EQ(proxy->certificate.not_after, user.certificate.not_after);
+}
+
+TEST_F(GsiFixture, ProxyFromExpiredParentRefused) {
+  const Credential user =
+      ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(), Duration::seconds(10));
+  const auto result = create_proxy(user, now, Duration::seconds(60), 7);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "gsi.expired");
+}
+
+TEST_F(GsiFixture, TamperedCertificateDetected) {
+  Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                             Duration::seconds(30 * 24 * 3600));
+  // Extend the validity after issuance: the signature no longer matches.
+  user.certificate.not_after = user.certificate.not_after + Duration::seconds(1);
+  const Status result =
+      verify_chain({user.certificate}, ca.root_certificate(), now);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "gsi.signature");
+}
+
+TEST_F(GsiFixture, ForeignCaRejected) {
+  CertificateAuthority other_ca{"/O=Evil/CN=CA", SimTime::zero(),
+                                Duration::seconds(365 * 24 * 3600), 0xbad};
+  const Credential mallory = other_ca.issue("/O=Evil/CN=mallory", SimTime::zero(),
+                                            Duration::seconds(30 * 24 * 3600));
+  const Status result =
+      verify_chain({mallory.certificate}, ca.root_certificate(), now);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(GsiFixture, DepthLimitEnforced) {
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  std::vector<Credential> ancestry{user};
+  for (int i = 0; i < 4; ++i) {
+    auto next = create_proxy(ancestry.back(), now, Duration::seconds(3600),
+                             static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(next.has_value());
+    ancestry.push_back(std::move(next.value()));
+  }
+  VerifyPolicy tight;
+  tight.max_proxy_depth = 2;
+  const Status result =
+      verify_chain(make_chain(ancestry), ca.root_certificate(), now, tight);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "gsi.depth");
+  // The default policy accepts it.
+  EXPECT_TRUE(verify_chain(make_chain(ancestry), ca.root_certificate(), now).ok());
+}
+
+TEST_F(GsiFixture, EmptyChainRejected) {
+  EXPECT_FALSE(verify_chain({}, ca.root_certificate(), now).ok());
+}
+
+// ------------------------------------------------------------- handshake ----
+
+TEST_F(GsiFixture, MutualAuthenticationSucceedsAndCostsTime) {
+  sim::Simulation sim;
+  sim::Link link{sim::LinkSpec::wan(), Rng{1}};
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  const Credential host = ca.issue("/O=CrossGrid/CN=gatekeeper0", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  auto proxy = create_proxy(user, sim.now(), Duration::seconds(12 * 3600), 7);
+  ASSERT_TRUE(proxy.has_value());
+
+  std::optional<HandshakeResult> outcome;
+  mutual_authenticate(sim, link, make_party({user, proxy.value()}),
+                      make_party({host}), ca.root_certificate(),
+                      [&](HandshakeResult r) { outcome = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->status.ok()) << outcome->status.error().to_string();
+  EXPECT_EQ(outcome->initiator_name, "/O=CrossGrid/CN=enol/CN=proxy");
+  EXPECT_EQ(outcome->acceptor_name, "/O=CrossGrid/CN=gatekeeper0");
+  EXPECT_NE(outcome->session_token, 0u);
+  // 2 round trips on a ~9 ms link + 2 x 120 ms crypto: several hundred ms.
+  EXPECT_GT(sim.now().to_seconds(), 0.25);
+}
+
+TEST_F(GsiFixture, HandshakeFailsWithExpiredInitiator) {
+  sim::Simulation sim;
+  sim::Link link{sim::LinkSpec::campus(), Rng{1}};
+  const Credential user = ca.issue("/O=CrossGrid/CN=enol", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  const Credential host = ca.issue("/O=CrossGrid/CN=gk", SimTime::zero(),
+                                   Duration::seconds(30 * 24 * 3600));
+  // A proxy that dies before the handshake completes.
+  auto proxy = create_proxy(user, sim.now(), Duration::micros(10), 7);
+  ASSERT_TRUE(proxy.has_value());
+
+  std::optional<HandshakeResult> outcome;
+  mutual_authenticate(sim, link, make_party({user, proxy.value()}),
+                      make_party({host}), ca.root_certificate(),
+                      [&](HandshakeResult r) { outcome = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_FALSE(outcome->status.ok());
+  EXPECT_EQ(outcome->status.error().code, "gsi.expired");
+}
+
+TEST(GsiProtectTest, MacDetectsPayloadChanges) {
+  const std::string payload = "steer 0.5\n";
+  const std::uint64_t mac = protect(12345, payload.data(), payload.size());
+  std::string altered = payload;
+  altered[0] = 'S';
+  EXPECT_NE(protect(12345, altered.data(), altered.size()), mac);
+  EXPECT_NE(protect(54321, payload.data(), payload.size()), mac);
+  EXPECT_EQ(protect(12345, payload.data(), payload.size()), mac);
+}
+
+// ------------------------------------------------- broker integration ----
+
+class GsiBrokerFixture : public ::testing::Test {
+protected:
+  broker::GridScenarioConfig secure_config() {
+    broker::GridScenarioConfig c;
+    c.sites = 2;
+    c.nodes_per_site = 2;
+    c.enable_gsi = true;
+    return c;
+  }
+
+  static jdl::JobDescription job(const std::string& extra = "") {
+    return jdl::JobDescription::parse("Executable = \"app\";" + extra).value();
+  }
+};
+
+TEST_F(GsiBrokerFixture, RegisteredUserRunsJobs) {
+  broker::GridScenario grid{secure_config()};
+  grid.register_user(UserId{1}, "enol");
+  bool completed = false;
+  broker::JobCallbacks callbacks;
+  callbacks.on_complete = [&](const broker::JobRecord&) { completed = true; };
+  grid.broker().submit(job(), UserId{1}, lrms::Workload::cpu(30_s),
+                       broker::GridScenario::ui_endpoint(), callbacks);
+  grid.sim().run();
+  EXPECT_TRUE(completed);
+}
+
+TEST_F(GsiBrokerFixture, UnregisteredUserRejectedUpFront) {
+  broker::GridScenario grid{secure_config()};
+  std::string error_code;
+  broker::JobCallbacks callbacks;
+  callbacks.on_failed = [&](const broker::JobRecord&, const Error& e) {
+    error_code = e.code;
+  };
+  grid.broker().submit(job(), UserId{2}, lrms::Workload::cpu(30_s),
+                       broker::GridScenario::ui_endpoint(), callbacks);
+  grid.sim().run();
+  EXPECT_EQ(error_code, "gsi.no_credentials");
+}
+
+TEST_F(GsiBrokerFixture, ExpiredProxyFailsSubmission) {
+  broker::GridScenarioConfig config = secure_config();
+  config.user_proxy_lifetime = Duration::seconds(60);
+  broker::GridScenario grid{config};
+  grid.register_user(UserId{1}, "enol");
+  // Let the proxy expire before submitting.
+  grid.sim().run_until(SimTime::from_seconds(120));
+
+  std::string error_code;
+  broker::JobCallbacks callbacks;
+  callbacks.on_failed = [&](const broker::JobRecord&, const Error& e) {
+    error_code = e.code;
+  };
+  grid.broker().submit(job("JobType = \"interactive\";"), UserId{1},
+                       lrms::Workload::cpu(30_s),
+                       broker::GridScenario::ui_endpoint(), callbacks);
+  grid.sim().run_until(SimTime::from_seconds(600));
+  EXPECT_EQ(error_code, "gsi.expired");
+}
+
+TEST_F(GsiBrokerFixture, SecureInteractiveSharedPathStillWorks) {
+  // The whole Figure 5 scenario with the trust fabric on: agents present
+  // the broker's service credential at the gatekeeper; slot jobs get
+  // delegated proxies.
+  broker::GridScenario grid{secure_config()};
+  grid.register_user(UserId{1}, "enol");
+  grid.register_user(UserId{2}, "elisa");
+
+  bool batch_running = false;
+  broker::JobCallbacks batch_callbacks;
+  batch_callbacks.on_running = [&](const broker::JobRecord&) {
+    batch_running = true;
+  };
+  grid.broker().submit(job(), UserId{1}, lrms::Workload::cpu(3600_s),
+                       broker::GridScenario::ui_endpoint(), batch_callbacks);
+  grid.sim().run_until(SimTime::from_seconds(120));
+  ASSERT_TRUE(batch_running);
+
+  bool interactive_done = false;
+  broker::JobCallbacks inter_callbacks;
+  inter_callbacks.on_complete = [&](const broker::JobRecord& record) {
+    interactive_done = true;
+    EXPECT_EQ(record.placement, broker::PlacementKind::kInteractiveVm);
+  };
+  grid.broker().submit(
+      jdl::JobDescription::parse(
+          "Executable = \"viz\"; JobType = \"interactive\"; "
+          "MachineAccess = \"shared\"; PerformanceLoss = 10;")
+          .value(),
+      UserId{2}, lrms::Workload::cpu(30_s), broker::GridScenario::ui_endpoint(),
+      inter_callbacks);
+  grid.sim().run();
+  EXPECT_TRUE(interactive_done);
+}
+
+}  // namespace
+}  // namespace cg::gsi

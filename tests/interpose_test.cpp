@@ -1,0 +1,531 @@
+// Real split-execution tests: actual child processes with interposed stdio,
+// TCP relay to a Console Shadow, multi-agent fan-in/fan-out, and the
+// reliable mode's reconnection behaviour — all on loopback.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "interpose/interactive_session.hpp"
+
+namespace cg::interpose {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::string unique_spool(const std::string& tag) {
+  return "/tmp/cg-itest-" + tag + "-" + std::to_string(::getpid());
+}
+
+TEST(ChildProcessTest, SpawnEchoAndReadOutput) {
+  auto child = ChildProcess::spawn({"/bin/echo", "hello"});
+  ASSERT_TRUE(child.has_value()) << child.error().to_string();
+  char buffer[64];
+  std::string out;
+  while (true) {
+    const int ready = wait_readable(child->stdout_fd(), 2000);
+    if (ready <= 0) break;
+    const long n = read_some(child->stdout_fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(out, "hello\n");
+  const int status = child->wait(2000);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ChildProcessTest, ExecFailureReports127) {
+  auto child = ChildProcess::spawn({"/nonexistent/binary"});
+  ASSERT_TRUE(child.has_value());
+  const int status = child->wait(2000);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 127);
+}
+
+TEST(ChildProcessTest, StdinReachesChild) {
+  auto child = ChildProcess::spawn({"/bin/cat"});
+  ASSERT_TRUE(child.has_value());
+  ASSERT_TRUE(write_all(child->stdin_fd(), std::string_view{"ping\n"}));
+  child->close_stdin();
+  char buffer[64];
+  std::string out;
+  while (true) {
+    const int ready = wait_readable(child->stdout_fd(), 2000);
+    if (ready <= 0) break;
+    const long n = read_some(child->stdout_fd(), buffer, sizeof(buffer));
+    if (n <= 0) break;
+    out.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(out, "ping\n");
+  child->wait(2000);
+}
+
+TEST(ChildProcessTest, SpawnValidation) {
+  EXPECT_FALSE(ChildProcess::spawn({}).has_value());
+}
+
+TEST(SocketTest, ListenerPicksFreePort) {
+  auto listener = TcpListener::bind_loopback(0);
+  ASSERT_TRUE(listener.has_value());
+  EXPECT_GT(listener->port(), 0);
+  auto second = TcpListener::bind_loopback(0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(listener->port(), second->port());
+}
+
+TEST(SocketTest, ConnectAndExchange) {
+  auto listener = TcpListener::bind_loopback(0);
+  ASSERT_TRUE(listener.has_value());
+  auto client = tcp_connect_loopback(listener->port());
+  ASSERT_TRUE(client.has_value()) << client.error().to_string();
+  auto server_side = listener->accept(2000);
+  ASSERT_TRUE(server_side.has_value());
+  ASSERT_TRUE(write_all(client->get(), std::string_view{"x"}));
+  char c = 0;
+  ASSERT_EQ(read_some(server_side->get(), &c, 1), 1);
+  EXPECT_EQ(c, 'x');
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind a port then close it so nothing is listening there.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::bind_loopback(0);
+    ASSERT_TRUE(listener.has_value());
+    dead_port = listener->port();
+  }
+  const auto result = tcp_connect_loopback(dead_port, 500);
+  EXPECT_FALSE(result.has_value());
+}
+
+// ----------------------------------------------------------- full session ----
+
+TEST(InteractiveSessionTest, EchoThroughSplitExecution) {
+  auto session = InteractiveSession::start({"/bin/echo", "split execution works"});
+  ASSERT_TRUE(session.has_value()) << session.error().to_string();
+  EXPECT_TRUE((*session)->wait_for_output("split execution works", 5000));
+  const int status = (*session)->wait_exit();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(InteractiveSessionTest, BidirectionalCat) {
+  // The paper's core claim: an unmodified program (cat) runs remotely while
+  // its stdio behaves as if local.
+  auto session = InteractiveSession::start({"/bin/cat"});
+  ASSERT_TRUE(session.has_value()) << session.error().to_string();
+  (*session)->send_line("first line");
+  EXPECT_TRUE((*session)->wait_for_output("first line", 5000));
+  (*session)->send_line("second line");
+  EXPECT_TRUE((*session)->wait_for_output("second line", 5000));
+  (*session)->send_eof();
+  const int status = (*session)->wait_exit();
+  EXPECT_TRUE(WIFEXITED(status));
+}
+
+TEST(InteractiveSessionTest, StderrIsRelayedToo) {
+  auto session = InteractiveSession::start(
+      {"/bin/sh", "-c", "echo out_line; echo err_line 1>&2"});
+  ASSERT_TRUE(session.has_value());
+  EXPECT_TRUE((*session)->wait_for_output("out_line", 5000));
+  EXPECT_TRUE((*session)->wait_for_output("err_line", 5000));
+  (*session)->wait_exit();
+}
+
+TEST(InteractiveSessionTest, ExitStatusPropagates) {
+  auto session = InteractiveSession::start({"/bin/sh", "-c", "exit 3"});
+  ASSERT_TRUE(session.has_value());
+  const int status = (*session)->wait_exit();
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 3);
+}
+
+TEST(InteractiveSessionTest, ReliableModeWorksOnHealthyLink) {
+  InteractiveSessionConfig config;
+  config.mode = jdl::StreamingMode::kReliable;
+  config.spool_dir = "/tmp";
+  auto session = InteractiveSession::start({"/bin/echo", "reliable payload"},
+                                           config);
+  ASSERT_TRUE(session.has_value()) << session.error().to_string();
+  EXPECT_TRUE((*session)->wait_for_output("reliable payload", 5000));
+  (*session)->wait_exit();
+  EXPECT_FALSE((*session)->agent().gave_up());
+}
+
+TEST(InteractiveSessionTest, InterleavedEchoLoop) {
+  // A coordinated sequence of read/write operations (the Section 6.2 test
+  // shape, on the real implementation).
+  auto session = InteractiveSession::start({"/bin/cat"});
+  ASSERT_TRUE(session.has_value());
+  for (int i = 0; i < 20; ++i) {
+    const std::string line = "seq-" + std::to_string(i);
+    (*session)->send_line(line);
+    ASSERT_TRUE((*session)->wait_for_output(line, 5000)) << line;
+  }
+  (*session)->send_eof();
+  (*session)->wait_exit();
+  const std::string all = (*session)->drain_output();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(all.find("seq-" + std::to_string(i)), std::string::npos);
+  }
+}
+
+TEST(InteractiveSessionTest, SteerableAppEndToEnd) {
+  // The full user story on the real implementation: an unmodified
+  // simulation binary runs under the agent; the user steers it mid-run.
+  const char* app = nullptr;
+  for (const char* candidate :
+       {"./examples/steerable_app", "examples/steerable_app",
+        "../examples/steerable_app"}) {
+    if (::access(candidate, X_OK) == 0) {
+      app = candidate;
+      break;
+    }
+  }
+  if (app == nullptr) GTEST_SKIP() << "steerable_app not built";
+  auto session = InteractiveSession::start({app, "50"});
+  ASSERT_TRUE(session.has_value()) << session.error().to_string();
+  ASSERT_TRUE((*session)->wait_for_output("starting 50 steps", 5000));
+  (*session)->send_line("status");
+  EXPECT_TRUE((*session)->wait_for_output("status: step", 5000));
+  (*session)->send_line("rate 2.5");
+  EXPECT_TRUE((*session)->wait_for_output("rate set to 2.5", 5000));
+  (*session)->send_line("stop");
+  EXPECT_TRUE((*session)->wait_for_output("stop requested", 5000));
+  const int status = (*session)->wait_exit();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(ConsoleAgentTest, FlushPolicyTimeoutDeliversPartialLines) {
+  // A child that prints WITHOUT a newline and then stalls: the agent's
+  // timeout trigger must deliver the partial output within ~flush_timeout,
+  // not wait for the line to complete (Section 4's second flush case).
+  auto shadow = ConsoleShadow::listen();
+  ASSERT_TRUE(shadow.has_value());
+  std::mutex mu;
+  std::string received;
+  std::chrono::steady_clock::time_point arrival{};
+  (*shadow)->set_output_handler(
+      [&](std::uint32_t, FrameType, const std::string& data) {
+        const std::lock_guard lock{mu};
+        if (received.empty()) arrival = std::chrono::steady_clock::now();
+        received += data;
+      });
+
+  ConsoleAgentConfig config;
+  config.shadow_port = (*shadow)->port();
+  config.flush_timeout_ms = 100;
+  const auto start = std::chrono::steady_clock::now();
+  auto agent = ConsoleAgent::launch(
+      {"/bin/sh", "-c", "printf no_newline_yet; sleep 2"}, config);
+  ASSERT_TRUE(agent.has_value());
+
+  for (int i = 0; i < 100; ++i) {
+    {
+      const std::lock_guard lock{mu};
+      if (!received.empty()) break;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  std::lock_guard lock{mu};
+  ASSERT_EQ(received, "no_newline_yet");
+  const auto latency =
+      std::chrono::duration_cast<std::chrono::milliseconds>(arrival - start);
+  EXPECT_LT(latency.count(), 1500);  // far sooner than the child's 2 s stall
+}
+
+// ------------------------------------------------------------ agent/shadow ----
+
+TEST(ConsoleShadowTest, MultipleAgentsFanInAndOut) {
+  auto shadow = ConsoleShadow::listen();
+  ASSERT_TRUE(shadow.has_value());
+  std::mutex mu;
+  std::map<std::uint32_t, std::string> outputs;
+  (*shadow)->set_output_handler(
+      [&](std::uint32_t rank, FrameType, const std::string& data) {
+        const std::lock_guard lock{mu};
+        outputs[rank] += data;
+      });
+
+  ConsoleAgentConfig base;
+  base.shadow_port = (*shadow)->port();
+  base.flush_timeout_ms = 20;
+
+  ConsoleAgentConfig c0 = base;
+  c0.rank = 0;
+  auto a0 = ConsoleAgent::launch({"/bin/cat"}, c0);
+  ASSERT_TRUE(a0.has_value());
+  ConsoleAgentConfig c1 = base;
+  c1.rank = 1;
+  auto a1 = ConsoleAgent::launch({"/bin/cat"}, c1);
+  ASSERT_TRUE(a1.has_value());
+
+  // Wait until both agents have said hello.
+  for (int i = 0; i < 100 && (*shadow)->connected_agents() < 2; ++i) {
+    std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_EQ((*shadow)->connected_agents(), 2u);
+
+  // Input fans out to every subjob (Section 4).
+  EXPECT_EQ((*shadow)->send_line("broadcast"), 2u);
+  for (int i = 0; i < 200; ++i) {
+    {
+      const std::lock_guard lock{mu};
+      if (outputs[0].find("broadcast") != std::string::npos &&
+          outputs[1].find("broadcast") != std::string::npos) {
+        break;
+      }
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  {
+    const std::lock_guard lock{mu};
+    EXPECT_NE(outputs[0].find("broadcast"), std::string::npos);
+    EXPECT_NE(outputs[1].find("broadcast"), std::string::npos);
+  }
+  (*shadow)->send_eof();
+  a0.value()->wait_for_exit();
+  a1.value()->wait_for_exit();
+}
+
+TEST(ConsoleAgentTest, FastModeToleratesAbsentShadowByDropping) {
+  // Point the agent at a port where nothing listens: fast mode must drop
+  // output and keep the child running.
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::bind_loopback(0);
+    ASSERT_TRUE(listener.has_value());
+    dead_port = listener->port();
+  }
+  ConsoleAgentConfig config;
+  config.shadow_port = dead_port;
+  config.connect_timeout_ms = 200;
+  config.flush_timeout_ms = 20;
+  auto agent = ConsoleAgent::launch({"/bin/echo", "dropped"}, config);
+  ASSERT_TRUE(agent.has_value());
+  const int status = (*agent)->wait_for_exit();
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_GT((*agent)->frames_dropped(), 0u);
+  EXPECT_FALSE((*agent)->gave_up());
+}
+
+TEST(ConsoleAgentTest, ReliableModeReconnectsAfterShadowRestart) {
+  // Start a shadow, connect an agent in reliable mode, kill the shadow,
+  // let the child produce output, restart the shadow on the same port, and
+  // verify the spooled output arrives.
+  const std::string spool = unique_spool("reconnect");
+  std::remove(spool.c_str());
+  std::remove((spool + ".cursor").c_str());
+
+  auto shadow1 = ConsoleShadow::listen();
+  ASSERT_TRUE(shadow1.has_value());
+  const std::uint16_t port = (*shadow1)->port();
+
+  ConsoleAgentConfig config;
+  config.mode = jdl::StreamingMode::kReliable;
+  config.shadow_port = port;
+  config.spool_path = spool;
+  config.retry_interval_ms = 100;
+  config.max_retries = 100;
+  config.flush_timeout_ms = 20;
+
+  // The child prints one line, sleeps past the shadow restart, prints again.
+  auto agent = ConsoleAgent::launch(
+      {"/bin/sh", "-c", "echo before; sleep 1; echo after"}, config);
+  ASSERT_TRUE(agent.has_value()) << agent.error().to_string();
+
+  std::this_thread::sleep_for(300ms);
+  (*shadow1)->shutdown();
+  shadow1->reset();  // port released
+
+  std::this_thread::sleep_for(300ms);
+  ConsoleShadowConfig shadow_config;
+  shadow_config.port = port;
+  auto shadow2 = ConsoleShadow::listen(shadow_config);
+  ASSERT_TRUE(shadow2.has_value()) << shadow2.error().to_string();
+  std::mutex mu;
+  std::string received;
+  (*shadow2)->set_output_handler(
+      [&](std::uint32_t, FrameType, const std::string& data) {
+        const std::lock_guard lock{mu};
+        received += data;
+      });
+
+  (*agent)->wait_for_exit();
+  for (int i = 0; i < 200; ++i) {
+    {
+      const std::lock_guard lock{mu};
+      if (received.find("after") != std::string::npos) break;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  const std::lock_guard lock{mu};
+  EXPECT_NE(received.find("after"), std::string::npos);
+  EXPECT_FALSE((*agent)->gave_up());
+  EXPECT_GT((*agent)->reconnects(), 0u);
+  std::remove(spool.c_str());
+  std::remove((spool + ".cursor").c_str());
+}
+
+TEST(ConsoleAgentTest, ReliableModeGivesUpAndKillsChild) {
+  // Shadow disappears forever; retries exhaust; the agent kills the child
+  // ("after which they will give up and kill the process").
+  const std::string spool = unique_spool("giveup");
+  auto shadow = ConsoleShadow::listen();
+  ASSERT_TRUE(shadow.has_value());
+  const std::uint16_t port = (*shadow)->port();
+
+  ConsoleAgentConfig config;
+  config.mode = jdl::StreamingMode::kReliable;
+  config.shadow_port = port;
+  config.spool_path = spool;
+  config.retry_interval_ms = 50;
+  config.max_retries = 2;
+  config.connect_timeout_ms = 100;
+  config.flush_timeout_ms = 20;
+
+  auto agent = ConsoleAgent::launch(
+      {"/bin/sh", "-c", "sleep 0.3; echo doomed; sleep 30"}, config);
+  ASSERT_TRUE(agent.has_value());
+  (*shadow)->shutdown();  // the link "goes down" permanently
+
+  const auto start = std::chrono::steady_clock::now();
+  const int status = (*agent)->wait_for_exit();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, 15s);  // far less than the child's 30 s sleep
+  EXPECT_TRUE((*agent)->gave_up());
+  EXPECT_TRUE(WIFSIGNALED(status));
+  std::remove(spool.c_str());
+  std::remove((spool + ".cursor").c_str());
+}
+
+TEST(SocketTest, UnixDomainSocketRoundTrip) {
+  const std::string path = "/tmp/cg-uds-test-" + std::to_string(::getpid());
+  auto listener = UdsListener::bind(path);
+  ASSERT_TRUE(listener.has_value()) << listener.error().to_string();
+  auto client = uds_connect(path);
+  ASSERT_TRUE(client.has_value()) << client.error().to_string();
+  auto server = listener->accept(2000);
+  ASSERT_TRUE(server.has_value());
+  ASSERT_TRUE(write_all(client->get(), std::string_view{"uds!"}));
+  char buffer[8] = {};
+  ASSERT_EQ(read_some(server->get(), buffer, sizeof(buffer)), 4);
+  EXPECT_EQ(std::string(buffer, 4), "uds!");
+  listener->close();
+  // The socket file is removed with the listener.
+  EXPECT_FALSE(uds_connect(path).has_value());
+}
+
+TEST(SocketTest, UdsBindReplacesStaleSocketFile) {
+  const std::string path = "/tmp/cg-uds-stale-" + std::to_string(::getpid());
+  {
+    auto first = UdsListener::bind(path);
+    ASSERT_TRUE(first.has_value());
+    // Simulate a crash: leak the file by moving the fd out and not
+    // unlinking. (Destructor unlinks, so re-create the file by hand.)
+  }
+  std::ofstream stale{path};
+  stale << "not a socket";
+  stale.close();
+  auto second = UdsListener::bind(path);
+  ASSERT_TRUE(second.has_value()) << second.error().to_string();
+  auto client = uds_connect(path);
+  EXPECT_TRUE(client.has_value());
+}
+
+TEST(SocketTest, UdsPathValidation) {
+  EXPECT_FALSE(UdsListener::bind("").has_value());
+  EXPECT_FALSE(UdsListener::bind(std::string(200, 'x')).has_value());
+  EXPECT_FALSE(uds_connect("/tmp/definitely-not-there-xyz").has_value());
+}
+
+TEST(ConsoleShadowTest, UnixDomainSocketSessionWorks) {
+  // Co-located agent and shadow over a Unix-domain socket: same protocol,
+  // no TCP stack.
+  const std::string path = "/tmp/cg-uds-console-" + std::to_string(::getpid());
+  ConsoleShadowConfig shadow_config;
+  shadow_config.uds_path = path;
+  auto shadow = ConsoleShadow::listen(shadow_config);
+  ASSERT_TRUE(shadow.has_value()) << shadow.error().to_string();
+  EXPECT_EQ((*shadow)->port(), 0);
+  EXPECT_EQ((*shadow)->uds_path(), path);
+
+  std::mutex mu;
+  std::string received;
+  (*shadow)->set_output_handler(
+      [&](std::uint32_t, FrameType, const std::string& data) {
+        const std::lock_guard lock{mu};
+        received += data;
+      });
+
+  ConsoleAgentConfig agent_config;
+  agent_config.shadow_uds_path = path;
+  agent_config.flush_timeout_ms = 20;
+  auto agent = ConsoleAgent::launch({"/bin/cat"}, agent_config);
+  ASSERT_TRUE(agent.has_value()) << agent.error().to_string();
+
+  for (int i = 0; i < 100 && (*shadow)->connected_agents() < 1; ++i) {
+    std::this_thread::sleep_for(20ms);
+  }
+  ASSERT_EQ((*shadow)->connected_agents(), 1u);
+  EXPECT_EQ((*shadow)->send_line("over uds"), 1u);
+  for (int i = 0; i < 200; ++i) {
+    {
+      const std::lock_guard lock{mu};
+      if (received.find("over uds") != std::string::npos) break;
+    }
+    std::this_thread::sleep_for(20ms);
+  }
+  {
+    const std::lock_guard lock{mu};
+    EXPECT_NE(received.find("over uds"), std::string::npos);
+  }
+  (*shadow)->send_eof();
+  (*agent)->wait_for_exit();
+}
+
+TEST(ConsoleShadowTest, PortRangeProbing) {
+  // The paper's firewall scenario: only a small range of ports is open; the
+  // shadow probes it for a free one.
+  ConsoleShadowConfig range_config;
+  range_config.port_range_begin = 61200;
+  range_config.port_range_end = 61203;
+  auto first = ConsoleShadow::listen(range_config);
+  ASSERT_TRUE(first.has_value()) << first.error().to_string();
+  EXPECT_GE((*first)->port(), 61200);
+  EXPECT_LE((*first)->port(), 61203);
+
+  // A second shadow in the same range must land on a different port.
+  auto second = ConsoleShadow::listen(range_config);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE((*first)->port(), (*second)->port());
+  EXPECT_GE((*second)->port(), 61200);
+  EXPECT_LE((*second)->port(), 61203);
+
+  // Exhaust the range: two more fit, the fifth must fail cleanly.
+  auto third = ConsoleShadow::listen(range_config);
+  auto fourth = ConsoleShadow::listen(range_config);
+  ASSERT_TRUE(third.has_value());
+  ASSERT_TRUE(fourth.has_value());
+  auto fifth = ConsoleShadow::listen(range_config);
+  EXPECT_FALSE(fifth.has_value());
+  EXPECT_EQ(fifth.error().code, "socket.bind");
+}
+
+TEST(ConsoleAgentTest, ConfigValidation) {
+  ConsoleAgentConfig no_port;
+  EXPECT_FALSE(ConsoleAgent::launch({"/bin/true"}, no_port).has_value());
+  ConsoleAgentConfig reliable_no_spool;
+  reliable_no_spool.shadow_port = 1;
+  reliable_no_spool.mode = jdl::StreamingMode::kReliable;
+  EXPECT_FALSE(
+      ConsoleAgent::launch({"/bin/true"}, reliable_no_spool).has_value());
+}
+
+}  // namespace
+}  // namespace cg::interpose

@@ -1,0 +1,228 @@
+// Wire-protocol tests: frame encoding, incremental decoding, corruption
+// handling, and the disk spool file.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "interpose/spool_file.hpp"
+#include "interpose/wire.hpp"
+
+namespace cg::interpose {
+namespace {
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  Frame frame;
+  frame.type = FrameType::kStdout;
+  frame.rank = 7;
+  frame.payload = "hello grid\n";
+  const std::string encoded = encode_frame(frame);
+  EXPECT_EQ(encoded.size(), kFrameHeaderBytes + frame.payload.size());
+
+  FrameDecoder decoder;
+  decoder.feed(encoded);
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, frame);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(WireTest, EmptyPayloadFrames) {
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.rank = 3;
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(hello));
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kHello);
+  EXPECT_EQ(decoded->rank, 3u);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(WireTest, IncrementalFeedByteByByte) {
+  Frame frame;
+  frame.type = FrameType::kStdin;
+  frame.payload = "abcdef";
+  const std::string encoded = encode_frame(frame);
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < encoded.size(); ++i) {
+    decoder.feed(&encoded[i], 1);
+    EXPECT_FALSE(decoder.next().has_value());
+  }
+  decoder.feed(&encoded.back(), 1);
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, "abcdef");
+}
+
+TEST(WireTest, MultipleFramesInOneBuffer) {
+  std::string buffer;
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.type = FrameType::kStdout;
+    f.rank = static_cast<std::uint32_t>(i);
+    f.payload = "line " + std::to_string(i);
+    buffer += encode_frame(f);
+  }
+  FrameDecoder decoder;
+  decoder.feed(buffer);
+  for (int i = 0; i < 5; ++i) {
+    const auto f = decoder.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->rank, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(WireTest, BinaryPayloadSafe) {
+  Frame frame;
+  frame.type = FrameType::kStdout;
+  frame.payload = std::string("\x00\x01\xff\n\x00", 5);
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(frame));
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload.size(), 5u);
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(WireTest, CorruptTypeThrows) {
+  std::string bogus(kFrameHeaderBytes, '\0');
+  bogus[0] = '\x7f';  // invalid frame type
+  FrameDecoder decoder;
+  decoder.feed(bogus);
+  EXPECT_THROW((void)decoder.next(), std::runtime_error);
+}
+
+TEST(WireTest, ImplausibleLengthThrows) {
+  Frame frame;
+  frame.type = FrameType::kStdout;
+  std::string encoded = encode_frame(frame);
+  encoded[5] = '\x7f';  // length high byte -> ~2 GB
+  FrameDecoder decoder;
+  decoder.feed(encoded);
+  EXPECT_THROW((void)decoder.next(), std::runtime_error);
+}
+
+TEST(WireTest, OversizedPayloadRejectedAtEncode) {
+  Frame frame;
+  frame.payload.resize(kMaxFramePayload + 1);
+  EXPECT_THROW((void)encode_frame(frame), std::invalid_argument);
+}
+
+TEST(WireTest, CompactionKeepsDecoderCorrect) {
+  // Force many decode cycles so the internal compaction path runs.
+  FrameDecoder decoder;
+  for (int i = 0; i < 2000; ++i) {
+    Frame f;
+    f.type = FrameType::kStdout;
+    f.payload = "payload payload payload";
+    decoder.feed(encode_frame(f));
+    const auto out = decoder.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->payload, f.payload);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+// ------------------------------------------------------------ spool file ----
+
+class SpoolFileFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = "/tmp/cg-spool-test-" + std::to_string(::testing::UnitTest::GetInstance()
+                                                       ->random_seed()) +
+            "-" + std::to_string(counter_++);
+    std::remove(path_.c_str());
+    std::remove((path_ + ".cursor").c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".cursor").c_str());
+  }
+
+  static Frame frame(const std::string& payload) {
+    Frame f;
+    f.type = FrameType::kStdout;
+    f.payload = payload;
+    return f;
+  }
+
+  static int counter_;
+  std::string path_;
+};
+
+int SpoolFileFixture::counter_ = 0;
+
+TEST_F(SpoolFileFixture, AppendPeekAdvance) {
+  auto spool = SpoolFile::open(path_);
+  ASSERT_TRUE(spool.has_value());
+  ASSERT_TRUE(spool->append(frame("one")).ok());
+  ASSERT_TRUE(spool->append(frame("two")).ok());
+  EXPECT_EQ(spool->pending(), 2u);
+
+  auto first = spool->peek();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload, "one");
+  ASSERT_TRUE(spool->advance().ok());
+
+  auto second = spool->peek();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->payload, "two");
+  ASSERT_TRUE(spool->advance().ok());
+  EXPECT_FALSE(spool->peek().has_value());
+  EXPECT_EQ(spool->pending(), 0u);
+}
+
+TEST_F(SpoolFileFixture, AdvanceWithoutPeekFails) {
+  auto spool = SpoolFile::open(path_);
+  ASSERT_TRUE(spool.has_value());
+  ASSERT_TRUE(spool->append(frame("x")).ok());
+  EXPECT_FALSE(spool->advance().ok());
+}
+
+TEST_F(SpoolFileFixture, CursorSurvivesReopen) {
+  {
+    auto spool = SpoolFile::open(path_);
+    ASSERT_TRUE(spool.has_value());
+    ASSERT_TRUE(spool->append(frame("sent")).ok());
+    ASSERT_TRUE(spool->append(frame("unsent")).ok());
+    ASSERT_TRUE(spool->peek().has_value());
+    ASSERT_TRUE(spool->advance().ok());
+  }  // close (simulated crash after sending the first frame)
+  auto reopened = SpoolFile::open(path_);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->pending(), 1u);
+  const auto next = reopened->peek();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->payload, "unsent");
+}
+
+TEST_F(SpoolFileFixture, RemoveFilesCleansDisk) {
+  auto spool = SpoolFile::open(path_);
+  ASSERT_TRUE(spool.has_value());
+  ASSERT_TRUE(spool->append(frame("x")).ok());
+  spool->remove_files();
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST_F(SpoolFileFixture, PeekOnEmptySpool) {
+  auto spool = SpoolFile::open(path_);
+  ASSERT_TRUE(spool.has_value());
+  EXPECT_FALSE(spool->peek().has_value());
+  EXPECT_EQ(spool->pending(), 0u);
+}
+
+TEST(WireTest, FrameTypeNames) {
+  EXPECT_STREQ(to_string(FrameType::kHello), "hello");
+  EXPECT_STREQ(to_string(FrameType::kExit), "exit");
+  EXPECT_TRUE(is_valid_frame_type(0));
+  EXPECT_TRUE(is_valid_frame_type(5));
+  EXPECT_FALSE(is_valid_frame_type(6));
+}
+
+}  // namespace
+}  // namespace cg::interpose

@@ -1,0 +1,226 @@
+// Evaluator semantics: ClassAd three-valued logic, Undefined propagation,
+// numeric coercion, built-in functions, scope switching, matchmaking.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "jdl/eval.hpp"
+#include "jdl/parser.hpp"
+
+namespace cg::jdl {
+namespace {
+
+Value eval_str(const std::string& source, const ClassAd* self = nullptr,
+               const ClassAd* other = nullptr) {
+  auto expr = parse_expression(source);
+  EXPECT_TRUE(expr.has_value()) << source;
+  EvalContext ctx;
+  ctx.self = self;
+  ctx.other = other;
+  return evaluate(*expr.value(), ctx);
+}
+
+// -- three-valued logic truth tables (property sweep) -----------------------
+
+// Operand domain: -1 = undefined, 0 = false, 1 = true.
+using LogicCase = std::tuple<int, int>;
+
+class ThreeValuedLogicTest : public ::testing::TestWithParam<LogicCase> {
+protected:
+  static Value make(int v) {
+    if (v < 0) return Value::undefined();
+    return Value::boolean(v == 1);
+  }
+  static int classify(const Value& v) {
+    if (v.is_undefined()) return -1;
+    return v.as_bool() ? 1 : 0;
+  }
+};
+
+TEST_P(ThreeValuedLogicTest, AndTable) {
+  const auto [a, b] = GetParam();
+  const int result = classify(logical_and(make(a), make(b)));
+  // Kleene AND: false dominates, then undefined, then true.
+  const int expected = (a == 0 || b == 0) ? 0 : (a == 1 && b == 1) ? 1 : -1;
+  EXPECT_EQ(result, expected) << "a=" << a << " b=" << b;
+}
+
+TEST_P(ThreeValuedLogicTest, OrTable) {
+  const auto [a, b] = GetParam();
+  const int result = classify(logical_or(make(a), make(b)));
+  const int expected = (a == 1 || b == 1) ? 1 : (a == 0 && b == 0) ? 0 : -1;
+  EXPECT_EQ(result, expected) << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ThreeValuedLogicTest,
+                         ::testing::Combine(::testing::Values(-1, 0, 1),
+                                            ::testing::Values(-1, 0, 1)));
+
+TEST(EvalTest, NotOnUndefined) {
+  EXPECT_TRUE(logical_not(Value::undefined()).is_undefined());
+  EXPECT_FALSE(logical_not(Value::boolean(true)).as_bool());
+}
+
+TEST(EvalTest, ShortCircuitMakesUndefinedAndFalseWork) {
+  // `undefined && false` is false, so a missing attribute on the left must
+  // not poison the whole expression.
+  EXPECT_FALSE(eval_str("missing && false").is_undefined());
+  EXPECT_FALSE(eval_str("missing && false").is_true());
+  EXPECT_TRUE(eval_str("missing || true").is_true());
+  EXPECT_TRUE(eval_str("missing && true").is_undefined());
+}
+
+// -- arithmetic --------------------------------------------------------------
+
+TEST(EvalTest, IntRealPromotion) {
+  EXPECT_TRUE(eval_str("1 + 2").is_int());
+  EXPECT_TRUE(eval_str("1 + 2.0").is_real());
+  EXPECT_DOUBLE_EQ(eval_str("1 + 2.5").as_real(), 3.5);
+  EXPECT_TRUE(eval_str("3 / 2").is_int());
+  EXPECT_EQ(eval_str("3 / 2").as_int(), 1);
+  EXPECT_DOUBLE_EQ(eval_str("3.0 / 2").as_real(), 1.5);
+}
+
+TEST(EvalTest, DivisionByZeroIsUndefined) {
+  EXPECT_TRUE(eval_str("1 / 0").is_undefined());
+  EXPECT_TRUE(eval_str("1.0 / 0.0").is_undefined());
+  EXPECT_TRUE(eval_str("1 % 0").is_undefined());
+}
+
+TEST(EvalTest, StringConcatenationWithPlus) {
+  EXPECT_EQ(eval_str("\"a\" + \"b\"").as_string(), "ab");
+}
+
+TEST(EvalTest, MixedTypeArithmeticIsUndefined) {
+  EXPECT_TRUE(eval_str("1 + \"a\"").is_undefined());
+  EXPECT_TRUE(eval_str("true * 2").is_undefined());
+  EXPECT_TRUE(eval_str("-\"x\"").is_undefined());
+}
+
+// -- comparisons --------------------------------------------------------------
+
+TEST(EvalTest, StringComparisonCaseInsensitive) {
+  EXPECT_TRUE(eval_str("\"LINUX\" == \"linux\"").is_true());
+  EXPECT_TRUE(eval_str("\"abc\" < \"ABD\"").is_true());
+}
+
+TEST(EvalTest, CrossTypeComparisonUndefined) {
+  EXPECT_TRUE(eval_str("1 == \"1\"").is_undefined());
+  EXPECT_TRUE(eval_str("true < 1").is_undefined());
+}
+
+TEST(EvalTest, NumericComparisonCoerces) {
+  EXPECT_TRUE(eval_str("2 == 2.0").is_true());
+  EXPECT_TRUE(eval_str("1.5 < 2").is_true());
+}
+
+// -- functions ----------------------------------------------------------------
+
+TEST(EvalTest, BuiltinFunctions) {
+  EXPECT_TRUE(eval_str("isUndefined(missing)").is_true());
+  EXPECT_FALSE(eval_str("isUndefined(1)").is_true());
+  EXPECT_EQ(eval_str("abs(-3)").as_int(), 3);
+  EXPECT_DOUBLE_EQ(eval_str("abs(-3.5)").as_real(), 3.5);
+  EXPECT_EQ(eval_str("floor(2.7)").as_int(), 2);
+  EXPECT_EQ(eval_str("ceil(2.1)").as_int(), 3);
+  EXPECT_EQ(eval_str("round(2.5)").as_int(), 3);
+  EXPECT_EQ(eval_str("int(2.9)").as_int(), 2);
+  EXPECT_TRUE(eval_str("real(2)").is_real());
+  EXPECT_EQ(eval_str("min({3, 1, 2})").as_int(), 1);
+  EXPECT_EQ(eval_str("max(3, 1, 2)").as_int(), 3);
+  EXPECT_EQ(eval_str("strcat(\"a\", \"b\", \"c\")").as_string(), "abc");
+  EXPECT_EQ(eval_str("tolower(\"ABC\")").as_string(), "abc");
+  EXPECT_EQ(eval_str("toupper(\"abc\")").as_string(), "ABC");
+  EXPECT_EQ(eval_str("size(\"hello\")").as_int(), 5);
+}
+
+TEST(EvalTest, UnknownFunctionIsUndefined) {
+  EXPECT_TRUE(eval_str("frobnicate(1)").is_undefined());
+}
+
+TEST(EvalTest, MemberWithUndefinedElements) {
+  // No match but an undefined comparison present -> undefined.
+  EXPECT_TRUE(eval_str("member(1, {\"a\", 2})").is_undefined());
+  // A definite match wins over undefined comparisons.
+  EXPECT_TRUE(eval_str("member(2, {\"a\", 2})").is_true());
+}
+
+// -- scope handling ------------------------------------------------------------
+
+TEST(EvalTest, OtherScopeFlipsForNestedReferences) {
+  // In `other.X`, a bare reference inside X resolves in the *other* ad.
+  ClassAd machine;
+  machine.set(std::string{"Score"}, parse_expression("Base * 2").value());
+  machine.set_int("Base", 21);
+  ClassAd job;
+  EvalContext ctx{&job, &machine};
+  const auto expr = parse_expression("other.Score");
+  ASSERT_TRUE(expr.has_value());
+  EXPECT_EQ(evaluate(*expr.value(), ctx).as_int(), 42);
+}
+
+TEST(EvalTest, CyclicAttributesTerminate) {
+  ClassAd ad;
+  ad.set(std::string{"a"}, parse_expression("b").value());
+  ad.set(std::string{"b"}, parse_expression("a").value());
+  EXPECT_TRUE(evaluate_attr(ad, "a").is_undefined());  // depth limit
+}
+
+TEST(EvalTest, SelfReferenceWithoutAdsIsUndefined) {
+  EXPECT_TRUE(eval_str("self.x").is_undefined());
+  EXPECT_TRUE(eval_str("other.x").is_undefined());
+}
+
+// -- matchmaking ---------------------------------------------------------------
+
+TEST(EvalTest, SymmetricMatchBothSides) {
+  ClassAd job;
+  job.set(std::string{"Requirements"},
+          parse_expression("other.FreeCPUs >= 2").value());
+  job.set_int("MemoryNeededMB", 512);
+  ClassAd machine;
+  machine.set(std::string{"Requirements"},
+              parse_expression("other.MemoryNeededMB <= 1024").value());
+  machine.set_int("FreeCPUs", 4);
+  EXPECT_TRUE(symmetric_match(job, machine));
+
+  machine.set_int("FreeCPUs", 1);
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+TEST(EvalTest, MissingRequirementsMatchesUnconditionally) {
+  ClassAd a;
+  ClassAd b;
+  EXPECT_TRUE(symmetric_match(a, b));
+}
+
+TEST(EvalTest, UndefinedRequirementsDoNotMatch) {
+  ClassAd job;
+  job.set(std::string{"Requirements"},
+          parse_expression("other.NoSuchAttr == 5").value());
+  ClassAd machine;
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+// -- values ---------------------------------------------------------------------
+
+TEST(ValueTest, ToStringRendersSourceSyntax) {
+  EXPECT_EQ(Value::undefined().to_string(), "undefined");
+  EXPECT_EQ(Value::boolean(true).to_string(), "true");
+  EXPECT_EQ(Value::integer(5).to_string(), "5");
+  EXPECT_EQ(Value::string("x").to_string(), "\"x\"");
+  EXPECT_EQ(Value::list({Value::integer(1), Value::integer(2)}).to_string(),
+            "{1, 2}");
+}
+
+TEST(ValueTest, SameAsIsStructural) {
+  EXPECT_TRUE(Value::integer(1).same_as(Value::integer(1)));
+  EXPECT_FALSE(Value::integer(1).same_as(Value::real(1.0)));  // exact types
+  EXPECT_TRUE(Value::undefined().same_as(Value::undefined()));
+  EXPECT_TRUE(Value::list({Value::integer(1)})
+                  .same_as(Value::list({Value::integer(1)})));
+  EXPECT_FALSE(Value::list({Value::integer(1)}).same_as(Value::list({})));
+}
+
+}  // namespace
+}  // namespace cg::jdl

@@ -1,0 +1,239 @@
+// JobDescription validation: the paper's attribute domains (Figure 2 and
+// Section 3).
+#include <gtest/gtest.h>
+
+#include "jdl/job_description.hpp"
+
+namespace cg::jdl {
+namespace {
+
+TEST(JobDescriptionTest, ParsesPaperExample) {
+  auto jd = JobDescription::parse(
+      "Executable = \"interactive_mpich-g2_app\";\n"
+      "JobType = {\"interactive\", \"mpich-g2\"};\n"
+      "NodeNumber = 2;\n"
+      "Arguments = \"-n\";\n");
+  ASSERT_TRUE(jd.has_value()) << jd.error().to_string();
+  EXPECT_EQ(jd->executable(), "interactive_mpich-g2_app");
+  EXPECT_EQ(jd->arguments(), "-n");
+  EXPECT_EQ(jd->category(), JobCategory::kInteractive);
+  EXPECT_EQ(jd->flavor(), JobFlavor::kMpichG2);
+  EXPECT_EQ(jd->node_number(), 2);
+  EXPECT_TRUE(jd->is_interactive());
+  EXPECT_TRUE(jd->is_parallel());
+}
+
+TEST(JobDescriptionTest, DefaultsAreBatchSequentialFastExclusive) {
+  auto jd = JobDescription::parse("Executable = \"app\";");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_EQ(jd->category(), JobCategory::kBatch);
+  EXPECT_EQ(jd->flavor(), JobFlavor::kSequential);
+  EXPECT_EQ(jd->node_number(), 1);
+  EXPECT_EQ(jd->streaming_mode(), StreamingMode::kFast);
+  EXPECT_EQ(jd->machine_access(), MachineAccess::kExclusive);
+  EXPECT_EQ(jd->performance_loss(), 0);
+  EXPECT_FALSE(jd->shadow_port().has_value());
+}
+
+TEST(JobDescriptionTest, MissingExecutableFails) {
+  EXPECT_FALSE(JobDescription::parse("NodeNumber = 2;").has_value());
+  EXPECT_FALSE(JobDescription::parse("Executable = 5;").has_value());
+  EXPECT_FALSE(JobDescription::parse("Executable = \"\";").has_value());
+}
+
+TEST(JobDescriptionTest, StreamingModes) {
+  auto fast = JobDescription::parse(
+      "Executable = \"a\"; JobType = \"interactive\"; StreamingMode = \"fast\";");
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->streaming_mode(), StreamingMode::kFast);
+
+  auto reliable = JobDescription::parse(
+      "Executable = \"a\"; JobType = \"interactive\"; StreamingMode = \"Reliable\";");
+  ASSERT_TRUE(reliable.has_value());
+  EXPECT_EQ(reliable->streaming_mode(), StreamingMode::kReliable);
+
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; StreamingMode = \"turbo\";")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, MachineAccessValidation) {
+  auto shared = JobDescription::parse(
+      "Executable = \"a\"; JobType = \"interactive\"; MachineAccess = \"shared\";");
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_EQ(shared->machine_access(), MachineAccess::kShared);
+
+  // Shared access is an interactive-job feature.
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; JobType = \"batch\"; "
+                   "MachineAccess = \"shared\";")
+                   .has_value());
+}
+
+// Property sweep over the PerformanceLoss domain: "Values ... can be 0, 5,
+// 10, 15, and so on".
+class PerformanceLossTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerformanceLossTest, MultiplesOfFiveUpTo50Accepted) {
+  const int pl = GetParam();
+  auto jd = JobDescription::parse(
+      "Executable = \"a\"; JobType = \"interactive\"; "
+      "MachineAccess = \"shared\"; PerformanceLoss = " +
+      std::to_string(pl) + ";");
+  const bool should_accept = pl >= 0 && pl <= 50 && pl % 5 == 0;
+  EXPECT_EQ(jd.has_value(), should_accept) << "PL=" << pl;
+  if (jd.has_value()) {
+    EXPECT_EQ(jd->performance_loss(), pl);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domain, PerformanceLossTest,
+                         ::testing::Values(-5, 0, 3, 5, 10, 15, 25, 50, 55, 100));
+
+TEST(JobDescriptionTest, NodeNumberValidation) {
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; NodeNumber = 0;")
+                   .has_value());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; NodeNumber = -1;")
+                   .has_value());
+  // Sequential jobs cannot ask for several nodes.
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; JobType = \"sequential\"; NodeNumber = 4;")
+                   .has_value());
+  auto p4 = JobDescription::parse(
+      "Executable = \"a\"; JobType = {\"batch\", \"mpich-p4\"}; NodeNumber = 4;");
+  ASSERT_TRUE(p4.has_value());
+  EXPECT_EQ(p4->node_number(), 4);
+}
+
+TEST(JobDescriptionTest, DuplicateJobTypeElementsFail) {
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; JobType = {\"batch\", \"interactive\"};")
+                   .has_value());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; JobType = {\"mpich-p4\", \"mpich-g2\"};")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, UnknownJobTypeFails) {
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; JobType = \"pvm\";")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, ShadowPortDomain) {
+  auto jd = JobDescription::parse(
+      "Executable = \"a\"; JobType = \"interactive\"; ShadowPort = 9999;");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_EQ(jd->shadow_port(), 9999);
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; ShadowPort = 0;")
+                   .has_value());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; ShadowPort = 70000;")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, ConsoleAgentCount) {
+  // Section 4: one CA for sequential and MPICH-P4; one per subjob for G2.
+  auto seq = JobDescription::parse(
+      "Executable = \"a\"; JobType = \"interactive\";");
+  ASSERT_TRUE(seq.has_value());
+  EXPECT_EQ(seq->console_agent_count(), 1);
+
+  auto p4 = JobDescription::parse(
+      "Executable = \"a\"; JobType = {\"interactive\", \"mpich-p4\"}; "
+      "NodeNumber = 8;");
+  ASSERT_TRUE(p4.has_value());
+  EXPECT_EQ(p4->console_agent_count(), 1);
+
+  auto g2 = JobDescription::parse(
+      "Executable = \"a\"; JobType = {\"interactive\", \"mpich-g2\"}; "
+      "NodeNumber = 8;");
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->console_agent_count(), 8);
+}
+
+TEST(JobDescriptionTest, InputSandboxList) {
+  auto jd = JobDescription::parse(
+      "Executable = \"a\"; InputSandbox = {\"data.in\", \"config.xml\"};");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_EQ(jd->input_sandbox().size(), 2u);
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; InputSandbox = 42;")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, OutputSandboxList) {
+  auto jd = JobDescription::parse(
+      "Executable = \"a\"; OutputSandbox = {\"out.dat\", \"log.txt\"};");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_EQ(jd->output_sandbox().size(), 2u);
+  auto none = JobDescription::parse("Executable = \"a\";");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none->output_sandbox().empty());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; OutputSandbox = 1;")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, RequirementsAndRankAccessible) {
+  auto jd = JobDescription::parse(
+      "Executable = \"a\";\n"
+      "Requirements = other.Arch == \"i686\";\n"
+      "Rank = other.FreeCPUs;\n");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_NE(jd->requirements(), nullptr);
+  EXPECT_NE(jd->rank(), nullptr);
+  auto no_req = JobDescription::parse("Executable = \"a\";");
+  ASSERT_TRUE(no_req.has_value());
+  EXPECT_EQ(no_req->requirements(), nullptr);
+}
+
+TEST(JobDescriptionTest, RetryCountDomain) {
+  auto jd = JobDescription::parse("Executable = \"a\"; RetryCount = 5;");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_EQ(jd->retry_count(), 5);
+  auto none = JobDescription::parse("Executable = \"a\";");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_FALSE(none->retry_count().has_value());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; RetryCount = -1;").has_value());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; RetryCount = 500;").has_value());
+}
+
+TEST(JobDescriptionTest, EnvironmentEntries) {
+  auto jd = JobDescription::parse(
+      "Executable = \"a\"; Environment = {\"MODE=fast\", \"DEBUG=1\"};");
+  ASSERT_TRUE(jd.has_value());
+  ASSERT_EQ(jd->environment().size(), 2u);
+  EXPECT_EQ(jd->environment()[0], "MODE=fast");
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; Environment = {\"NOEQUALS\"};")
+                   .has_value());
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; Environment = {\"=value\"};")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, VirtualOrganisation) {
+  auto jd = JobDescription::parse(
+      "Executable = \"a\"; VirtualOrganisation = \"crossgrid-hep\";");
+  ASSERT_TRUE(jd.has_value());
+  EXPECT_EQ(jd->virtual_organisation(), "crossgrid-hep");
+  EXPECT_FALSE(JobDescription::parse(
+                   "Executable = \"a\"; VirtualOrganisation = \"\";")
+                   .has_value());
+}
+
+TEST(JobDescriptionTest, EnumToString) {
+  EXPECT_EQ(to_string(JobCategory::kInteractive), "interactive");
+  EXPECT_EQ(to_string(JobFlavor::kMpichG2), "mpich-g2");
+  EXPECT_EQ(to_string(StreamingMode::kReliable), "reliable");
+  EXPECT_EQ(to_string(MachineAccess::kShared), "shared");
+}
+
+}  // namespace
+}  // namespace cg::jdl

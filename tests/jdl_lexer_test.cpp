@@ -1,0 +1,132 @@
+// Tokenizer tests for the Job Description Language.
+#include <gtest/gtest.h>
+
+#include "jdl/lexer.hpp"
+
+namespace cg::jdl {
+namespace {
+
+std::vector<TokenKind> kinds_of(const std::string& source) {
+  auto tokens = tokenize(source);
+  EXPECT_TRUE(tokens.has_value()) << source;
+  std::vector<TokenKind> kinds;
+  for (const auto& t : tokens.value()) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, SimpleAssignment) {
+  const auto kinds = kinds_of("NodeNumber = 2;");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kAssign,
+                                           TokenKind::kInt, TokenKind::kSemicolon,
+                                           TokenKind::kEnd}));
+}
+
+TEST(LexerTest, PaperFigure2Document) {
+  // The example from Figure 2 of the paper.
+  const auto tokens = tokenize(
+      "Executable = \"interactive_mpich-g2_app\";\n"
+      "JobType = {\"interactive\", \"mpich-g2\"};\n"
+      "NodeNumber = 2;\n"
+      "Arguments = \"-n\";\n");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ(tokens.value().front().text, "Executable");
+  EXPECT_EQ(tokens.value()[2].text, "interactive_mpich-g2_app");
+}
+
+TEST(LexerTest, NumbersIntAndReal) {
+  auto tokens = tokenize("42 3.14 1e3 2.5e-2 0.5");
+  ASSERT_TRUE(tokens.has_value());
+  const auto& v = tokens.value();
+  EXPECT_EQ(v[0].kind, TokenKind::kInt);
+  EXPECT_EQ(v[0].int_value, 42);
+  EXPECT_EQ(v[1].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(v[1].real_value, 3.14);
+  EXPECT_EQ(v[2].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(v[2].real_value, 1000.0);
+  EXPECT_EQ(v[3].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(v[3].real_value, 0.025);
+  EXPECT_EQ(v[4].kind, TokenKind::kReal);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = tokenize(R"("a\nb\t\"c\\")");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ(tokens.value().front().text, "a\nb\t\"c\\");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(tokenize("\"abc").has_value());
+}
+
+TEST(LexerTest, BadEscapeFails) {
+  EXPECT_FALSE(tokenize(R"("a\qb")").has_value());
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  const auto kinds = kinds_of("TRUE False UNDEFINED");
+  EXPECT_EQ(kinds[0], TokenKind::kBoolTrue);
+  EXPECT_EQ(kinds[1], TokenKind::kBoolFalse);
+  EXPECT_EQ(kinds[2], TokenKind::kUndefined);
+}
+
+TEST(LexerTest, Operators) {
+  const auto kinds = kinds_of("== != <= >= < > && || ! ? : + - * / %");
+  EXPECT_EQ(kinds[0], TokenKind::kEq);
+  EXPECT_EQ(kinds[1], TokenKind::kNe);
+  EXPECT_EQ(kinds[2], TokenKind::kLe);
+  EXPECT_EQ(kinds[3], TokenKind::kGe);
+  EXPECT_EQ(kinds[4], TokenKind::kLt);
+  EXPECT_EQ(kinds[5], TokenKind::kGt);
+  EXPECT_EQ(kinds[6], TokenKind::kAndAnd);
+  EXPECT_EQ(kinds[7], TokenKind::kOrOr);
+  EXPECT_EQ(kinds[8], TokenKind::kBang);
+  EXPECT_EQ(kinds[9], TokenKind::kQuestion);
+  EXPECT_EQ(kinds[10], TokenKind::kColon);
+}
+
+TEST(LexerTest, SingleAmpersandFails) {
+  EXPECT_FALSE(tokenize("a & b").has_value());
+  EXPECT_FALSE(tokenize("a | b").has_value());
+}
+
+TEST(LexerTest, Comments) {
+  const auto kinds = kinds_of(
+      "// line comment\n"
+      "# hash comment\n"
+      "a = 1; /* block\ncomment */ b = 2;");
+  // Two assignments survive.
+  int idents = 0;
+  for (const auto k : kinds) {
+    if (k == TokenKind::kIdent) ++idents;
+  }
+  EXPECT_EQ(idents, 2);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(tokenize("a = 1; /* oops").has_value());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = tokenize("a = 1;\n  b = 2;");
+  ASSERT_TRUE(tokens.has_value());
+  const auto& v = tokens.value();
+  EXPECT_EQ(v[0].line, 1u);
+  EXPECT_EQ(v[0].column, 1u);
+  EXPECT_EQ(v[4].text, "b");
+  EXPECT_EQ(v[4].line, 2u);
+  EXPECT_EQ(v[4].column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  const auto result = tokenize("a = $;");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, "jdl.lex");
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto kinds = kinds_of("");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+}  // namespace
+}  // namespace cg::jdl

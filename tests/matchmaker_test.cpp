@@ -1,0 +1,167 @@
+// Matchmaker and lease-manager tests: Requirements filtering, Rank ordering,
+// randomized tie-breaking, and exclusive temporal access.
+#include <gtest/gtest.h>
+
+#include "broker/matchmaker.hpp"
+
+namespace cg::broker {
+namespace {
+
+using namespace cg::literals;
+
+infosys::SiteRecord make_record(std::uint64_t id, int free_cpus,
+                                const std::string& arch = "i686") {
+  infosys::SiteRecord r;
+  r.static_info.id = SiteId{id};
+  r.static_info.name = "site" + std::to_string(id);
+  r.static_info.arch = arch;
+  r.static_info.worker_nodes = free_cpus;
+  r.static_info.cpus_per_node = 1;
+  r.dynamic_info.free_cpus = free_cpus;
+  return r;
+}
+
+jdl::JobDescription make_job(const std::string& extra = "") {
+  auto jd = jdl::JobDescription::parse("Executable = \"app\";\n" + extra);
+  EXPECT_TRUE(jd.has_value()) << (jd ? "" : jd.error().to_string());
+  return jd.value();
+}
+
+class MatchmakerFixture : public ::testing::Test {
+protected:
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  Matchmaker matchmaker;
+};
+
+TEST_F(MatchmakerFixture, CapacityFilter) {
+  const auto job = make_job();
+  const auto out = matchmaker.filter(
+      job, {make_record(1, 0), make_record(2, 3)}, leases, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].record.static_info.id, SiteId{2});
+  EXPECT_EQ(out[0].effective_free_cpus, 3);
+}
+
+TEST_F(MatchmakerFixture, RequirementsFilter) {
+  const auto job = make_job("Requirements = other.Arch == \"x86_64\";");
+  const auto out = matchmaker.filter(
+      job, {make_record(1, 4, "i686"), make_record(2, 4, "x86_64")}, leases, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].record.static_info.id, SiteId{2});
+}
+
+TEST_F(MatchmakerFixture, NeededCpusRespectsParallelJobs) {
+  const auto job = make_job();
+  const auto out = matchmaker.filter(
+      job, {make_record(1, 2), make_record(2, 8)}, leases, 4);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].record.static_info.id, SiteId{2});
+}
+
+TEST_F(MatchmakerFixture, LeasesShadowFreeCpus) {
+  const auto job = make_job();
+  leases.acquire(SiteId{1}, 3, 60_s);
+  const auto out = matchmaker.filter(job, {make_record(1, 4)}, leases, 2);
+  // 4 free - 3 leased = 1 effective, below the 2 needed.
+  EXPECT_TRUE(out.empty());
+  const auto loose = matchmaker.filter(job, {make_record(1, 4)}, leases, 1);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_EQ(loose[0].effective_free_cpus, 1);
+}
+
+TEST_F(MatchmakerFixture, DefaultRankPrefersFreeCpus) {
+  const auto job = make_job();
+  const auto out = matchmaker.filter(
+      job, {make_record(1, 2), make_record(2, 8)}, leases, 1);
+  Rng rng{1};
+  // Site 2 has strictly better rank; selection must always pick it.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(matchmaker.select(out, rng), SiteId{2});
+  }
+}
+
+TEST_F(MatchmakerFixture, CustomRankExpression) {
+  // Prefer the *fuller* site via a custom Rank.
+  const auto job = make_job("Rank = -other.FreeCPUs;");
+  const auto out = matchmaker.filter(
+      job, {make_record(1, 2), make_record(2, 8)}, leases, 1);
+  Rng rng{1};
+  EXPECT_EQ(matchmaker.select(out, rng), SiteId{1});
+}
+
+TEST_F(MatchmakerFixture, RandomizedSelectionAmongTies) {
+  // "Randomized selection of resources ... used to generate different
+  // answers when there are multiple resource choices."
+  const auto job = make_job();
+  const auto out = matchmaker.filter(
+      job, {make_record(1, 4), make_record(2, 4), make_record(3, 4)}, leases, 1);
+  Rng rng{99};
+  std::set<std::uint64_t> chosen;
+  for (int i = 0; i < 100; ++i) {
+    const auto site = matchmaker.select(out, rng);
+    ASSERT_TRUE(site.has_value());
+    chosen.insert(site->value());
+  }
+  EXPECT_EQ(chosen.size(), 3u);
+}
+
+TEST_F(MatchmakerFixture, SelectEmptyReturnsNullopt) {
+  Rng rng{1};
+  EXPECT_FALSE(matchmaker.select({}, rng).has_value());
+}
+
+TEST_F(MatchmakerFixture, NonNumericRankIsNeutral) {
+  const auto job = make_job("Rank = \"not a number\";");
+  const auto out = matchmaker.filter(job, {make_record(1, 4)}, leases, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rank, 0.0);
+}
+
+// ---------------------------------------------------------------- leases ----
+
+TEST(LeaseManagerTest, AcquireReleaseCounts) {
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  const LeaseId a = leases.acquire(SiteId{1}, 2, 60_s);
+  leases.acquire(SiteId{1}, 1, 60_s);
+  leases.acquire(SiteId{2}, 5, 60_s);
+  EXPECT_EQ(leases.leased_cpus(SiteId{1}), 3);
+  EXPECT_EQ(leases.leased_cpus(SiteId{2}), 5);
+  EXPECT_EQ(leases.active_leases(), 3u);
+  EXPECT_TRUE(leases.release(a));
+  EXPECT_FALSE(leases.release(a));  // double release
+  EXPECT_EQ(leases.leased_cpus(SiteId{1}), 1);
+}
+
+TEST(LeaseManagerTest, ExpiryFreesAutomatically) {
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  leases.acquire(SiteId{1}, 4, 30_s);
+  sim.run_until(SimTime::from_seconds(29));
+  EXPECT_EQ(leases.leased_cpus(SiteId{1}), 4);
+  sim.run_until(SimTime::from_seconds(31));
+  EXPECT_EQ(leases.leased_cpus(SiteId{1}), 0);
+  EXPECT_EQ(leases.active_leases(), 0u);
+}
+
+TEST(LeaseManagerTest, ReleaseCancelsExpiryEvent) {
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  const LeaseId a = leases.acquire(SiteId{1}, 1, 30_s);
+  EXPECT_TRUE(leases.release(a));
+  sim.run();  // the cancelled expiry must not fire on a stale id
+  EXPECT_EQ(leases.active_leases(), 0u);
+}
+
+TEST(LeaseManagerTest, Validation) {
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  EXPECT_THROW(leases.acquire(SiteId{}, 1, 1_s), std::invalid_argument);
+  EXPECT_THROW(leases.acquire(SiteId{1}, 0, 1_s), std::invalid_argument);
+  EXPECT_THROW(leases.acquire(SiteId{1}, 1, Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cg::broker

@@ -1,0 +1,319 @@
+// Tests for the discrete-event engine, the network/failure models, and the
+// disk model.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::sim {
+namespace {
+
+using namespace cg::literals;
+
+// ------------------------------------------------------------ simulation ----
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(3_s, [&] { order.push_back(3); });
+  sim.schedule(1_s, [&] { order.push_back(1); });
+  sim.schedule(2_s, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(SimulationTest, EqualTimesFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1_s, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, NestedSchedulingAdvancesClock) {
+  Simulation sim;
+  SimTime inner_time;
+  sim.schedule(1_s, [&] {
+    sim.schedule(2_s, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time.to_seconds(), 3.0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule(1_s, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sim.cancel(h));  // double cancel is a no-op
+}
+
+TEST(SimulationTest, CancelAfterFireReturnsFalse) {
+  Simulation sim;
+  const EventHandle h = sim.schedule(1_s, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1_s, [&] { ++fired; });
+  sim.schedule(5_s, [&] { ++fired; });
+  const std::size_t n = sim.run_until(SimTime::from_seconds(2.0));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().to_seconds(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, EventAtExactDeadlineRuns) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule(2_s, [&] { fired = true; });
+  sim.run_until(SimTime::from_seconds(2.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, StepProcessesOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule(1_s, [&] { ++fired; });
+  sim.schedule(2_s, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.schedule(1_s, [&] {
+    bool fired = false;
+    sim.schedule(Duration::seconds(-5), [&] { fired = true; });
+    // Fires later in the same instant, not in the past.
+    EXPECT_FALSE(fired);
+  });
+  sim.run();
+  EXPECT_EQ(sim.now().to_seconds(), 1.0);
+}
+
+TEST(SimulationTest, NullCallbackThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule(1_s, nullptr), std::invalid_argument);
+}
+
+TEST(SimulationTest, PendingCountsExcludeCancelled) {
+  Simulation sim;
+  const EventHandle a = sim.schedule(1_s, [] {});
+  sim.schedule(2_s, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, DaemonEventsDoNotKeepRunAlive) {
+  Simulation sim;
+  int daemon_fires = 0;
+  // A self-rescheduling daemon heartbeat (the information-system pattern).
+  std::function<void()> heartbeat = [&] {
+    ++daemon_fires;
+    sim.schedule_daemon(10_s, heartbeat);
+  };
+  sim.schedule_daemon(10_s, heartbeat);
+  bool user_fired = false;
+  sim.schedule(25_s, [&] { user_fired = true; });
+
+  sim.run();  // must terminate despite the endless daemon chain
+  EXPECT_TRUE(user_fired);
+  // Daemons at t=10 and t=20 ran before the last user event at t=25.
+  EXPECT_EQ(daemon_fires, 2);
+  EXPECT_EQ(sim.now().to_seconds(), 25.0);
+}
+
+TEST(SimulationTest, RunUntilProcessesDaemons) {
+  Simulation sim;
+  int daemon_fires = 0;
+  std::function<void()> heartbeat = [&] {
+    ++daemon_fires;
+    sim.schedule_daemon(10_s, heartbeat);
+  };
+  sim.schedule_daemon(10_s, heartbeat);
+  sim.run_until(SimTime::from_seconds(45));
+  EXPECT_EQ(daemon_fires, 4);  // t = 10, 20, 30, 40
+  EXPECT_EQ(sim.now().to_seconds(), 45.0);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulation sim;
+  sim.run_until(SimTime::from_seconds(7));
+  EXPECT_EQ(sim.now().to_seconds(), 7.0);
+}
+
+TEST(SimulationTest, CancelledDaemonStops) {
+  Simulation sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_daemon(1_s, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_until(SimTime::from_seconds(5));
+  EXPECT_FALSE(fired);
+}
+
+TEST(ScopedTimerTest, CancelsOnDestruction) {
+  Simulation sim;
+  bool fired = false;
+  {
+    ScopedTimer timer{sim, sim.schedule(1_s, [&] { fired = true; })};
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ScopedTimerTest, RearmReplacesEvent) {
+  Simulation sim;
+  int which = 0;
+  ScopedTimer timer{sim, sim.schedule(1_s, [&] { which = 1; })};
+  timer.rearm(sim, sim.schedule(2_s, [&] { which = 2; }));
+  sim.run();
+  EXPECT_EQ(which, 2);
+}
+
+// -------------------------------------------------------------- network ----
+
+TEST(FailureScheduleTest, WindowsAndQueries) {
+  FailureSchedule f;
+  f.add_outage(SimTime::from_seconds(10), SimTime::from_seconds(20));
+  f.add_outage(SimTime::from_seconds(30), SimTime::from_seconds(40));
+  EXPECT_FALSE(f.is_down(SimTime::from_seconds(5)));
+  EXPECT_TRUE(f.is_down(SimTime::from_seconds(10)));
+  EXPECT_TRUE(f.is_down(SimTime::from_seconds(19.999)));
+  EXPECT_FALSE(f.is_down(SimTime::from_seconds(20)));  // [start, end)
+  EXPECT_TRUE(f.is_down(SimTime::from_seconds(35)));
+
+  EXPECT_EQ(f.next_up(SimTime::from_seconds(15)).to_seconds(), 20.0);
+  EXPECT_EQ(f.next_up(SimTime::from_seconds(5)).to_seconds(), 5.0);
+  ASSERT_TRUE(f.next_outage_after(SimTime::from_seconds(20)).has_value());
+  EXPECT_EQ(f.next_outage_after(SimTime::from_seconds(20))->to_seconds(), 30.0);
+  EXPECT_FALSE(f.next_outage_after(SimTime::from_seconds(40)).has_value());
+}
+
+TEST(FailureScheduleTest, OverlappingWindowsMerge) {
+  FailureSchedule f;
+  f.add_outage(SimTime::from_seconds(10), SimTime::from_seconds(20));
+  f.add_outage(SimTime::from_seconds(15), SimTime::from_seconds(25));
+  EXPECT_TRUE(f.is_down(SimTime::from_seconds(22)));
+  EXPECT_EQ(f.next_up(SimTime::from_seconds(12)).to_seconds(), 25.0);
+}
+
+TEST(FailureScheduleTest, InvalidWindowThrows) {
+  FailureSchedule f;
+  EXPECT_THROW(f.add_outage(SimTime::from_seconds(5), SimTime::from_seconds(5)),
+               std::invalid_argument);
+}
+
+TEST(LinkTest, NominalTransferLaw) {
+  LinkSpec spec;
+  spec.latency = 10_ms;
+  spec.bandwidth_bytes_per_sec = 1e6;
+  spec.jitter_stddev = Duration::zero();
+  Link link{spec, Rng{1}};
+  // 1 MB over 1 MB/s + 10 ms latency = 1.01 s.
+  EXPECT_NEAR(link.nominal_transfer_duration(1'000'000).to_seconds(), 1.01, 1e-6);
+  EXPECT_EQ(link.transfer_duration(1'000'000).to_seconds(),
+            link.nominal_transfer_duration(1'000'000).to_seconds());
+}
+
+TEST(LinkTest, JitterOnlyAddsDelay) {
+  LinkSpec spec = LinkSpec::campus();
+  spec.jitter_stddev = 1_ms;
+  Link link{spec, Rng{5}};
+  const double nominal = link.nominal_transfer_duration(1000).to_seconds();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(link.transfer_duration(1000).to_seconds(), nominal);
+  }
+}
+
+TEST(LinkTest, ProfilesAreOrdered) {
+  // WAN must be slower than campus, which is slower than local.
+  Link local{LinkSpec::local(), Rng{1}};
+  Link campus{LinkSpec::campus(), Rng{2}};
+  Link wan{LinkSpec::wan(), Rng{3}};
+  const std::size_t bytes = 10'000;
+  EXPECT_LT(local.nominal_transfer_duration(bytes).count_micros(),
+            campus.nominal_transfer_duration(bytes).count_micros());
+  EXPECT_LT(campus.nominal_transfer_duration(bytes).count_micros(),
+            wan.nominal_transfer_duration(bytes).count_micros());
+}
+
+TEST(NetworkTest, SymmetricLinkLookup) {
+  Network net{Rng{9}};
+  net.add_link("a", "b", LinkSpec::wan());
+  EXPECT_TRUE(net.has_link("a", "b"));
+  EXPECT_TRUE(net.has_link("b", "a"));
+  EXPECT_EQ(&net.link("a", "b"), &net.link("b", "a"));
+  EXPECT_EQ(net.link("a", "b").spec().name, "wan");
+}
+
+TEST(NetworkTest, UnknownPairGetsLocalDefault) {
+  Network net{Rng{9}};
+  EXPECT_EQ(net.link("x", "y").spec().name, "local");
+  EXPECT_FALSE(net.has_link("x", "y"));
+}
+
+// ----------------------------------------------------------------- disk ----
+
+TEST(DiskModelTest, CostLaw) {
+  DiskSpec spec;
+  spec.op_overhead = 1_ms;
+  spec.write_bandwidth_bytes_per_sec = 1e6;
+  spec.read_bandwidth_bytes_per_sec = 2e6;
+  const DiskModel disk{spec};
+  EXPECT_NEAR(disk.write_duration(1'000'000).to_seconds(), 1.001, 1e-6);
+  EXPECT_NEAR(disk.read_duration(1'000'000).to_seconds(), 0.501, 1e-6);
+}
+
+TEST(DiskModelTest, Bookkeeping) {
+  DiskModel disk;
+  disk.note_write(100);
+  disk.note_write(200);
+  disk.note_read(50);
+  EXPECT_EQ(disk.bytes_written(), 300u);
+  EXPECT_EQ(disk.bytes_read(), 50u);
+  EXPECT_EQ(disk.write_ops(), 2u);
+  EXPECT_EQ(disk.read_ops(), 1u);
+}
+
+// Property sweep: transfer duration is monotone in payload size for every
+// link profile.
+class LinkMonotoneTest : public ::testing::TestWithParam<LinkSpec> {};
+
+TEST_P(LinkMonotoneTest, TransferMonotoneInSize) {
+  Link link{GetParam(), Rng{42}};
+  Duration prev = Duration::zero();
+  for (std::size_t bytes = 1; bytes <= 1u << 20; bytes *= 4) {
+    const Duration d = link.nominal_transfer_duration(bytes);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, LinkMonotoneTest,
+                         ::testing::Values(LinkSpec::local(), LinkSpec::campus(),
+                                           LinkSpec::wan()),
+                         [](const auto& param_info) { return param_info.param.name; });
+
+}  // namespace
+}  // namespace cg::sim

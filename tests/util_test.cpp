@@ -1,0 +1,332 @@
+// Unit tests for the util substrate: time arithmetic, deterministic RNG,
+// Expected/Status, statistics accumulators, and string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "util/expected.hpp"
+#include "util/ids.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace cg {
+namespace {
+
+using namespace cg::literals;
+
+// ----------------------------------------------------------------- time ----
+
+TEST(DurationTest, ConstructorsAgree) {
+  EXPECT_EQ(Duration::seconds(2).count_micros(), 2'000'000);
+  EXPECT_EQ(Duration::millis(3).count_micros(), 3'000);
+  EXPECT_EQ(Duration::micros(7).count_micros(), 7);
+  EXPECT_EQ((2_s).count_micros(), (2000_ms).count_micros());
+  EXPECT_EQ((1_ms).count_micros(), (1000_us).count_micros());
+}
+
+TEST(DurationTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(0.0000015).count_micros(), 2);
+  EXPECT_EQ(Duration::from_seconds(1.5).count_micros(), 1'500'000);
+  EXPECT_EQ(Duration::from_seconds(-0.5).count_micros(), -500'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((3_s + 500_ms).to_seconds(), 3.5);
+  EXPECT_EQ((3_s - 500_ms).to_seconds(), 2.5);
+  EXPECT_EQ((2_s * 3).to_seconds(), 6.0);
+  EXPECT_EQ((6_s / 3).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((1_s).scaled(1.5).to_seconds(), 1.5);
+  EXPECT_TRUE((0_s).is_zero());
+  EXPECT_TRUE((1_s - 2_s).is_negative());
+}
+
+TEST(SimTimeTest, Ordering) {
+  const SimTime a = SimTime::from_seconds(1.0);
+  const SimTime b = a + 500_ms;
+  EXPECT_LT(a, b);
+  EXPECT_EQ((b - a).to_seconds(), 0.5);
+  EXPECT_EQ(SimTime::zero().count_micros(), 0);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent{99};
+  Rng child = parent.fork();
+  // Child and parent produce different streams.
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values appear
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng{7};
+  EXPECT_THROW(rng.uniform_int(5, 3), std::invalid_argument);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng{11};
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng{13};
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng{17};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, PickIndexEmptyThrows) {
+  Rng rng{1};
+  EXPECT_THROW(rng.pick_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng{23};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ------------------------------------------------------------- expected ----
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e{42};
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> e{make_error("code", "message")};
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, "code");
+  EXPECT_EQ(e.value_or(-1), -1);
+  EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+TEST(StatusTest, OkAndError) {
+  const Status ok = Status::ok_status();
+  EXPECT_TRUE(ok.ok());
+  const Status bad = make_error("x", "y");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "x");
+  EXPECT_THROW((void)ok.error(), std::logic_error);
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(RunningStatsTest, Basics) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng{31};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(SampleSeriesTest, Percentiles) {
+  SampleSeries s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.percentile(50), 50.0);
+  EXPECT_EQ(s.percentile(99), 99.0);
+  EXPECT_EQ(s.percentile(100), 100.0);
+  EXPECT_EQ(s.percentile(0), 1.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(SampleSeriesTest, EmptyPercentileThrows) {
+  const SampleSeries s;
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t{{"Method", "Time"}};
+  t.add_row({"glogin", "16.43"});
+  t.add_row({"vm", "6.79"});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("| Method | Time  |"), std::string::npos);
+  EXPECT_NE(rendered.find("| glogin | 16.43 |"), std::string::npos);
+  EXPECT_NE(rendered.find("| vm     | 6.79  |"), std::string::npos);
+}
+
+TEST(FmtFixedTest, Decimals) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 3), "2.000");
+}
+
+// ---------------------------------------------------------------- logger ----
+
+TEST(LoggerTest, SinkCapturesAboveLevel) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> captured;
+  logger.set_sink([&](LogLevel level, std::string_view component,
+                      std::string_view message) {
+    captured.push_back(std::string{to_string(level)} + "/" +
+                       std::string{component} + "/" + std::string{message});
+  });
+  logger.set_level(LogLevel::kWarn);
+  log_debug("test", "too quiet");
+  log_info("test", "still too quiet");
+  log_warn("test", "heard ", 42);
+  log_error("test", "loud");
+  logger.set_sink(nullptr);
+  logger.set_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "WARN/test/heard 42");
+  EXPECT_EQ(captured[1], "ERROR/test/loud");
+}
+
+TEST(LoggerTest, OffSilencesEverything) {
+  auto& logger = Logger::instance();
+  int count = 0;
+  logger.set_sink([&](LogLevel, std::string_view, std::string_view) { ++count; });
+  logger.set_level(LogLevel::kOff);
+  log_error("test", "nobody hears this");
+  logger.set_sink(nullptr);
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ExpectedTest, MoveOnlyValueWorks) {
+  Expected<std::unique_ptr<int>> e{std::make_unique<int>(7)};
+  ASSERT_TRUE(e.has_value());
+  std::unique_ptr<int> taken = std::move(e).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ExpectedTest, ArrowAndStarOperators) {
+  Expected<std::string> e{std::string{"grid"}};
+  EXPECT_EQ(e->size(), 4u);
+  EXPECT_EQ(*e, "grid");
+}
+
+// -------------------------------------------------------------- strings ----
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\nx"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(to_lower("MPICH-G2"), "mpich-g2");
+  EXPECT_TRUE(iequals("Interactive", "INTERACTIVE"));
+  EXPECT_FALSE(iequals("fast", "reliable"));
+  EXPECT_TRUE(starts_with("site:foo", "site:"));
+  EXPECT_FALSE(starts_with("si", "site:"));
+}
+
+// ------------------------------------------------------------------ ids ----
+
+TEST(IdsTest, StrongTyping) {
+  IdGenerator<JobId> gen;
+  const JobId a = gen.next();
+  const JobId b = gen.next();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(JobId::none().valid());
+  EXPECT_LT(a, b);
+}
+
+TEST(IdsTest, HashWorksInContainers) {
+  std::set<SiteId> sites;
+  IdGenerator<SiteId> gen;
+  for (int i = 0; i < 10; ++i) sites.insert(gen.next());
+  EXPECT_EQ(sites.size(), 10u);
+}
+
+}  // namespace
+}  // namespace cg
