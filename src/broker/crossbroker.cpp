@@ -25,6 +25,10 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
       fair_share_{sim, config.fair_share},
       agents_{sim} {
   fair_share_.start();
+  if (config_.enable_agent_heartbeats) {
+    sim_.schedule_daemon(config_.agent_heartbeat_interval,
+                         [this] { heartbeat_tick(); });
+  }
 }
 
 CrossBroker::~CrossBroker() = default;
@@ -77,7 +81,7 @@ void CrossBroker::add_site(lrms::Site& site) {
     on_site_job_killed(site_id, job, node);
   });
   site.set_interactive_vm_counter(
-      [this, site_id] { return agents_.free_interactive_vms(site_id); });
+      [this, site_id] { return advertised_interactive_vms(site_id); });
   int total = 0;
   for (const auto& [id, s] : sites_) total += s->config().worker_nodes;
   fair_share_.set_total_resources(std::max(total, 1));
@@ -662,10 +666,17 @@ void CrossBroker::dispatch_subjob_to_vm(JobId id, std::size_t subjob_index,
   sim::Link& link = network_.link(job->record.submitter_endpoint, site->endpoint());
   const Duration staging = link.transfer_duration(config_.executable_bytes);
   const AgentId agent_id = agent.id();
+  const SubJobId expected_sub = job->record.subjobs[subjob_index].id;
   sim_.schedule(config_.agent_channel_latency + staging,
-                [this, id, subjob_index, agent_id] {
+                [this, id, subjob_index, agent_id, expected_sub] {
     ManagedJob* j = find_job(id);
     if (j == nullptr || is_terminal(j->record.state)) return;
+    // Stale dispatch: the job was resubmitted (e.g. its lease was revoked
+    // when the agent missed heartbeats) while this event was in flight.
+    if (subjob_index >= j->record.subjobs.size() ||
+        j->record.subjobs[subjob_index].id != expected_sub) {
+      return;
+    }
     glidein::GlideinAgent* a = agents_.find(agent_id);
     const auto info_it = agent_info_.find(agent_id);
     if (a == nullptr || info_it == agent_info_.end() ||
@@ -842,10 +853,17 @@ void CrossBroker::arm_queue_detection(JobId id, std::size_t subjob_index,
   ManagedJob* job = find_job(id);
   if (job == nullptr || job->queue_timer_armed) return;
   job->queue_timer_armed = true;
-  sim_.schedule(config_.queue_detect_timeout, [this, id, subjob_index, site_id] {
+  const SubJobId expected_sub = job->record.subjobs[subjob_index].id;
+  sim_.schedule(config_.queue_detect_timeout,
+                [this, id, subjob_index, site_id, expected_sub] {
     ManagedJob* j = find_job(id);
     if (j == nullptr || is_terminal(j->record.state)) return;
     j->queue_timer_armed = false;
+    // Stale timer: the job was resubmitted while this event was pending.
+    if (subjob_index >= j->record.subjobs.size() ||
+        j->record.subjobs[subjob_index].id != expected_sub) {
+      return;
+    }
     if (j->record.subjobs[subjob_index].started) return;  // it did start
     lrms::Site* site = find_site(site_id);
     if (site != nullptr) {
@@ -972,6 +990,92 @@ void CrossBroker::maybe_dismiss_agent(AgentId agent_id) {
   site->scheduler().finish_manual(it->second.carrier_job);
 }
 
+bool CrossBroker::agent_suspected(AgentId id) const {
+  const auto it = agent_info_.find(id);
+  return it != agent_info_.end() && it->second.suspected;
+}
+
+int CrossBroker::advertised_interactive_vms(SiteId site) {
+  int n = 0;
+  for (glidein::GlideinAgent* agent : agents_.agents()) {
+    if (agent->site() != site) continue;
+    const auto it = agent_info_.find(agent->id());
+    if (it != agent_info_.end() && it->second.suspected) continue;
+    n += agent->free_interactive_slots();
+  }
+  return n;
+}
+
+// ---------------------------------------------------------- heartbeats ----
+
+void CrossBroker::heartbeat_tick() {
+  for (auto& [agent_id, info] : agent_info_) {
+    glidein::GlideinAgent* agent = agents_.find(agent_id);
+    if (agent == nullptr || agent->state() != glidein::AgentState::kRunning) {
+      continue;
+    }
+    lrms::Site* site = find_site(info.site);
+    if (site == nullptr) continue;
+    // The probe travels the broker <-> site link; a partitioned link means a
+    // missed heartbeat whether or not the agent is actually alive.
+    const bool reachable =
+        network_.link(endpoint_, site->endpoint()).is_up(sim_.now());
+    if (reachable) {
+      info.missed_heartbeats = 0;
+      if (info.suspected) restore_agent(agent_id);
+    } else {
+      ++info.missed_heartbeats;
+      if (!info.suspected &&
+          info.missed_heartbeats >= config_.agent_heartbeat_miss_limit) {
+        suspect_agent(agent_id);
+      }
+    }
+  }
+  sim_.schedule_daemon(config_.agent_heartbeat_interval,
+                       [this] { heartbeat_tick(); });
+}
+
+void CrossBroker::suspect_agent(AgentId agent_id) {
+  const auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end() || it->second.suspected) return;
+  AgentInfo& info = it->second;
+  info.suspected = true;
+  trace(JobId::none(), "agent",
+        "agent " + std::to_string(agent_id.value()) + " suspected after " +
+            std::to_string(info.missed_heartbeats) + " missed heartbeats");
+  log_warn(kLog, "agent ", agent_id.value(), " suspected (",
+           info.missed_heartbeats, " missed heartbeats)");
+
+  // Revoke the exclusive-temporal-access matches of jobs still waiting to
+  // start on this agent: their leases are released inside resubmit_job and
+  // the suspected agent is excluded from the fresh placement.
+  std::vector<JobId> revoked = info.pending_interactive;
+  if (info.pending_batch) revoked.push_back(*info.pending_batch);
+  info.pending_interactive.clear();
+  info.pending_batch.reset();
+  for (const JobId id : revoked) {
+    ManagedJob* job = find_job(id);
+    if (job == nullptr || is_terminal(job->record.state)) continue;
+    trace(id, "lease",
+          "revoked: reserved agent " + std::to_string(agent_id.value()) +
+              " missed heartbeats");
+    resubmit_job(id);
+  }
+  // Running residents keep executing: their work is local to the node, and
+  // if the agent really died the carrier-kill path takes over on arrival.
+}
+
+void CrossBroker::restore_agent(AgentId agent_id) {
+  const auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end() || !it->second.suspected) return;
+  it->second.suspected = false;
+  it->second.missed_heartbeats = 0;
+  trace(JobId::none(), "agent",
+        "agent " + std::to_string(agent_id.value()) +
+            " re-registered after partition healed");
+  log_info(kLog, "agent ", agent_id.value(), " re-registered");
+}
+
 void CrossBroker::handle_agent_death(AgentId agent_id) {
   const auto it = agent_info_.find(agent_id);
   if (it == agent_info_.end()) return;
@@ -990,7 +1094,7 @@ void CrossBroker::handle_agent_death(AgentId agent_id) {
     if (!maybe_job) return;
     ManagedJob* job = find_job(*maybe_job);
     if (job == nullptr || is_terminal(job->record.state)) return;
-    if (interactive) {
+    if (interactive && !config_.resubmit_interactive_on_agent_death) {
       fail_job(*maybe_job,
                make_error("broker.agent_died", "glide-in agent was killed"));
     } else {
@@ -1137,12 +1241,25 @@ void CrossBroker::resubmit_job(JobId id) {
     return;
   }
   ++job->record.resubmissions;
+  // Bounded exponential backoff: attempt n waits base * 2^(n-1), capped.
+  Duration backoff = Duration::zero();
+  if (config_.resubmit_backoff_base > Duration::zero()) {
+    backoff = config_.resubmit_backoff_base;
+    for (int i = 1; i < job->record.resubmissions; ++i) {
+      if (backoff >= config_.resubmit_backoff_max) break;
+      backoff = backoff + backoff;
+    }
+    if (backoff > config_.resubmit_backoff_max) {
+      backoff = config_.resubmit_backoff_max;
+    }
+  }
   trace(id, "resubmit",
-        "attempt " + std::to_string(job->record.resubmissions));
+        "attempt " + std::to_string(job->record.resubmissions) + " (backoff " +
+            std::to_string(backoff.count_micros() / 1000) + " ms)");
   job->record.subjobs.clear();
   job->subjobs_running = 0;
   job->subjobs_completed = 0;
-  sim_.schedule(Duration::zero(), [this, id] { schedule_job(id); });
+  sim_.schedule(backoff, [this, id] { schedule_job(id); });
 }
 
 void CrossBroker::release_leases(ManagedJob& job) {

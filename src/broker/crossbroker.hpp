@@ -63,6 +63,28 @@ struct CrossBrokerConfig {
   Duration queue_detect_timeout = Duration::seconds(8);
   int max_resubmissions = 3;
 
+  /// Bounded exponential backoff between resubmissions: attempt n waits
+  /// base * 2^(n-1), capped at max. A zero base keeps the paper-era
+  /// immediate resubmission.
+  Duration resubmit_backoff_base = Duration::millis(500);
+  Duration resubmit_backoff_max = Duration::seconds(30);
+
+  /// Heartbeat supervision of glide-in agents: the broker probes each
+  /// running agent over the broker <-> site link every interval; after
+  /// miss_limit consecutive failures the agent is *suspected* — its match
+  /// leases for still-pending jobs are revoked, those jobs resubmitted, and
+  /// the agent excluded from placement until the link heals, when it
+  /// re-registers automatically.
+  bool enable_agent_heartbeats = true;
+  Duration agent_heartbeat_interval = Duration::seconds(10);
+  int agent_heartbeat_miss_limit = 3;
+
+  /// Resubmit interactive residents when their agent dies instead of
+  /// failing them loudly. Off by default: the paper's position is that the
+  /// user is attached to the console and must act. Fault-tolerance harnesses
+  /// turn this on to get automatic recovery with backoff.
+  bool resubmit_interactive_on_agent_death = false;
+
   /// Poll period for batch jobs waiting inside the broker for free machines.
   Duration broker_queue_poll = Duration::seconds(30);
   /// Serve the broker queue best-priority-first (fair share). Disabling it
@@ -134,6 +156,13 @@ public:
   /// All job records (inspection / experiment reporting).
   [[nodiscard]] std::vector<const JobRecord*> all_records() const;
 
+  /// True while heartbeat supervision considers the agent unreachable.
+  [[nodiscard]] bool agent_suspected(AgentId id) const;
+
+  /// Free interactive VM slots on a site as the broker advertises them:
+  /// suspected agents do not count (they may be dead behind the partition).
+  [[nodiscard]] int advertised_interactive_vms(SiteId site);
+
 private:
   struct ManagedJob {
     JobRecord record;
@@ -162,8 +191,14 @@ private:
     /// Interactive jobs reserved onto slots but not yet started.
     std::vector<JobId> pending_interactive;
     std::optional<JobId> pending_batch;
+    /// Heartbeat supervision (fault recovery): consecutive missed probes and
+    /// whether the agent is currently suspected unreachable.
+    int missed_heartbeats = 0;
+    bool suspected = false;
     /// Free slots minus reservations: what a new placement may still take.
+    /// A suspected agent offers nothing until it re-registers.
     [[nodiscard]] int reservable_slots(const glidein::GlideinAgent& agent) const {
+      if (suspected) return 0;
       return agent.free_interactive_slots() -
              static_cast<int>(pending_interactive.size());
     }
@@ -208,6 +243,11 @@ private:
   void maybe_dismiss_agent(AgentId agent_id);
   void handle_agent_death(AgentId agent_id);
   void on_site_job_killed(SiteId site, JobId job, NodeId node);
+
+  // -- heartbeat supervision -----------------------------------------------
+  void heartbeat_tick();
+  void suspect_agent(AgentId agent_id);
+  void restore_agent(AgentId agent_id);
 
   [[nodiscard]] double application_factor(const ManagedJob& job) const;
   /// Pre-flight credential check (security enabled only); also used before

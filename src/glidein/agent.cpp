@@ -127,7 +127,10 @@ Status GlideinAgent::start_on_slot(int slot_index, SlotJob job,
                      ? batch_job_
                      : interactive_[static_cast<std::size_t>(slot_index)];
     auto cb = done->job.on_complete;
-    done.reset();
+    // Move the resident into a local rather than resetting in place: this
+    // closure is owned by its runner, so freeing it here would destroy the
+    // captures mid-execution. The local frees it after the body ends.
+    auto finished = std::move(done);
     // The surviving jobs get their shares back from this instant.
     reapply_dilations();
     if (cb) cb();

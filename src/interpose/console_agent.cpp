@@ -224,10 +224,27 @@ bool ConsoleAgent::send_frame(const Frame& frame) {
   if (gave_up_.load()) return false;
 
   if (config_.mode == jdl::StreamingMode::kReliable && spool_) {
-    const Status appended = spool_->append(frame);
-    if (!appended.ok()) {
-      log_warn(kLog, "spool append failed: ", appended.error().to_string());
+    // Spool first — a frame that never reaches disk is lost on the next
+    // disconnect. A failing spool (full or faulty disk) is retried on the
+    // same schedule as a failing link before the agent gives up.
+    int append_attempts = 0;
+    Status appended = spool_->append(frame);
+    while (!appended.ok() && !stopping_.load()) {
+      ++append_attempts;
+      if (append_attempts > config_.max_retries) {
+        gave_up_.store(true);
+        log_error(kLog, "rank ", config_.rank, ": spool unusable, killing child: ",
+                  appended.error().to_string());
+        child_->signal(SIGKILL);
+        return false;
+      }
+      log_warn(kLog, "spool append failed (attempt ", append_attempts,
+               "): ", appended.error().to_string());
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.retry_interval_ms));
+      appended = spool_->append(frame);
     }
+    if (!appended.ok()) return false;
     // Transmission drains the spool so ordering survives reconnects.
     int attempts = 0;
     while (!stopping_.load()) {

@@ -71,6 +71,10 @@ public:
   [[nodiscard]] std::size_t reconnects() const { return reconnects_.load(); }
   [[nodiscard]] int child_pid() const { return child_->pid(); }
 
+  /// The reliable-mode spool, or null in fast mode. Exposed so fault
+  /// harnesses can inject disk failures (SpoolFile::set_fail_appends).
+  [[nodiscard]] SpoolFile* spool() { return spool_ ? &*spool_ : nullptr; }
+
 private:
   ConsoleAgent(ConsoleAgentConfig config, ChildProcess child);
 

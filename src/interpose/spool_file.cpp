@@ -41,6 +41,7 @@ SpoolFile::SpoolFile(SpoolFile&& other) noexcept {
   file_ = other.file_;
   cursor_ = other.cursor_;
   last_peek_size_ = other.last_peek_size_;
+  fail_appends_ = other.fail_appends_;
   other.file_ = nullptr;
 }
 
@@ -52,6 +53,7 @@ SpoolFile& SpoolFile::operator=(SpoolFile&& other) noexcept {
     file_ = other.file_;
     cursor_ = other.cursor_;
     last_peek_size_ = other.last_peek_size_;
+    fail_appends_ = other.fail_appends_;
     other.file_ = nullptr;
   }
   return *this;
@@ -71,6 +73,9 @@ void SpoolFile::close() {
 Status SpoolFile::append(const Frame& frame) {
   const std::lock_guard lock{mutex_};
   if (file_ == nullptr) return make_error("spool.append", "spool closed");
+  if (fail_appends_) {
+    return make_error("spool.append", "injected I/O failure");
+  }
   const std::string encoded = encode_frame(frame);
   if (std::fwrite(encoded.data(), 1, encoded.size(), file_) != encoded.size()) {
     return make_error("spool.append", std::strerror(errno));
@@ -136,7 +141,12 @@ Status SpoolFile::advance() {
   return Status::ok_status();
 }
 
-std::size_t SpoolFile::pending() {
+void SpoolFile::set_fail_appends(bool fail) {
+  const std::lock_guard lock{mutex_};
+  fail_appends_ = fail;
+}
+
+std::size_t SpoolFile::pending() const {
   std::size_t count = 0;
   long saved_cursor;
   {

@@ -37,10 +37,14 @@ public:
   [[nodiscard]] Status advance();
 
   /// Frames remaining between cursor and end of file.
-  [[nodiscard]] std::size_t pending() ;
+  [[nodiscard]] std::size_t pending() const;
 
   /// Deletes the spool files from disk (called on clean shutdown).
   void remove_files();
+
+  /// Fault injection (tests): while set, append() fails as if the disk
+  /// returned an I/O error. Reads and cursor persistence are unaffected.
+  void set_fail_appends(bool fail);
 
   [[nodiscard]] const std::string& path() const { return path_; }
 
@@ -53,7 +57,8 @@ private:
   std::FILE* file_ = nullptr;
   long cursor_ = 0;        ///< byte offset of the next unacknowledged frame
   long last_peek_size_ = 0;
-  std::mutex mutex_;
+  bool fail_appends_ = false;  ///< injected disk fault
+  mutable std::mutex mutex_;
 };
 
 }  // namespace cg::interpose

@@ -68,7 +68,18 @@ private:
                           std::to_string(t.column) + ")");
   }
 
-  Expected<ExprPtr> parse_expr() { return parse_ternary(); }
+  // Recursive descent burns one stack frame chain per nesting level; a hard
+  // depth cap turns hostile inputs (thousands of nested parens or unary
+  // operators) into a parse error instead of a stack overflow.
+  static constexpr int kMaxDepth = 256;
+
+  Expected<ExprPtr> parse_expr() {
+    if (depth_ >= kMaxDepth) return error("expression nesting too deep");
+    ++depth_;
+    auto result = parse_ternary();
+    --depth_;
+    return result;
+  }
 
   Expected<ExprPtr> parse_ternary() {
     auto cond = parse_or();
@@ -161,6 +172,14 @@ private:
   }
 
   Expected<ExprPtr> parse_unary() {
+    if (depth_ >= kMaxDepth) return error("expression nesting too deep");
+    ++depth_;
+    auto result = parse_unary_impl();
+    --depth_;
+    return result;
+  }
+
+  Expected<ExprPtr> parse_unary_impl() {
     if (peek().kind == TokenKind::kBang) {
       advance();
       auto operand = parse_unary();
@@ -275,6 +294,7 @@ private:
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

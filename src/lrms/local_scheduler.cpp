@@ -77,6 +77,27 @@ bool LocalScheduler::finish_manual(JobId id) {
   return false;
 }
 
+std::optional<JobId> LocalScheduler::fail_node(std::size_t index) {
+  WorkerNode& node = *nodes_.at(index);
+  const NodeId where = node.id();
+  const std::optional<JobId> killed = node.fail();
+  if (killed && on_killed_) on_killed_(*killed, where);
+  return killed;
+}
+
+void LocalScheduler::revive_node(std::size_t index) {
+  nodes_.at(index)->revive();
+  try_dispatch();
+}
+
+int LocalScheduler::failed_nodes() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node->failed()) ++n;
+  }
+  return n;
+}
+
 int LocalScheduler::free_nodes() const {
   int n = 0;
   for (const auto& node : nodes_) {
@@ -162,6 +183,12 @@ void LocalScheduler::try_dispatch() {
     sim_.schedule(config_.dispatch_latency, [this, node_id, job = std::move(job)]() mutable {
       WorkerNode* target = find_node(node_id);
       if (target == nullptr) return;
+      if (target->failed()) {
+        // The node crashed mid-dispatch; put the job back at the head.
+        queue_.push_front(std::move(job));
+        try_dispatch();
+        return;
+      }
       target->run(std::move(job));
     });
   }

@@ -56,6 +56,14 @@ public:
   /// Completes a running manual-workload job (agent dismissal).
   bool finish_manual(JobId id);
 
+  /// Simulated machine crash (fault injection): the node's resident job is
+  /// killed (firing the kill observer) and the node stays out of service
+  /// until revive_node. Index is 0-based. Returns the killed job's id.
+  std::optional<JobId> fail_node(std::size_t index);
+
+  /// Repairs a crashed node; queued jobs may dispatch onto it again.
+  void revive_node(std::size_t index);
+
   /// Releases a running job from a barrier. Returns false if not running.
   bool release_barrier(JobId id);
 
@@ -66,6 +74,7 @@ public:
   // -- State inspection (drives the information-system provider). ----------
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] int free_nodes() const;
+  [[nodiscard]] int failed_nodes() const;
   [[nodiscard]] int running_jobs() const;
   [[nodiscard]] int queued_jobs() const { return static_cast<int>(queue_.size()); }
   [[nodiscard]] bool has_capacity_or_queue_space() const;

@@ -38,6 +38,7 @@ void WorkerNode::release_reservation() {
 
 void WorkerNode::run(LocalJob job) {
   if (runner_) throw std::logic_error{"WorkerNode::run: node is busy"};
+  if (failed_) throw std::logic_error{"WorkerNode::run: node is failed"};
   reserved_ = false;
   job_ = std::move(job);
 
@@ -66,7 +67,11 @@ void WorkerNode::run(LocalJob job) {
         // Keep the job's callback alive past the state reset: completion may
         // immediately re-dispatch another job onto this node.
         auto on_complete = job_ ? job_->on_complete : nullptr;
-        runner_.reset();
+        // Move the runner into a local instead of resetting it: this closure
+        // lives inside the runner, so destroying it here would free the
+        // captures while the body is still executing. The local destroys it
+        // after the last capture access, when the body ends.
+        auto finished = std::move(runner_);
         job_.reset();
         if (on_complete) on_complete();
       },
@@ -83,6 +88,12 @@ std::optional<JobId> WorkerNode::kill_current() {
   runner_.reset();
   job_.reset();
   return killed;
+}
+
+std::optional<JobId> WorkerNode::fail() {
+  failed_ = true;
+  reserved_ = false;
+  return kill_current();
 }
 
 void WorkerNode::finish_current_manual() {

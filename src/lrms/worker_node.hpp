@@ -64,8 +64,9 @@ public:
   [[nodiscard]] const WorkerNodeSpec& spec() const { return spec_; }
   /// The node's machine ClassAd (Condor-style), built once at construction.
   [[nodiscard]] const jdl::ClassAd& machine_ad() const { return machine_ad_; }
-  [[nodiscard]] bool idle() const { return !runner_ && !reserved_; }
+  [[nodiscard]] bool idle() const { return !failed_ && !runner_ && !reserved_; }
   [[nodiscard]] bool reserved() const { return reserved_; }
+  [[nodiscard]] bool failed() const { return failed_; }
   [[nodiscard]] std::optional<JobId> current_job() const;
 
   /// Marks the node as promised to an in-flight dispatch so concurrent
@@ -79,6 +80,14 @@ public:
   /// Forcibly removes the current job (machine failure, scheduler kill).
   /// Does not fire on_complete. Returns the killed job's id, if any.
   std::optional<JobId> kill_current();
+
+  /// Takes the node out of service (machine crash): the resident job is
+  /// killed, any reservation is dropped, and the node refuses work until
+  /// revive(). Returns the killed job's id, if any.
+  std::optional<JobId> fail();
+
+  /// Returns a crashed node to service (repair / reboot).
+  void revive() { failed_ = false; }
 
   /// Completes a manual-workload job (glide-in agent leaving the machine).
   void finish_current_manual();
@@ -96,6 +105,7 @@ private:
   jdl::ClassAd machine_ad_;
   Rng rng_;  ///< execution-noise stream, seeded from the node id
   bool reserved_ = false;
+  bool failed_ = false;
   std::optional<LocalJob> job_;
   std::unique_ptr<TaskRunner> runner_;
 };

@@ -1,0 +1,188 @@
+#include "sim/fault.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace cg::sim {
+
+namespace {
+constexpr const char* kLog = "fault";
+}
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkPartition: return "link-partition";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kAgentCrash: return "agent-crash";
+    case FaultKind::kSpoolFail: return "spool-fail";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- FaultPlan ----
+
+FaultPlan& FaultPlan::partition_link(std::string a, std::string b, SimTime at,
+                                     Duration duration) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument{"FaultPlan: partition needs a positive duration"};
+  }
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkPartition;
+  spec.at = at;
+  spec.duration = duration;
+  spec.endpoint_a = std::move(a);
+  spec.endpoint_b = std::move(b);
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_link(std::string a, std::string b, SimTime at,
+                                   Duration duration, Duration extra_latency) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument{"FaultPlan: degrade needs a positive duration"};
+  }
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkDegrade;
+  spec.at = at;
+  spec.duration = duration;
+  spec.endpoint_a = std::move(a);
+  spec.endpoint_b = std::move(b);
+  spec.extra_latency = extra_latency;
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_node(std::string target, SimTime at,
+                                 Duration down_for) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kNodeCrash;
+  spec.at = at;
+  spec.duration = down_for;
+  spec.target = std::move(target);
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_agent(std::string target, SimTime at) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kAgentCrash;
+  spec.at = at;
+  spec.target = std::move(target);
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_spool(std::string target, SimTime at,
+                                 Duration duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kSpoolFail;
+  spec.at = at;
+  spec.duration = duration;
+  spec.target = std::move(target);
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan FaultPlan::random_link_outages(std::uint64_t seed,
+                                         const RandomLinkFaultOptions& options) {
+  if (options.outages < 0) {
+    throw std::invalid_argument{"FaultPlan: negative outage count"};
+  }
+  if (options.min_outage <= Duration::zero() ||
+      options.max_outage < options.min_outage) {
+    throw std::invalid_argument{"FaultPlan: bad outage duration range"};
+  }
+  Rng rng{seed};
+  FaultPlan plan;
+  for (int i = 0; i < options.outages; ++i) {
+    const SimTime start = SimTime::from_seconds(
+        rng.uniform01() * options.horizon.to_seconds());
+    const Duration span = options.max_outage - options.min_outage;
+    const Duration length =
+        options.min_outage + span.scaled(rng.uniform01());
+    plan.partition_link(options.endpoint_a, options.endpoint_b, start, length);
+  }
+  return plan;
+}
+
+// --------------------------------------------------------- FaultInjector ----
+
+FaultInjector::FaultInjector(Simulation& sim, Network* network)
+    : sim_{sim}, network_{network} {}
+
+void FaultInjector::set_handler(FaultKind kind, Handler on_fault,
+                                Handler on_recover) {
+  handlers_[kind] = Handlers{std::move(on_fault), std::move(on_recover)};
+}
+
+Link* FaultInjector::link_for(const FaultSpec& spec) {
+  if (network_ == nullptr) {
+    throw std::logic_error{"FaultInjector: link fault armed without a network"};
+  }
+  return &network_->link(spec.endpoint_a, spec.endpoint_b);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.events()) {
+    if (spec.kind == FaultKind::kLinkPartition) {
+      // The failure schedule is consulted by time, so the whole outage is
+      // registered up front; the fire/heal events keep the timeline honest.
+      link_for(spec)->failures().add_outage(spec.at, spec.at + spec.duration);
+    }
+    sim_.schedule_at(spec.at, [this, spec] { fire(spec); });
+    if (spec.duration > Duration::zero()) {
+      sim_.schedule_at(spec.at + spec.duration, [this, spec] { heal(spec); });
+    }
+  }
+}
+
+void FaultInjector::fire(const FaultSpec& spec) {
+  ++injected_;
+  const std::string target = spec.target.empty()
+                                 ? spec.endpoint_a + "<->" + spec.endpoint_b
+                                 : spec.target;
+  note("t=" + std::to_string(sim_.now().count_micros()) + " inject " +
+       std::string{to_string(spec.kind)} + " " + target);
+  log_info(kLog, "inject ", to_string(spec.kind), " on ", target, " at ",
+           sim_.now());
+  if (spec.kind == FaultKind::kLinkDegrade) {
+    Link* link = link_for(spec);
+    link->set_extra_latency(link->extra_latency() + spec.extra_latency);
+  }
+  const auto it = handlers_.find(spec.kind);
+  if (it != handlers_.end() && it->second.on_fault) it->second.on_fault(spec);
+}
+
+void FaultInjector::heal(const FaultSpec& spec) {
+  ++recovered_;
+  const std::string target = spec.target.empty()
+                                 ? spec.endpoint_a + "<->" + spec.endpoint_b
+                                 : spec.target;
+  note("t=" + std::to_string(sim_.now().count_micros()) + " recover " +
+       std::string{to_string(spec.kind)} + " " + target);
+  if (spec.kind == FaultKind::kLinkDegrade) {
+    Link* link = link_for(spec);
+    link->set_extra_latency(link->extra_latency() - spec.extra_latency);
+  }
+  const auto it = handlers_.find(spec.kind);
+  if (it != handlers_.end() && it->second.on_recover) {
+    it->second.on_recover(spec);
+  }
+}
+
+void FaultInjector::note(const std::string& entry) {
+  timeline_.push_back(entry);
+}
+
+std::string FaultInjector::timeline_digest() const {
+  std::string digest;
+  for (const std::string& entry : timeline_) {
+    digest += entry;
+    digest += '\n';
+  }
+  return digest;
+}
+
+}  // namespace cg::sim

@@ -1,0 +1,132 @@
+// Deterministic fault injection for the simulated grid: a seeded,
+// virtual-time schedule of failures (link partitions, latency degradation,
+// node/agent crashes, spool I/O faults) armed onto a Simulation. The same
+// plan on the same scenario reproduces the same event sequence bit for bit,
+// which is what makes failure-recovery paths regression-testable.
+//
+// Layering: the injector manipulates the network model directly (it lives in
+// sim/), but node, agent, and spool faults are delivered through registered
+// handlers so this layer never depends on lrms/, glidein/, or interpose/.
+// Tests and harnesses wire the handlers to the component under attack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace cg::sim {
+
+enum class FaultKind {
+  kLinkPartition,  ///< link fully down for [at, at + duration)
+  kLinkDegrade,    ///< extra one-way latency on a link while active
+  kNodeCrash,      ///< worker-node failure; delivered to a handler
+  kAgentCrash,     ///< glide-in agent (carrier) kill; delivered to a handler
+  kSpoolFail,      ///< spool I/O failure window; delivered to a handler
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// One scheduled fault. Link faults name the two endpoints; the other kinds
+/// carry an opaque `target` string the registered handler interprets (a node
+/// index, an agent id, a spool path — whatever the harness wired up).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkPartition;
+  SimTime at;
+  /// Zero means instantaneous (no recovery event is scheduled).
+  Duration duration = Duration::zero();
+  std::string endpoint_a;
+  std::string endpoint_b;
+  std::string target;
+  Duration extra_latency = Duration::zero();  ///< kLinkDegrade only
+};
+
+/// A reproducible fault schedule: built explicitly by a scenario, or
+/// generated from a seed for randomized-fault property tests.
+class FaultPlan {
+public:
+  FaultPlan& partition_link(std::string a, std::string b, SimTime at,
+                            Duration duration);
+  FaultPlan& degrade_link(std::string a, std::string b, SimTime at,
+                          Duration duration, Duration extra_latency);
+  FaultPlan& crash_node(std::string target, SimTime at,
+                        Duration down_for = Duration::zero());
+  FaultPlan& crash_agent(std::string target, SimTime at);
+  FaultPlan& fail_spool(std::string target, SimTime at, Duration duration);
+
+  struct RandomLinkFaultOptions {
+    std::string endpoint_a;
+    std::string endpoint_b;
+    int outages = 3;
+    /// Outage start times are drawn uniformly from [0, horizon).
+    SimTime horizon = SimTime::from_seconds(60.0);
+    Duration min_outage = Duration::seconds(1);
+    Duration max_outage = Duration::seconds(10);
+  };
+
+  /// Seeded schedule of link partitions on one link: the workhorse of the
+  /// randomized-fault properties. The same seed yields the same plan.
+  [[nodiscard]] static FaultPlan random_link_outages(
+      std::uint64_t seed, const RandomLinkFaultOptions& options);
+
+  [[nodiscard]] const std::vector<FaultSpec>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+private:
+  std::vector<FaultSpec> events_;
+};
+
+/// Arms a FaultPlan onto a simulation. Link faults are applied to the given
+/// Network; the rest fire registered handlers at their scheduled times. The
+/// injector records a virtual-time timeline of everything it did, whose
+/// digest lets tests assert bit-for-bit reproducibility of a failure run.
+class FaultInjector {
+public:
+  using Handler = std::function<void(const FaultSpec&)>;
+
+  /// `network` may be null when the plan contains no link faults.
+  explicit FaultInjector(Simulation& sim, Network* network = nullptr);
+
+  /// Installs the delivery handlers for one fault kind. `on_fault` fires at
+  /// spec.at; `on_recover` (optional) fires at spec.at + spec.duration.
+  void set_handler(FaultKind kind, Handler on_fault, Handler on_recover = {});
+
+  /// Registers every fault in the plan. Link partitions are written into the
+  /// link's FailureSchedule immediately (the schedule is time-indexed);
+  /// everything else is event-driven. May be called more than once.
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] std::size_t injected_faults() const { return injected_; }
+  [[nodiscard]] std::size_t recoveries() const { return recovered_; }
+  [[nodiscard]] const std::vector<std::string>& timeline() const {
+    return timeline_;
+  }
+  /// One line per timeline entry; equal digests mean equal failure runs.
+  [[nodiscard]] std::string timeline_digest() const;
+
+private:
+  void fire(const FaultSpec& spec);
+  void heal(const FaultSpec& spec);
+  void note(const std::string& entry);
+  [[nodiscard]] Link* link_for(const FaultSpec& spec);
+
+  struct Handlers {
+    Handler on_fault;
+    Handler on_recover;
+  };
+
+  Simulation& sim_;
+  Network* network_;
+  std::map<FaultKind, Handlers> handlers_;
+  std::vector<std::string> timeline_;
+  std::size_t injected_ = 0;
+  std::size_t recovered_ = 0;
+};
+
+}  // namespace cg::sim

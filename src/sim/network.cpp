@@ -88,7 +88,7 @@ Duration Link::transfer_duration(std::size_t bytes) {
     // the mean penalty stays small but transfers never beat the speed of light.
     d += Duration::micros(static_cast<std::int64_t>(std::llround(std::abs(jitter))));
   }
-  return d;
+  return d + extra_latency_;
 }
 
 Duration Link::nominal_transfer_duration(std::size_t bytes) const {

@@ -72,10 +72,17 @@ public:
   /// Deterministic transfer time with zero jitter (used by capacity planning).
   [[nodiscard]] Duration nominal_transfer_duration(std::size_t bytes) const;
 
+  /// Fault injection: extra one-way latency added to every transfer while a
+  /// degradation fault is active. Not part of nominal_transfer_duration, so
+  /// capacity planning keeps seeing the healthy link.
+  void set_extra_latency(Duration extra) { extra_latency_ = extra; }
+  [[nodiscard]] Duration extra_latency() const { return extra_latency_; }
+
 private:
   LinkSpec spec_;
   Rng rng_;
   FailureSchedule failures_;
+  Duration extra_latency_ = Duration::zero();
 };
 
 /// Registry of links between named endpoints (symmetric by default).

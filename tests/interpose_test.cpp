@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "interpose/interactive_session.hpp"
+#include "interpose/spool_file.hpp"
 
 namespace cg::interpose {
 namespace {
@@ -402,6 +403,67 @@ TEST(ConsoleAgentTest, ReliableModeGivesUpAndKillsChild) {
   EXPECT_TRUE(WIFSIGNALED(status));
   std::remove(spool.c_str());
   std::remove((spool + ".cursor").c_str());
+}
+
+TEST(SpoolFileTest, ReopenResumesFromPersistedCursor) {
+  // The cursor side-file survives an agent restart: reopening an existing
+  // spool must resume from the last acknowledged frame, not from offset 0.
+  const std::string path = unique_spool("resume");
+  std::remove(path.c_str());
+  std::remove((path + ".cursor").c_str());
+
+  {
+    auto spool = SpoolFile::open(path);
+    ASSERT_TRUE(spool.has_value()) << spool.error().to_string();
+    for (int i = 0; i < 3; ++i) {
+      Frame frame;
+      frame.type = FrameType::kStdout;
+      frame.rank = 0;
+      frame.payload = "frame-" + std::to_string(i);
+      ASSERT_TRUE(spool->append(frame).ok());
+    }
+    EXPECT_EQ(spool->pending(), 3u);
+    // Acknowledge the first frame only.
+    auto first = spool->peek();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->payload, "frame-0");
+    ASSERT_TRUE(spool->advance().ok());
+    EXPECT_EQ(spool->pending(), 2u);
+  }  // destructor closes the file; cursor already persisted
+
+  {
+    auto spool = SpoolFile::open(path);
+    ASSERT_TRUE(spool.has_value()) << spool.error().to_string();
+    EXPECT_EQ(spool->pending(), 2u);
+    auto next = spool->peek();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->payload, "frame-1");
+    spool->remove_files();
+  }
+}
+
+TEST(SpoolFileTest, InjectedAppendFailureIsReportedAndRecoverable) {
+  const std::string path = unique_spool("faulty");
+  std::remove(path.c_str());
+  std::remove((path + ".cursor").c_str());
+
+  auto spool = SpoolFile::open(path);
+  ASSERT_TRUE(spool.has_value()) << spool.error().to_string();
+  Frame frame;
+  frame.type = FrameType::kStdout;
+  frame.rank = 0;
+  frame.payload = "ok";
+  ASSERT_TRUE(spool->append(frame).ok());
+
+  spool->set_fail_appends(true);
+  const Status failed = spool->append(frame);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(spool->pending(), 1u);  // nothing was half-written
+
+  spool->set_fail_appends(false);
+  EXPECT_TRUE(spool->append(frame).ok());
+  EXPECT_EQ(spool->pending(), 2u);
+  spool->remove_files();
 }
 
 TEST(SocketTest, UnixDomainSocketRoundTrip) {

@@ -9,6 +9,7 @@
 #include "jdl/job_description.hpp"
 #include "jdl/eval.hpp"
 #include "jdl/parser.hpp"
+#include "sim/fault.hpp"
 #include "stream/echo_experiment.hpp"
 #include "stream/grid_console.hpp"
 
@@ -167,6 +168,81 @@ TEST_P(ReliableConservation, NoLossForAnyOutagePlacement) {
 
 INSTANTIATE_TEST_SUITE_P(OutagePlacements, ReliableConservation,
                          ::testing::Values(0.0, 0.5, 5.0, 14.9, 25.0));
+
+/// Extracts every "tick <n>" id from a frame payload, in order.
+std::vector<int> extract_tick_ids(const std::string& blob) {
+  std::vector<int> ids;
+  std::size_t pos = 0;
+  while ((pos = blob.find("tick ", pos)) != std::string::npos) {
+    pos += 5;
+    ids.push_back(std::atoi(blob.c_str() + pos));
+  }
+  return ids;
+}
+
+TEST(RandomizedFaultProperty, StreamingContractsHoldUnderSeededOutages) {
+  // For 100 random fault schedules: reliable mode delivers every stdout
+  // frame exactly once and in order despite the injected disconnects; fast
+  // mode may lose frames but never duplicates or reorders them.
+  constexpr int kTicks = 40;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    for (const bool reliable : {true, false}) {
+      sim::Simulation sim;
+      sim::Network network{Rng{seed}};
+      network.add_link("ui", "wn", sim::LinkSpec::campus());
+
+      sim::FaultPlan::RandomLinkFaultOptions options;
+      options.endpoint_a = "ui";
+      options.endpoint_b = "wn";
+      options.outages = 3;
+      options.horizon = SimTime::from_seconds(kTicks);
+      options.min_outage = 1_s;
+      options.max_outage = 8_s;
+      sim::FaultInjector injector{sim, &network};
+      injector.arm(sim::FaultPlan::random_link_outages(seed, options));
+
+      std::string screen;
+      stream::GridConsoleConfig config;
+      config.mode = reliable ? jdl::StreamingMode::kReliable
+                             : jdl::StreamingMode::kFast;
+      config.retry.retry_interval = Duration::millis(500);
+      config.retry.max_retries = 200;
+      stream::GridConsole console{sim, network, config, "ui",
+                                  [&](std::string d) { screen += d; },
+                                  Rng{seed ^ 0xfa1u}};
+      std::vector<int> delivered;
+      console.shadow().set_frame_observer(
+          [&](int, stream::StdStream, const std::string& data) {
+            for (const int id : extract_tick_ids(data)) delivered.push_back(id);
+          });
+      auto& agent = console.add_agent(0, "wn");
+      for (int i = 0; i < kTicks; ++i) {
+        sim.schedule(Duration::seconds(i), [&agent, i] {
+          agent.write_stdout("tick " + std::to_string(i) + "\n");
+        });
+      }
+      sim.run();
+
+      if (reliable) {
+        std::vector<int> all;
+        std::string expected;
+        for (int i = 0; i < kTicks; ++i) {
+          all.push_back(i);
+          expected += "tick " + std::to_string(i) + "\n";
+        }
+        EXPECT_EQ(delivered, all) << "seed " << seed;
+        EXPECT_EQ(screen, expected) << "seed " << seed;
+        EXPECT_FALSE(agent.failed()) << "seed " << seed;
+      } else {
+        // No duplicates, no reordering: strictly increasing ids.
+        for (std::size_t i = 1; i < delivered.size(); ++i) {
+          EXPECT_LT(delivered[i - 1], delivered[i]) << "seed " << seed;
+        }
+        EXPECT_LE(delivered.size(), static_cast<std::size_t>(kTicks));
+      }
+    }
+  }
+}
 
 // --------------------------------------------------------- parser robustness ----
 

@@ -172,6 +172,49 @@ TEST(SimulationTest, CancelledDaemonStops) {
   EXPECT_FALSE(fired);
 }
 
+TEST(SimulationTest, CancellingDaemonUnblocksRunWithUserEventsLeft) {
+  // A daemon that keeps rescheduling itself is cancelled mid-run: run()
+  // finishes with the remaining user events and the daemon never fires again.
+  Simulation sim;
+  int daemon_fires = 0;
+  EventHandle daemon;
+  std::function<void()> tick = [&] {
+    ++daemon_fires;
+    daemon = sim.schedule_daemon(1_s, tick);
+  };
+  daemon = sim.schedule_daemon(1_s, tick);
+  sim.schedule(Duration::seconds(3) + Duration::millis(500),
+               [&] { EXPECT_TRUE(sim.cancel(daemon)); });
+  sim.run();
+  EXPECT_EQ(daemon_fires, 3);
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::seconds(3) +
+                           Duration::millis(500));
+}
+
+TEST(SimulationTest, CancelFiredDaemonHandleReturnsFalse) {
+  Simulation sim;
+  const EventHandle h = sim.schedule_daemon(1_s, [] {});
+  sim.schedule(2_s, [] {});  // keeps run() alive past the daemon event
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(EventHandle{}));  // invalid handle is a no-op too
+}
+
+TEST(SimulationTest, NegativeDelayFiresAfterEventsAlreadyQueuedAtNow) {
+  // The documented clamp ordering: a negative delay lands *at* now but
+  // behind everything already queued for now (sequence order breaks ties).
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(1_s, [&] {
+    sim.schedule(Duration::zero(), [&] { order.push_back(1); });
+    sim.schedule(Duration::seconds(-5), [&] { order.push_back(2); });
+    sim.schedule(Duration::zero(), [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::seconds(1));
+}
+
 TEST(ScopedTimerTest, CancelsOnDestruction) {
   Simulation sim;
   bool fired = false;
