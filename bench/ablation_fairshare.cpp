@@ -12,7 +12,7 @@
 #include <iostream>
 #include <optional>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -27,22 +27,23 @@ jdl::JobDescription batch_job() {
 
 /// Part 1: honest batch job's wait behind a spam backlog.
 double honest_wait_seconds(bool priority_ordering) {
-  GridScenarioConfig config;
+  GridConfig config;
   config.sites = 2;
   config.nodes_per_site = 1;
   config.broker.fair_share_queue_ordering = priority_ordering;
   config.broker.fair_share.update_interval = 10_s;
   config.broker.fair_share.half_life = 3600_s;
   config.broker.broker_queue_poll = 30_s;
-  GridScenario grid{config};
+  Grid grid{config};
 
   const UserId spammer{1};
   const UserId honest{2};
   // 10 spam batch jobs of 600 s each: 2 run, 8 queue in the broker.
   for (int i = 0; i < 10; ++i) {
     grid.sim().schedule(Duration::seconds(i), [&grid, spammer] {
-      grid.broker().submit(batch_job(), spammer, lrms::Workload::cpu(600_s),
-                           "ui", {});
+      if (!grid.submit(batch_job(), spammer, lrms::Workload::cpu(600_s))) {
+        std::cerr << "spam submission refused\n";
+      }
     });
   }
   std::optional<double> honest_started;
@@ -53,8 +54,10 @@ double honest_wait_seconds(bool priority_ordering) {
                             &grid](const JobRecord&) {
       honest_started = (grid.sim().now() - submitted).to_seconds();
     };
-    grid.broker().submit(batch_job(), honest, lrms::Workload::cpu(100_s), "ui",
-                         callbacks);
+    if (!grid.submit(batch_job(), honest, lrms::Workload::cpu(100_s),
+                     callbacks)) {
+      std::cerr << "honest submission refused\n";
+    }
   });
   grid.sim().run_until(SimTime::from_seconds(6 * 3600));
   return honest_started.value_or(-1.0);
@@ -69,13 +72,13 @@ struct RejectionStats {
 };
 
 RejectionStats run_rejection_demo() {
-  GridScenarioConfig config;
+  GridConfig config;
   config.sites = 2;
   config.nodes_per_site = 1;
   config.broker.reject_priority_threshold = 0.5;
   config.broker.fair_share.update_interval = 10_s;
   config.broker.fair_share.half_life = 900_s;
-  GridScenario grid{config};
+  Grid grid{config};
 
   RejectionStats stats;
   const UserId spammer{1};
@@ -93,8 +96,12 @@ RejectionStats run_rejection_demo() {
           ++stats.failed;
         }
       };
-      grid.broker().submit(jd.value(), spammer, lrms::Workload::cpu(600_s),
-                           "ui", callbacks);
+      // An up-front over-share refusal and an async kRejected count the same.
+      if (const auto job = grid.submit(jd.value(), spammer,
+                                       lrms::Workload::cpu(600_s), callbacks);
+          !job && job.error().kind == SubmitErrorKind::kOverShare) {
+        ++stats.rejected;
+      }
     });
   }
   for (int t = 0; t <= 9000; t += 900) {

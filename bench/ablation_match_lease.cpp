@@ -6,7 +6,7 @@
 // (or fail outright).
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -23,40 +23,47 @@ struct BurstResult {
 };
 
 BurstResult run_burst(bool leases_enabled, std::uint64_t seed) {
-  GridScenarioConfig config;
+  GridConfig config;
   config.sites = 4;
   config.nodes_per_site = 2;
   config.seed = seed;
   config.publication_period = 300_s;  // stale index during the burst
   config.broker.enable_match_leases = leases_enabled;
-  GridScenario grid{config};
+  Grid grid{config};
   grid.sim().run_until(SimTime::from_seconds(1));
 
   constexpr int kBurst = 8;  // exactly the number of nodes in the grid
   BurstResult result;
-  RunningStats startup;
-  std::vector<std::optional<SimTime>> started(kBurst);
-  const SimTime burst_at = grid.sim().now();
 
   for (int i = 0; i < kBurst; ++i) {
     auto jd = jdl::JobDescription::parse(
         "Executable = \"viz\"; JobType = \"interactive\";");
     JobCallbacks callbacks;
-    callbacks.on_running = [&startup, burst_at, &grid](const JobRecord&) {
-      startup.add((grid.sim().now() - burst_at).to_seconds());
-    };
     callbacks.on_complete = [&result](const JobRecord&) { ++result.completed; };
     callbacks.on_failed = [&result](const JobRecord&, const Error&) {
       ++result.failed;
     };
-    grid.broker().submit(jd.value(), UserId{static_cast<std::uint64_t>(i + 1)},
-                         lrms::Workload::cpu(120_s), "ui", callbacks);
+    if (!grid.submit(jd.value(), UserId{static_cast<std::uint64_t>(i + 1)},
+                     lrms::Workload::cpu(120_s), callbacks)) {
+      ++result.failed;
+    }
   }
   grid.sim().run_until(SimTime::from_seconds(1800));
-  for (const auto* record : grid.broker().all_records()) {
-    result.total_resubmissions += record->resubmissions;
+  // The registry already has what the bench used to tally by hand: the
+  // resubmission counter and the submit-to-running histogram.
+  const auto snapshot = grid.metrics_snapshot();
+  result.total_resubmissions =
+      static_cast<int>(snapshot.total("broker.resubmissions"));
+  double startup_sum = 0.0;
+  std::uint64_t startup_count = 0;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name == "broker.time_to_running_s") {
+      startup_sum += sample.value;  // histogram sample value == sum
+      startup_count += sample.count;
+    }
   }
-  result.mean_startup_s = startup.mean();
+  result.mean_startup_s =
+      startup_count > 0 ? startup_sum / static_cast<double>(startup_count) : 0.0;
   return result;
 }
 

@@ -5,7 +5,7 @@
 // piles onto the lowest-indexed sites while the rest idle.
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -17,12 +17,12 @@ using namespace cg::literals;
 /// Submits a burst of 20 tied-rank interactive jobs into 10 x 4-node sites
 /// and returns the per-site placement histogram.
 std::vector<int> run_spread(bool randomized, std::uint64_t seed) {
-  GridScenarioConfig config;
+  GridConfig config;
   config.sites = 10;
   config.nodes_per_site = 4;
   config.seed = seed;
   config.broker.matchmaker.randomize_ties = randomized;
-  GridScenario grid{config};
+  Grid grid{config};
 
   std::vector<int> placements(static_cast<std::size_t>(config.sites), 0);
   for (int i = 0; i < 20; ++i) {
@@ -35,9 +35,10 @@ std::vector<int> run_spread(bool randomized, std::uint64_t seed) {
         if (grid.site(s).id() == record.subjobs[0].site) ++placements[s];
       }
     };
-    grid.broker().submit(jd.value(),
-                         UserId{static_cast<std::uint64_t>(i + 1)},
-                         lrms::Workload::cpu(600_s), "ui", callbacks);
+    if (!grid.submit(jd.value(), UserId{static_cast<std::uint64_t>(i + 1)},
+                     lrms::Workload::cpu(600_s), callbacks)) {
+      std::cerr << "submission refused\n";
+    }
   }
   grid.sim().run_until(SimTime::from_seconds(1200));
   return placements;

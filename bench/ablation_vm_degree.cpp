@@ -7,7 +7,7 @@
 // one's CPU bursts dilate as residents multiply.
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -24,12 +24,12 @@ struct DegreeResult {
 };
 
 DegreeResult run_degree(int degree) {
-  GridScenarioConfig config;
+  GridConfig config;
   config.sites = 1;
   config.nodes_per_site = 1;
   config.broker.glidein.interactive_slots = degree;
   config.broker.dismiss_idle_agents = false;
-  GridScenario grid{config};
+  Grid grid{config};
 
   // The node is busy with a broker-submitted batch job (inside an agent).
   std::optional<SimTime> batch_started;
@@ -41,9 +41,10 @@ DegreeResult run_degree(int degree) {
   batch_callbacks.on_complete = [&](const JobRecord&) {
     batch_finished = grid.sim().now();
   };
-  grid.broker().submit(
-      jdl::JobDescription::parse("Executable = \"bg\";").value(), UserId{1},
-      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), batch_callbacks);
+  if (!grid.submit(jdl::JobDescription::parse("Executable = \"bg\";").value(),
+                   UserId{1}, lrms::Workload::cpu(600_s), batch_callbacks)) {
+    std::cerr << "batch submission refused\n";
+  }
   grid.sim().run_until(SimTime::from_seconds(120));
 
   // A burst of 4 interactive jobs in shared mode.
@@ -66,14 +67,14 @@ DegreeResult run_degree(int degree) {
         cpu_bursts.add(measured.to_seconds());
       }
     };
-    grid.broker().submit(
-        jdl::JobDescription::parse(
-            "Executable = \"viz\"; JobType = \"interactive\"; "
-            "MachineAccess = \"shared\"; PerformanceLoss = 10;")
-            .value(),
-        UserId{static_cast<std::uint64_t>(i + 2)},
-        lrms::Workload::iterative(30, 6_ms, 921_ms),
-        GridScenario::ui_endpoint(), callbacks);
+    if (!grid.submit(jdl::JobDescription::parse(
+                         "Executable = \"viz\"; JobType = \"interactive\"; "
+                         "MachineAccess = \"shared\"; PerformanceLoss = 10;")
+                         .value(),
+                     UserId{static_cast<std::uint64_t>(i + 2)},
+                     lrms::Workload::iterative(30, 6_ms, 921_ms), callbacks)) {
+      ++result.failed;
+    }
   }
   grid.sim().run_until(SimTime::from_seconds(4 * 3600));
   result.mean_cpu_burst_s = cpu_bursts.mean();

@@ -15,7 +15,7 @@
 // Fig. 8.
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "broker/workload_generator.hpp"
 #include "util/stats.hpp"
 
@@ -35,11 +35,11 @@ struct SweepPoint {
 
 SweepPoint run_point(Duration batch_interarrival, jdl::MachineAccess access,
                      std::uint64_t seed) {
-  GridScenarioConfig config;
+  GridConfig config;
   config.sites = 4;
   config.nodes_per_site = 2;
   config.seed = seed;
-  GridScenario grid{config};
+  Grid grid{config};
 
   WorkloadGeneratorConfig load;
   load.batch_interarrival = batch_interarrival;

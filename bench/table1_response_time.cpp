@@ -16,7 +16,7 @@
 #include <iostream>
 #include <optional>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "stream/channel_model.hpp"
 #include "stream/grid_console.hpp"
 #include "util/stats.hpp"
@@ -30,9 +30,8 @@ constexpr int kJobsPerMethod = 100;
 constexpr std::size_t kBannerBytes = 64;  // the application's first output
 
 /// Calibrated 2006-era middleware constants shared by all methods.
-broker::GridScenarioConfig testbed_config(const sim::LinkSpec& link,
-                                          std::uint64_t seed) {
-  broker::GridScenarioConfig config;
+GridConfig testbed_config(const sim::LinkSpec& link, std::uint64_t seed) {
+  GridConfig config;
   config.sites = 20;  // "a set of 20 remote sites, located all over Europe"
   config.nodes_per_site = 4;
   config.site_link = link;
@@ -82,7 +81,7 @@ std::optional<PhaseTimes> run_broker_submission(const std::string& jdl,
                                                 std::uint64_t seed,
                                                 bool preload_agent,
                                                 bool warmup_shared) {
-  broker::GridScenario grid{testbed_config(link, seed)};
+  Grid grid{testbed_config(link, seed)};
   if (preload_agent) {
     grid.broker().preload_agent(grid.site(0).id());
     grid.sim().run_until(SimTime::from_seconds(60));
@@ -95,40 +94,36 @@ std::optional<PhaseTimes> run_broker_submission(const std::string& jdl,
     return std::nullopt;
   }
 
-  std::optional<PhaseTimes> result;
-  std::optional<SimTime> running_at;
-  broker::JobCallbacks callbacks;
-  const SimTime submitted_at = grid.sim().now();
-  callbacks.on_running = [&](const broker::JobRecord& record) {
-    running_at = grid.sim().now();
-    PhaseTimes times;
-    times.discovery =
-        (*record.timestamps.discovery_done - submitted_at).to_seconds();
-    times.selection =
-        (*record.timestamps.selection_done - *record.timestamps.discovery_done)
-            .to_seconds();
-    // Submission ends at first output; the banner leg is added by the caller.
-    times.submission =
-        (*record.timestamps.running - *record.timestamps.selection_done)
-            .to_seconds();
-    result = times;
-  };
-  grid.broker().submit(description.value(), UserId{1},
-                       lrms::Workload::cpu(60_s), "ui", callbacks);
-  grid.sim().run_until(SimTime::from_seconds(3600));
-  if (!result) return std::nullopt;
+  auto job =
+      grid.submit(description.value(), UserId{1}, lrms::Workload::cpu(60_s));
+  if (!job) return std::nullopt;
+  const auto done = job->await();
+  if (!done) return std::nullopt;
+  const broker::JobRecord& record = **done;
+  if (!record.timestamps.running) return std::nullopt;
+
+  PhaseTimes times;
+  times.discovery = (*record.timestamps.discovery_done -
+                     record.timestamps.submitted)
+                        .to_seconds();
+  times.selection = (*record.timestamps.selection_done -
+                     *record.timestamps.discovery_done)
+                        .to_seconds();
+  // Submission ends at first output; the banner leg is added below.
+  times.submission = (*record.timestamps.running -
+                      *record.timestamps.selection_done)
+                         .to_seconds();
 
   // First-output leg over the interposition channel from the execution site.
-  const broker::JobRecord* record = grid.broker().all_records().back();
   for (std::size_t i = 0; i < grid.site_count(); ++i) {
-    if (grid.site(i).id() == record->subjobs[0].site) {
-      result->submission += first_output_seconds(
+    if (grid.site(i).id() == record.subjobs[0].site) {
+      times.submission += first_output_seconds(
           grid.sim(), grid.network(), grid.site(i).endpoint(),
           stream::ChannelSpec::interposition_fast(), seed ^ 0x1234);
       break;
     }
   }
-  return result;
+  return times;
 }
 
 /// Glogin baseline: the user selects the machine by hand (no discovery or
@@ -136,7 +131,7 @@ std::optional<PhaseTimes> run_broker_submission(const std::string& jdl,
 /// shell's first output returns over the Globus-IO channel.
 std::optional<double> run_glogin_submission(const sim::LinkSpec& link,
                                             std::uint64_t seed) {
-  broker::GridScenario grid{testbed_config(link, seed)};
+  Grid grid{testbed_config(link, seed)};
   lrms::Site& site = grid.site(0);
 
   lrms::GridJobRequest request;

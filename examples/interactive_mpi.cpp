@@ -7,18 +7,18 @@
 //   $ ./interactive_mpi
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
-#include "util/stats.hpp"
+#include "grid/grid.hpp"
 #include "stream/grid_console.hpp"
+#include "util/stats.hpp"
 
 using namespace cg;
 using namespace cg::literals;
 
 int main() {
-  broker::GridScenarioConfig config;
+  GridConfig config;
   config.sites = 3;
   config.nodes_per_site = 3;
-  broker::GridScenario grid{config};
+  Grid grid{config};
 
   auto description = jdl::JobDescription::parse(R"(
       Executable    = "airpollution_sim";
@@ -39,7 +39,7 @@ int main() {
   broker::JobCallbacks callbacks;
   callbacks.on_running = [&](const broker::JobRecord& record) {
     std::cout << "co-allocation (startup barrier passed at t="
-              << fmt_fixed(grid.sim().now().to_seconds(), 1) << "s):\n";
+              << fmt_fixed(grid.now().to_seconds(), 1) << "s):\n";
     for (const auto& sub : record.subjobs) {
       std::cout << "  rank " << sub.rank << " -> site "
                 << sub.site.value() << "\n";
@@ -47,9 +47,10 @@ int main() {
 
     stream::GridConsoleConfig console_config;
     console_config.mode = jdl::StreamingMode::kReliable;
+    console_config.obs = grid.obs_ptr();
+    console_config.job = record.id;
     console = std::make_unique<stream::GridConsole>(
-        grid.sim(), grid.network(), console_config,
-        broker::GridScenario::ui_endpoint(),
+        grid.sim(), grid.network(), console_config, Grid::ui_endpoint(),
         [](std::string data) { std::cout << "  [screen] " << data; },
         Rng{99});
 
@@ -69,12 +70,13 @@ int main() {
       }
     }
   };
-  bool completed = false;
-  callbacks.on_complete = [&](const broker::JobRecord&) { completed = true; };
 
-  grid.broker().submit(std::move(description.value()), UserId{7},
-                       lrms::Workload::cpu(300_s),
-                       broker::GridScenario::ui_endpoint(), callbacks);
+  auto job = grid.submit(std::move(description.value()), UserId{7},
+                         lrms::Workload::cpu(300_s), callbacks);
+  if (!job) {
+    std::cerr << "submission refused: " << to_string(job.error().kind) << "\n";
+    return 1;
+  }
 
   grid.sim().schedule(120_s, [&] {
     if (console) {
@@ -83,9 +85,13 @@ int main() {
     }
   });
 
-  grid.sim().run();
-  std::cout << (completed ? "MPI job completed" : "MPI job DID NOT complete")
-            << " at t=" << fmt_fixed(grid.sim().now().to_seconds(), 1)
-            << "s\n";
-  return completed ? 0 : 1;
+  const auto done = job->await();
+  grid.run();  // drain the remaining console traffic
+  std::cout << (done ? "MPI job completed" : "MPI job DID NOT complete")
+            << " at t=" << fmt_fixed(grid.now().to_seconds(), 1) << "s\n";
+  if (done) {
+    std::cout << "bytes spooled through reliable console channels: "
+              << grid.metrics_snapshot().total("stream.bytes_spooled") << "\n";
+  }
+  return done ? 0 : 1;
 }

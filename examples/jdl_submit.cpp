@@ -1,6 +1,6 @@
 // jdl_submit: a command-line submission tool in the spirit of the CrossGrid
 // UI's command line. Reads a JDL file (or stdin), builds a simulated
-// testbed, submits the job through the CrossBroker, and reports the
+// testbed, submits the job through the cg::Grid facade, and reports the
 // lifecycle with per-phase timings.
 //
 //   $ ./jdl_submit job.jdl
@@ -14,13 +14,14 @@
 //   --saturate     fill every node with background batch work first
 //   --preload N    deploy N warm glide-in agents before submitting
 //   --runtime S    job runtime in simulated seconds         (default 120)
-//   --trace        print the Logging & Bookkeeping event trail at the end
+//   --trace        print the typed lifecycle trace at the end
+//   --metrics      print the metrics-registry snapshot at the end
 //   --gsi          build the GSI trust fabric; the user gets a 12 h proxy
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "util/stats.hpp"
 
 using namespace cg;
@@ -34,6 +35,7 @@ struct Options {
   bool wan = false;
   bool saturate = false;
   bool trace = false;
+  bool metrics = false;
   bool gsi = false;
   int preload = 0;
   double runtime_s = 120.0;
@@ -63,6 +65,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.saturate = true;
     } else if (arg == "--trace") {
       options.trace = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else if (arg == "--gsi") {
       options.gsi = true;
     } else if (arg == "--preload") {
@@ -121,13 +125,13 @@ int main(int argc, char** argv) {
             << to_string(description->streaming_mode()) << ", access "
             << to_string(description->machine_access()) << "\n";
 
-  broker::GridScenarioConfig config;
+  GridConfig config;
   config.sites = options.sites;
   config.nodes_per_site = options.nodes;
   if (options.wan) config.site_link = sim::LinkSpec::wan();
   if (options.preload > 0) config.broker.dismiss_idle_agents = false;
   config.enable_gsi = options.gsi;
-  broker::GridScenario grid{config};
+  Grid grid{config};
   if (options.gsi) {
     grid.register_user(UserId{1}, "submitter");
     grid.register_user(UserId{999}, "background");
@@ -138,12 +142,13 @@ int main(int argc, char** argv) {
             << " nodes, " << (options.wan ? "WAN" : "campus") << " links\n";
 
   if (options.saturate) {
-    // Saturate through the broker so every node carries a glide-in agent
+    // Saturate through the facade so every node carries a glide-in agent
     // (the paper's Figure 5 scenario 1: batch submissions bring agents).
     auto batch = jdl::JobDescription::parse("Executable = \"bg\";").value();
     for (int i = 0; i < options.sites * options.nodes; ++i) {
-      grid.broker().submit(batch, UserId{999}, lrms::Workload::cpu(3600_s * 24),
-                           broker::GridScenario::ui_endpoint(), {});
+      if (!grid.submit(batch, UserId{999}, lrms::Workload::cpu(3600_s * 24))) {
+        std::cerr << "warning: background submission refused\n";
+      }
     }
     grid.sim().run_until(SimTime::from_seconds(120));
     std::cout << "grid saturated with background batch work ("
@@ -155,22 +160,31 @@ int main(int argc, char** argv) {
         grid.site(static_cast<std::size_t>(i) % grid.site_count()).id());
   }
   if (options.preload > 0) {
-    grid.sim().run_until(grid.sim().now() + 60_s);
+    grid.run_for(60_s);
     std::cout << grid.broker().agents().running_agents()
               << " glide-in agent(s) warmed up\n";
   }
 
-  broker::JobTrace trace;
-  if (options.trace) grid.broker().set_trace(&trace);
-
-  bool terminal = false;
   broker::JobCallbacks callbacks;
   callbacks.on_state_change = [&](const broker::JobRecord& record) {
-    std::cout << "[" << fmt_fixed(grid.sim().now().to_seconds(), 2) << "s] "
+    std::cout << "[" << fmt_fixed(grid.now().to_seconds(), 2) << "s] "
               << record.id << " -> " << to_string(record.state) << "\n";
   };
-  callbacks.on_complete = [&](const broker::JobRecord& record) {
-    terminal = true;
+
+  auto job = grid.submit(
+      std::move(description.value()), UserId{1},
+      lrms::Workload::cpu(Duration::from_seconds(options.runtime_s)),
+      callbacks);
+  if (!job) {
+    std::cout << "submission refused: " << to_string(job.error().kind) << " ("
+              << job.error().cause.to_string() << ")\n";
+    return 1;
+  }
+
+  auto done = job->await();
+  int exit_code = 0;
+  if (done) {
+    const broker::JobRecord& record = **done;
     std::cout << "\njob completed. timeline:\n";
     const SimTime t0 = record.timestamps.submitted;
     const auto row = [&](const char* name, std::optional<SimTime> t) {
@@ -190,18 +204,21 @@ int main(int argc, char** argv) {
       std::cout << "  rank " << sub.rank << " on site " << sub.site.value()
                 << (sub.agent ? " (interactive-vm)" : "") << "\n";
     }
-  };
-  callbacks.on_failed = [&](const broker::JobRecord&, const Error& error) {
-    terminal = true;
-    std::cout << "\njob failed: " << error.to_string() << "\n";
-  };
-
-  grid.broker().submit(std::move(description.value()), UserId{1},
-                       lrms::Workload::cpu(Duration::from_seconds(options.runtime_s)),
-                       broker::GridScenario::ui_endpoint(), callbacks);
-  grid.sim().run();
-  if (options.trace) {
-    std::cout << "\nLogging & Bookkeeping trail:\n" << trace.render();
+  } else {
+    std::cout << "\njob failed: " << to_string(done.error().kind) << " ("
+              << done.error().cause.to_string() << ")\n";
+    exit_code = 1;
   }
-  return terminal ? 0 : 1;
+  if (options.trace) {
+    std::cout << "\nlifecycle trace:\n";
+    for (const auto& event : grid.tracer().for_job(job->id())) {
+      std::cout << "  +" << fmt_fixed(event.when.to_seconds(), 2) << "s "
+                << obs::to_string(event.kind)
+                << (event.detail.empty() ? "" : "  " + event.detail) << "\n";
+    }
+  }
+  if (options.metrics) {
+    std::cout << "\nmetrics:\n" << grid.metrics_snapshot().render();
+  }
+  return exit_code;
 }

@@ -7,58 +7,67 @@
 //   $ ./multiprogramming_demo
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
+#include "grid/grid.hpp"
 #include "util/stats.hpp"
 
 using namespace cg;
 using namespace cg::literals;
 
 int main() {
-  broker::GridScenarioConfig config;
+  GridConfig config;
   config.sites = 2;
   config.nodes_per_site = 2;
   config.broker.dismiss_idle_agents = false;
-  broker::GridScenario grid{config};
+  Grid grid{config};
 
   // Phase 1: fill the whole grid with batch jobs submitted through the
-  // broker. Each lands inside a glide-in agent's batch-vm, so every node
+  // facade. Each lands inside a glide-in agent's batch-vm, so every node
   // also exports a free interactive-vm.
   auto batch = jdl::JobDescription::parse("Executable = \"lhc_reco\";").value();
   int batch_running = 0;
   for (int i = 0; i < 4; ++i) {
     broker::JobCallbacks callbacks;
     callbacks.on_running = [&](const broker::JobRecord&) { ++batch_running; };
-    grid.broker().submit(batch, UserId{1}, lrms::Workload::cpu(3600_s * 2),
-                         broker::GridScenario::ui_endpoint(), callbacks);
+    if (!grid.submit(batch, UserId{1}, lrms::Workload::cpu(3600_s * 2),
+                     callbacks)) {
+      std::cerr << "batch submission refused\n";
+      return 1;
+    }
   }
   grid.sim().run_until(SimTime::from_seconds(120));
   std::cout << "t=120s: " << batch_running << "/4 batch jobs running, "
             << grid.broker().agents().running_agents()
             << " glide-in agents up, free interactive VMs everywhere\n";
 
-  // Phase 2: an interactive job arrives. Exclusive mode would fail (no idle
-  // machine); shared mode starts on a VM immediately.
+  // Phase 2: an interactive job arrives. Exclusive mode fails (no idle
+  // machine); shared mode starts on a VM immediately. The exclusive refusal
+  // surfaces asynchronously, classified by await() as a typed no-match.
   auto exclusive = jdl::JobDescription::parse(
       "Executable = \"viz\"; JobType = \"interactive\"; "
       "MachineAccess = \"exclusive\";").value();
-  broker::JobCallbacks exclusive_callbacks;
-  exclusive_callbacks.on_failed = [&](const broker::JobRecord&, const Error& e) {
-    std::cout << "exclusive-mode submission failed as expected: " << e.code
-              << "\n";
-  };
-  grid.broker().submit(exclusive, UserId{2}, lrms::Workload::cpu(60_s),
-                       broker::GridScenario::ui_endpoint(), exclusive_callbacks);
+  auto exclusive_job =
+      grid.submit(exclusive, UserId{2}, lrms::Workload::cpu(60_s));
+  if (!exclusive_job) {
+    std::cerr << "exclusive submission refused up front\n";
+    return 1;
+  }
+  auto exclusive_result = exclusive_job->await();
+  if (!exclusive_result) {
+    std::cout << "exclusive-mode submission failed as expected: "
+              << to_string(exclusive_result.error().kind) << " ("
+              << exclusive_result.error().cause.code << ")\n";
+  }
   grid.sim().run_until(SimTime::from_seconds(300));
 
   auto shared = jdl::JobDescription::parse(
       "Executable = \"viz\"; JobType = \"interactive\"; "
       "MachineAccess = \"shared\"; PerformanceLoss = 25;").value();
-  const SimTime submitted_at = grid.sim().now();
+  const SimTime submitted_at = grid.now();
   broker::JobCallbacks shared_callbacks;
   RunningStats cpu_bursts;
   shared_callbacks.on_running = [&](const broker::JobRecord& record) {
     std::cout << "shared-mode interactive job RUNNING "
-              << fmt_fixed((grid.sim().now() - submitted_at).to_seconds(), 2)
+              << fmt_fixed((grid.now() - submitted_at).to_seconds(), 2)
               << "s after submission (placement: "
               << to_string(record.placement) << ")\n";
   };
@@ -68,14 +77,14 @@ int main() {
       cpu_bursts.add(measured.to_seconds());
     }
   };
-  bool done = false;
-  shared_callbacks.on_complete = [&](const broker::JobRecord&) { done = true; };
-  grid.broker().submit(shared, UserId{2},
-                       lrms::Workload::iterative(50, 6_ms, 921_ms),
-                       broker::GridScenario::ui_endpoint(), shared_callbacks);
-  grid.sim().run_until(SimTime::from_seconds(3600));
-
-  if (!done) {
+  auto shared_job = grid.submit(shared, UserId{2},
+                                lrms::Workload::iterative(50, 6_ms, 921_ms),
+                                shared_callbacks);
+  if (!shared_job) {
+    std::cerr << "shared submission refused\n";
+    return 1;
+  }
+  if (!shared_job->await()) {
     std::cout << "interactive job did not finish!\n";
     return 1;
   }
@@ -85,5 +94,9 @@ int main() {
             << "% overhead at PerformanceLoss=25; paper: ~22%)\n";
   std::cout << "batch jobs survived throughout: " << batch_running
             << "/4 still accounted for\n";
+  // The glide-in layer counted the demotion and the applied PerformanceLoss.
+  const auto snapshot = grid.metrics_snapshot();
+  std::cout << "glidein.batch_demotions = "
+            << snapshot.total("glidein.batch_demotions") << "\n";
   return 0;
 }

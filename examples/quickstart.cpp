@@ -1,6 +1,6 @@
 // Quickstart: build a small simulated grid, submit an interactive job
-// through the CrossBroker, and watch it stream output back through a Grid
-// Console — the whole public API in one file.
+// through the cg::Grid facade, watch it stream output back through a Grid
+// Console, and read the run's metrics — the whole public API in one file.
 //
 //   $ ./quickstart
 //
@@ -8,20 +8,21 @@
 // simulated clock covers minutes of grid activity.
 #include <iostream>
 
-#include "broker/grid_scenario.hpp"
-#include "util/stats.hpp"
+#include "grid/grid.hpp"
 #include "stream/grid_console.hpp"
+#include "util/stats.hpp"
 
 using namespace cg;
 using namespace cg::literals;
 
 int main() {
   // 1. A testbed: three sites of four worker nodes behind gatekeepers, an
-  //    information system publishing every 30 s, and a CrossBroker.
-  broker::GridScenarioConfig config;
+  //    information system publishing every 30 s, and a CrossBroker — all
+  //    owned and wired (trace + metrics) by one Grid object.
+  GridConfig config;
   config.sites = 3;
   config.nodes_per_site = 4;
-  broker::GridScenario grid{config};
+  Grid grid{config};
 
   // 2. A job description in JDL — the same syntax as the paper's Figure 2.
   auto description = jdl::JobDescription::parse(R"(
@@ -36,20 +37,18 @@ int main() {
     return 1;
   }
 
-  // 3. Submit it. Callbacks trace the lifecycle; on_running wires up the
+  // 3. Submit it. Refusals come back as typed errors (no-match, auth,
+  //    over-share, ...), not bools or throws. on_running wires up the
   //    split-execution console between the UI machine and the worker node.
   std::unique_ptr<stream::GridConsole> console;
   broker::JobCallbacks callbacks;
-  callbacks.on_state_change = [&](const broker::JobRecord& record) {
-    std::cout << "[" << fmt_fixed(grid.sim().now().to_seconds(), 2) << "s] "
-              << record.id << " -> " << to_string(record.state) << "\n";
-  };
   callbacks.on_running = [&](const broker::JobRecord& record) {
     stream::GridConsoleConfig console_config;
     console_config.mode = record.description.streaming_mode();
+    console_config.obs = grid.obs_ptr();
+    console_config.job = record.id;
     console = std::make_unique<stream::GridConsole>(
-        grid.sim(), grid.network(), console_config,
-        broker::GridScenario::ui_endpoint(),
+        grid.sim(), grid.network(), console_config, Grid::ui_endpoint(),
         [&](std::string data) { std::cout << "  [screen] " << data; },
         Rng{2024});
     // Find the execution site and attach one Console Agent there.
@@ -63,29 +62,14 @@ int main() {
       }
     }
   };
-  callbacks.on_complete = [&](const broker::JobRecord& record) {
-    std::cout << "[" << fmt_fixed(grid.sim().now().to_seconds(), 2) << "s] "
-              << record.id << " completed; phases: discovery "
-              << fmt_fixed((*record.timestamps.discovery_done -
-                            record.timestamps.submitted)
-                               .to_seconds(),
-                           2)
-              << "s, selection "
-              << fmt_fixed((*record.timestamps.selection_done -
-                            *record.timestamps.discovery_done)
-                               .to_seconds(),
-                           2)
-              << "s, to-running "
-              << fmt_fixed((*record.timestamps.running -
-                            *record.timestamps.selection_done)
-                               .to_seconds(),
-                           2)
-              << "s\n";
-  };
 
-  grid.broker().submit(std::move(description.value()), UserId{1},
-                       lrms::Workload::cpu(90_s),
-                       broker::GridScenario::ui_endpoint(), callbacks);
+  auto job = grid.submit(std::move(description.value()), UserId{1},
+                         lrms::Workload::cpu(90_s), callbacks);
+  if (!job) {
+    std::cerr << "refused: " << to_string(job.error().kind) << " ("
+              << job.error().cause.to_string() << ")\n";
+    return 1;
+  }
 
   // 4. The user steers the application one minute in.
   grid.sim().schedule(60_s, [&] {
@@ -95,10 +79,40 @@ int main() {
     }
   });
 
-  // 5. Run the virtual clock until the grid goes idle.
-  grid.sim().run();
-  std::cout << "simulation finished at t="
-            << fmt_fixed(grid.sim().now().to_seconds(), 2) << "s ("
-            << grid.sim().processed_events() << " events)\n";
+  // 5. Run virtual time until the job finishes; await() returns the final
+  //    record (or the classified failure).
+  auto done = job->await();
+  if (!done) {
+    std::cerr << "failed: " << to_string(done.error().kind) << "\n";
+    return 1;
+  }
+  const broker::JobRecord& record = **done;
+  std::cout << "[" << fmt_fixed(grid.now().to_seconds(), 2) << "s] "
+            << record.id << " completed; phases: discovery "
+            << fmt_fixed((*record.timestamps.discovery_done -
+                          record.timestamps.submitted)
+                             .to_seconds(),
+                         2)
+            << "s, selection "
+            << fmt_fixed((*record.timestamps.selection_done -
+                          *record.timestamps.discovery_done)
+                             .to_seconds(),
+                         2)
+            << "s, to-running "
+            << fmt_fixed((*record.timestamps.running -
+                          *record.timestamps.selection_done)
+                             .to_seconds(),
+                         2)
+            << "s\n";
+
+  // 6. The same run, from the instruments: every lifecycle transition is a
+  //    typed trace event, and every hot path updated the metrics registry.
+  std::cout << "\nlifecycle trace (" << job->trace().size() << " events):\n";
+  for (const auto& event : job->trace()) {
+    std::cout << "  +" << fmt_fixed(event.when.to_seconds(), 2) << "s "
+              << obs::to_string(event.kind)
+              << (event.detail.empty() ? "" : "  " + event.detail) << "\n";
+  }
+  std::cout << "\nmetrics:\n" << grid.metrics_snapshot().render();
   return 0;
 }

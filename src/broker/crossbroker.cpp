@@ -87,10 +87,26 @@ void CrossBroker::add_site(lrms::Site& site) {
   fair_share_.set_total_resources(std::max(total, 1));
 }
 
-JobId CrossBroker::submit(jdl::JobDescription description, UserId user,
-                          lrms::Workload workload, std::string submitter_endpoint,
-                          JobCallbacks callbacks) {
-  if (!user.valid()) throw std::invalid_argument{"submit: invalid user"};
+Expected<JobId, SubmitError> CrossBroker::submit(jdl::JobDescription description,
+                                                 UserId user,
+                                                 lrms::Workload workload,
+                                                 std::string submitter_endpoint,
+                                                 JobCallbacks callbacks) {
+  if (!user.valid()) {
+    return make_submit_error(SubmitErrorKind::kBadDescription,
+                             "broker.invalid_user",
+                             "submission needs a valid user id");
+  }
+  if (description.node_number() < 1) {
+    return make_submit_error(SubmitErrorKind::kBadDescription,
+                             "broker.bad_description",
+                             "NodeNumber must be at least 1");
+  }
+  // GSI pre-flight at the UI: a user without a valid proxy is refused before
+  // the job enters the pipeline. (schedule_job re-checks for resubmissions,
+  // where the proxy may have expired in the meantime.)
+  const Status security = check_user_security(user);
+  if (!security.ok()) return classify_submit_error(security.error());
   const JobId id = job_ids_.next();
   auto managed = std::make_unique<ManagedJob>();
   managed->record.id = id;
@@ -101,13 +117,21 @@ JobId CrossBroker::submit(jdl::JobDescription description, UserId user,
   managed->record.timestamps.submitted = sim_.now();
   managed->callbacks = std::move(callbacks);
   jobs_.emplace(id, std::move(managed));
+  const auto& desc = jobs_[id]->record.description;
+  const obs::LabelSet job_labels{
+      {"type", std::string{jdl::to_string(desc.category())}},
+      {"flavor", std::string{jdl::to_string(desc.flavor())}}};
   trace(id, "submitted",
-        jdl::to_string(jobs_[id]->record.description.category()) + " " +
-            jdl::to_string(jobs_[id]->record.description.flavor()) + " x" +
-            std::to_string(jobs_[id]->record.description.node_number()));
-  log_info(kLog, "submitted ", id, " (",
-           jdl::to_string(jobs_[id]->record.description.category()), ", ",
-           jdl::to_string(jobs_[id]->record.description.flavor()), ")");
+        jdl::to_string(desc.category()) + " " + jdl::to_string(desc.flavor()) +
+            " x" + std::to_string(desc.node_number()));
+  tracev(id, obs::TraceEventKind::kSubmitted,
+         jdl::to_string(desc.category()) + " " + jdl::to_string(desc.flavor()) +
+             " x" + std::to_string(desc.node_number()),
+         obs::LabelSet{{"user", std::to_string(user.value())},
+                       {"type", std::string{jdl::to_string(desc.category())}}});
+  count("broker.jobs_submitted", job_labels);
+  log_info(kLog, "submitted ", id, " (", jdl::to_string(desc.category()), ", ",
+           jdl::to_string(desc.flavor()), ")");
   sim_.schedule(Duration::zero(), [this, id] { schedule_job(id); });
   return id;
 }
@@ -227,10 +251,52 @@ void CrossBroker::trace(JobId job, const std::string& kind,
   if (trace_ != nullptr) trace_->record(sim_.now(), job, kind, detail);
 }
 
+void CrossBroker::tracev(JobId job, obs::TraceEventKind kind, std::string detail,
+                         obs::LabelSet attrs) {
+  if (obs_ != nullptr) {
+    obs_->tracer.record(sim_.now(), job, kind, std::move(detail),
+                        std::move(attrs));
+  }
+}
+
+void CrossBroker::count(const char* name, obs::LabelSet labels,
+                        std::uint64_t by) {
+  if (obs_ != nullptr) obs_->metrics.counter(name, std::move(labels)).inc(by);
+}
+
+void CrossBroker::observe(const char* name, double value, obs::LabelSet labels) {
+  if (obs_ != nullptr) {
+    obs_->metrics.histogram(name, std::move(labels)).observe(value);
+  }
+}
+
+namespace {
+obs::TraceEventKind trace_kind_for(JobState state) {
+  switch (state) {
+    case JobState::kSubmitted: return obs::TraceEventKind::kSubmitted;
+    case JobState::kDiscovery: return obs::TraceEventKind::kDiscovery;
+    case JobState::kSelection: return obs::TraceEventKind::kSelection;
+    case JobState::kDispatching: return obs::TraceEventKind::kDispatched;
+    case JobState::kQueuedLocal: return obs::TraceEventKind::kQueuedLocal;
+    case JobState::kQueuedBroker: return obs::TraceEventKind::kQueuedBroker;
+    case JobState::kRunning: return obs::TraceEventKind::kRunning;
+    case JobState::kCompleted: return obs::TraceEventKind::kCompleted;
+    case JobState::kFailed: return obs::TraceEventKind::kFailed;
+    case JobState::kRejected: return obs::TraceEventKind::kRejected;
+  }
+  return obs::TraceEventKind::kInfo;
+}
+}  // namespace
+
 void CrossBroker::set_state(ManagedJob& job, JobState state) {
   if (job.record.state == state) return;
   job.record.state = state;
   trace(job.record.id, "state", to_string(state));
+  tracev(job.record.id, trace_kind_for(state), to_string(state));
+  if (obs_ != nullptr) {
+    obs_->metrics.gauge("broker.queue_depth")
+        .set(static_cast<double>(waiting_batch_.size()));
+  }
   if (job.callbacks.on_state_change) job.callbacks.on_state_change(job.record);
 }
 
@@ -464,14 +530,47 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates) {
       handle_no_resources(id);
       return;
     }
-    for (const auto& placement : plan->placements) {
-      // Exclusive temporal access: lease the matched CPUs so concurrent
-      // submissions see them as taken until this dispatch resolves.
-      if (config_.enable_match_leases) {
-        job->held_leases.push_back(
+    // Exclusive temporal access: lease the matched CPUs so concurrent
+    // submissions see them as taken until this dispatch resolves. A conflict
+    // (another submission won the race for the same CPUs) rolls the match
+    // back and routes through the no-resources path with a typed reason.
+    if (config_.enable_match_leases) {
+      for (const auto& placement : plan->placements) {
+        lrms::Site* lease_site = find_site(placement.site);
+        const int capacity =
+            lease_site != nullptr ? lease_site->config().worker_nodes : -1;
+        Expected<LeaseId> lease =
             leases_.acquire(placement.site, placement.processes,
-                            config_.match_lease_ttl));
+                            config_.match_lease_ttl, capacity);
+        if (!lease) {
+          job->record.last_error = lease.error();
+          trace(id, "lease", "conflict at site " +
+                                 std::to_string(placement.site.value()) + ": " +
+                                 lease.error().message);
+          tracev(id, obs::TraceEventKind::kLeaseRevoked, lease.error().message,
+                 obs::LabelSet{{"site", std::to_string(placement.site.value())}});
+          count("broker.lease_conflicts",
+                obs::LabelSet{{"site", std::to_string(placement.site.value())}});
+          for (const auto& a : assignments) {
+            if (a.kind == Assignment::Kind::kVm) {
+              const auto info = agent_info_.find(a.vm_agent);
+              if (info != agent_info_.end()) {
+                std::erase(info->second.pending_interactive, id);
+              }
+            }
+          }
+          handle_no_resources(id);
+          return;
+        }
+        job->held_leases.push_back(*lease);
+        tracev(id, obs::TraceEventKind::kLeaseAcquired,
+               std::to_string(placement.processes) + " cpus at site " +
+                   std::to_string(placement.site.value()),
+               obs::LabelSet{{"site", std::to_string(placement.site.value())}});
+        count("broker.leases_acquired");
       }
+    }
+    for (const auto& placement : plan->placements) {
       for (int i = 0; i < placement.processes; ++i) {
         Assignment::Kind kind = Assignment::Kind::kIdle;
         if (!interactive) {
@@ -516,11 +615,24 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates) {
   }
 
   setup_barrier_coordination(*job);
+  // Match latency: submission to the end of resource selection, labelled by
+  // how the job was placed (Table 1's scheduling-overhead breakdown).
+  observe("broker.match_latency_s",
+          (job->record.timestamps.selection_done.value_or(sim_.now()) -
+           job->record.timestamps.submitted)
+              .to_seconds(),
+          obs::LabelSet{{"placement", to_string(job->record.placement)}});
   for (const auto& sub : job->record.subjobs) {
     trace(id, "match",
           "rank " + std::to_string(sub.rank) + " -> site " +
               std::to_string(sub.site.value()) +
               (sub.agent ? " (interactive-vm)" : ""));
+    tracev(id, obs::TraceEventKind::kMatched,
+           "rank " + std::to_string(sub.rank) + " -> site " +
+               std::to_string(sub.site.value()),
+           obs::LabelSet{{"site", std::to_string(sub.site.value())},
+                         {"rank", std::to_string(sub.rank)},
+                         {"placement", to_string(job->record.placement)}});
   }
   for (std::size_t i = 0; i < assignments.size(); ++i) {
     switch (assignments[i].kind) {
@@ -604,9 +716,16 @@ void CrossBroker::handle_no_resources(JobId id) {
 
   if (job->record.description.is_interactive()) {
     // "If there are not enough machines (with or without agents) to execute
-    // an interactive application, its submission will fail."
-    fail_job(id, make_error("broker.no_resources",
-                            "no machines available for interactive job"));
+    // an interactive application, its submission will fail." A lease conflict
+    // keeps its typed reason so callers can distinguish losing the race from
+    // an empty grid.
+    Error reason = make_error("broker.no_resources",
+                              "no machines available for interactive job");
+    if (job->record.last_error &&
+        job->record.last_error->code == "broker.lease_conflict") {
+      reason = *job->record.last_error;
+    }
+    fail_job(id, reason);
     return;
   }
   // Batch jobs wait inside the broker for a machine to become idle.
@@ -772,6 +891,11 @@ void CrossBroker::start_job_on_agent(JobId id, std::size_t subjob_index,
         fair_share_.set_application_factor(
             *info.batch_resident,
             application_factor_yielding_batch(governing_pl));
+        count("glidein.batch_demotions",
+              obs::LabelSet{{"site", std::to_string(info.site.value())}});
+        observe("glidein.performance_loss_applied",
+                static_cast<double>(governing_pl),
+                obs::LabelSet{{"site", std::to_string(info.site.value())}});
       }
     }
   } else {
@@ -916,6 +1040,16 @@ CrossBroker::AgentInfo& CrossBroker::create_agent_with_carrier(
   trace(JobId::none(), "agent",
         "agent " + std::to_string(agent_id.value()) + " submitted to site " +
             std::to_string(site_id.value()));
+  tracev(JobId::none(), obs::TraceEventKind::kAgentDeployed,
+         "agent " + std::to_string(agent_id.value()) + " -> site " +
+             std::to_string(site_id.value()),
+         obs::LabelSet{{"site", std::to_string(site_id.value())}});
+  count("broker.agents_deployed",
+        obs::LabelSet{{"site", std::to_string(site_id.value())}});
+  if (obs_ != nullptr) {
+    agent.set_metrics(&obs_->metrics,
+                      obs::LabelSet{{"site", std::to_string(site_id.value())}});
+  }
 
   AgentInfo info;
   info.id = agent_id;
@@ -1025,6 +1159,12 @@ void CrossBroker::heartbeat_tick() {
       if (info.suspected) restore_agent(agent_id);
     } else {
       ++info.missed_heartbeats;
+      count("broker.heartbeat_misses",
+            obs::LabelSet{{"site", std::to_string(info.site.value())}});
+      tracev(JobId::none(), obs::TraceEventKind::kHeartbeatMiss,
+             "agent " + std::to_string(agent_id.value()) + " missed probe " +
+                 std::to_string(info.missed_heartbeats),
+             obs::LabelSet{{"site", std::to_string(info.site.value())}});
       if (!info.suspected &&
           info.missed_heartbeats >= config_.agent_heartbeat_miss_limit) {
         suspect_agent(agent_id);
@@ -1045,6 +1185,11 @@ void CrossBroker::suspect_agent(AgentId agent_id) {
             std::to_string(info.missed_heartbeats) + " missed heartbeats");
   log_warn(kLog, "agent ", agent_id.value(), " suspected (",
            info.missed_heartbeats, " missed heartbeats)");
+  tracev(JobId::none(), obs::TraceEventKind::kAgentSuspected,
+         "agent " + std::to_string(agent_id.value()) + " after " +
+             std::to_string(info.missed_heartbeats) + " missed heartbeats",
+         obs::LabelSet{{"site", std::to_string(info.site.value())}});
+  count("broker.agents_suspected");
 
   // Revoke the exclusive-temporal-access matches of jobs still waiting to
   // start on this agent: their leases are released inside resubmit_job and
@@ -1059,6 +1204,11 @@ void CrossBroker::suspect_agent(AgentId agent_id) {
     trace(id, "lease",
           "revoked: reserved agent " + std::to_string(agent_id.value()) +
               " missed heartbeats");
+    tracev(id, obs::TraceEventKind::kLeaseRevoked,
+           "reserved agent " + std::to_string(agent_id.value()) +
+               " missed heartbeats",
+           obs::LabelSet{{"site", std::to_string(info.site.value())}});
+    count("broker.lease_revocations");
     resubmit_job(id);
   }
   // Running residents keep executing: their work is local to the node, and
@@ -1074,6 +1224,10 @@ void CrossBroker::restore_agent(AgentId agent_id) {
         "agent " + std::to_string(agent_id.value()) +
             " re-registered after partition healed");
   log_info(kLog, "agent ", agent_id.value(), " re-registered");
+  tracev(JobId::none(), obs::TraceEventKind::kAgentRestored,
+         "agent " + std::to_string(agent_id.value()) + " re-registered",
+         obs::LabelSet{{"site", std::to_string(it->second.site.value())}});
+  count("broker.agents_restored");
 }
 
 void CrossBroker::handle_agent_death(AgentId agent_id) {
@@ -1086,6 +1240,11 @@ void CrossBroker::handle_agent_death(AgentId agent_id) {
         "agent " + std::to_string(agent_id.value()) + " died on site " +
             std::to_string(info.site.value()));
   log_warn(kLog, "agent ", agent_id.value(), " died on site ", info.site.value());
+  tracev(JobId::none(), obs::TraceEventKind::kAgentDied,
+         "agent " + std::to_string(agent_id.value()),
+         obs::LabelSet{{"site", std::to_string(info.site.value())}});
+  count("broker.agent_deaths",
+        obs::LabelSet{{"site", std::to_string(info.site.value())}});
 
   // Resident and in-flight jobs died with the agent. Batch jobs are
   // resubmitted "when possible"; interactive jobs fail loudly (their user is
@@ -1148,12 +1307,27 @@ void CrossBroker::subjob_started(JobId id, std::size_t subjob_index) {
   if (sub.started) return;
   sub.started = true;
   ++job->subjobs_running;
+  tracev(id, obs::TraceEventKind::kStarted,
+         "rank " + std::to_string(sub.rank) + " at site " +
+             std::to_string(sub.site.value()),
+         obs::LabelSet{{"site", std::to_string(sub.site.value())},
+                       {"rank", std::to_string(sub.rank)}});
 
   // MPICH-G2 startup barrier: the job runs once every subjob has started.
   if (job->subjobs_running == static_cast<int>(job->record.subjobs.size())) {
     release_leases(*job);
     set_state(*job, JobState::kRunning);
     job->record.timestamps.running = sim_.now();
+    observe("broker.time_to_running_s",
+            (sim_.now() - job->record.timestamps.submitted).to_seconds(),
+            obs::LabelSet{{"placement", to_string(job->record.placement)},
+                          {"type", std::string{jdl::to_string(
+                               job->record.description.category())}}});
+    observe("broker.dispatch_latency_s",
+            (sim_.now() -
+             job->record.timestamps.dispatched.value_or(sim_.now()))
+                .to_seconds(),
+            obs::LabelSet{{"placement", to_string(job->record.placement)}});
     fair_share_.job_started(job->record.user, id, application_factor(*job),
                             static_cast<int>(job->record.subjobs.size()));
     if (job->callbacks.on_running) job->callbacks.on_running(job->record);
@@ -1196,6 +1370,9 @@ void CrossBroker::complete_job(JobId id) {
   release_leases(*job);
   fair_share_.job_finished(id);
   job->record.timestamps.completed = sim_.now();
+  count("broker.jobs_completed",
+        obs::LabelSet{{"type", std::string{jdl::to_string(
+                           job->record.description.category())}}});
   set_state(*job, JobState::kCompleted);
   if (job->callbacks.on_complete) job->callbacks.on_complete(job->record);
 }
@@ -1206,6 +1383,7 @@ void CrossBroker::fail_job(JobId id, Error error) {
   release_leases(*job);
   fair_share_.job_finished(id);
   job->record.last_error = error;
+  count("broker.jobs_failed", obs::LabelSet{{"code", error.code}});
   set_state(*job, JobState::kFailed);
   log_warn(kLog, id, " failed: ", error.to_string());
   if (job->callbacks.on_failed) job->callbacks.on_failed(job->record, error);
@@ -1216,6 +1394,7 @@ void CrossBroker::reject_job(JobId id, Error error) {
   if (job == nullptr || is_terminal(job->record.state)) return;
   release_leases(*job);
   job->record.last_error = error;
+  count("broker.jobs_rejected", obs::LabelSet{{"code", error.code}});
   set_state(*job, JobState::kRejected);
   log_info(kLog, id, " rejected: ", error.to_string());
   if (job->callbacks.on_failed) job->callbacks.on_failed(job->record, error);
@@ -1256,6 +1435,13 @@ void CrossBroker::resubmit_job(JobId id) {
   trace(id, "resubmit",
         "attempt " + std::to_string(job->record.resubmissions) + " (backoff " +
             std::to_string(backoff.count_micros() / 1000) + " ms)");
+  tracev(id, obs::TraceEventKind::kResubmitted,
+         "attempt " + std::to_string(job->record.resubmissions),
+         obs::LabelSet{
+             {"attempt", std::to_string(job->record.resubmissions)},
+             {"backoff_ms", std::to_string(backoff.count_micros() / 1000)}});
+  count("broker.resubmissions");
+  observe("broker.resubmit_backoff_s", backoff.to_seconds());
   job->record.subjobs.clear();
   job->subjobs_running = 0;
   job->subjobs_completed = 0;

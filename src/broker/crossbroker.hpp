@@ -27,6 +27,7 @@
 #include "broker/fair_share.hpp"
 #include "broker/job_record.hpp"
 #include "broker/job_trace.hpp"
+#include "broker/submit_error.hpp"
 #include "gsi/auth.hpp"
 #include "broker/lease_manager.hpp"
 #include "broker/matchmaker.hpp"
@@ -34,6 +35,7 @@
 #include "infosys/information_system.hpp"
 #include "lrms/site.hpp"
 #include "mpijob/mpi_job.hpp"
+#include "obs/observability.hpp"
 #include "sim/network.hpp"
 
 namespace cg::broker {
@@ -116,9 +118,15 @@ public:
   void add_site(lrms::Site& site);
 
   /// Submits a job. The workload is what the job does once running; the
-  /// description is its JDL. Returns the broker-assigned job id.
-  JobId submit(jdl::JobDescription description, UserId user, lrms::Workload workload,
-               std::string submitter_endpoint, JobCallbacks callbacks);
+  /// description is its JDL. Returns the broker-assigned job id, or a typed
+  /// reason when the submission is refused up front (invalid user or
+  /// description, failed GSI pre-flight). Failures later in the pipeline
+  /// surface through the callbacks and the record's last_error.
+  [[nodiscard]] Expected<JobId, SubmitError> submit(jdl::JobDescription description,
+                                                    UserId user,
+                                                    lrms::Workload workload,
+                                                    std::string submitter_endpoint,
+                                                    JobCallbacks callbacks);
 
   /// Enables GSI across the grid: the broker verifies users' proxies before
   /// scheduling, presents them at every gatekeeper (which start verifying),
@@ -145,6 +153,13 @@ public:
   /// Attaches a Logging-&-Bookkeeping trace; the broker records every
   /// decision into it. Must outlive the broker (or be detached with nullptr).
   void set_trace(JobTrace* trace) { trace_ = trace; }
+
+  /// Attaches the observability bundle: lifecycle transitions go to its
+  /// JobTracer as typed events and the hot paths update its MetricsRegistry
+  /// (match latency, lease revocations, resubmission backoff, heartbeat
+  /// misses, ...). Must outlive the broker (or be detached with nullptr).
+  /// Agents created after this call inherit the registry.
+  void set_observability(obs::Observability* obs) { obs_ = obs; }
 
   [[nodiscard]] const JobRecord* record(JobId id) const;
   [[nodiscard]] FairShare& fair_share() { return fair_share_; }
@@ -271,8 +286,15 @@ private:
   glidein::AgentRegistry agents_;
 
   void trace(JobId job, const std::string& kind, const std::string& detail);
+  /// Typed lifecycle event into the attached obs::JobTracer (no-op without).
+  void tracev(JobId job, obs::TraceEventKind kind, std::string detail,
+              obs::LabelSet attrs = {});
+  /// Counter / histogram shorthands against the attached MetricsRegistry.
+  void count(const char* name, obs::LabelSet labels = {}, std::uint64_t by = 1);
+  void observe(const char* name, double value, obs::LabelSet labels = {});
 
   JobTrace* trace_ = nullptr;
+  obs::Observability* obs_ = nullptr;
   const gsi::Certificate* trust_anchor_ = nullptr;
   std::vector<gsi::Credential> broker_credentials_;
   std::map<UserId, std::vector<gsi::Credential>> user_credentials_;

@@ -1,7 +1,5 @@
 #include "broker/lease_manager.hpp"
 
-#include <stdexcept>
-
 namespace cg::broker {
 
 LeaseManager::~LeaseManager() {
@@ -10,10 +8,20 @@ LeaseManager::~LeaseManager() {
   }
 }
 
-LeaseId LeaseManager::acquire(SiteId site, int cpus, Duration ttl) {
-  if (!site.valid()) throw std::invalid_argument{"lease: invalid site"};
-  if (cpus < 1) throw std::invalid_argument{"lease: cpus must be >= 1"};
-  if (ttl <= Duration::zero()) throw std::invalid_argument{"lease: ttl must be positive"};
+Expected<LeaseId> LeaseManager::acquire(SiteId site, int cpus, Duration ttl,
+                                        int site_capacity) {
+  if (!site.valid() || cpus < 1 || ttl <= Duration::zero()) {
+    return make_error("broker.lease_invalid",
+                      "lease needs a valid site, cpus >= 1, positive ttl");
+  }
+  if (site_capacity >= 0 && leased_cpus(site) + cpus > site_capacity) {
+    return make_error("broker.lease_conflict",
+                      "site " + std::to_string(site.value()) + " has " +
+                          std::to_string(leased_cpus(site)) + "/" +
+                          std::to_string(site_capacity) +
+                          " CPUs under lease; " + std::to_string(cpus) +
+                          " more would over-commit");
+  }
   const LeaseId id = ids_.next();
   const sim::EventHandle expiry = sim_.schedule(ttl, [this, id] { leases_.erase(id); });
   leases_.emplace(id, Lease{site, cpus, expiry});

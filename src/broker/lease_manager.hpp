@@ -8,6 +8,7 @@
 #include <map>
 
 #include "sim/simulation.hpp"
+#include "util/expected.hpp"
 #include "util/ids.hpp"
 
 namespace cg::broker {
@@ -19,8 +20,13 @@ public:
   LeaseManager(const LeaseManager&) = delete;
   LeaseManager& operator=(const LeaseManager&) = delete;
 
-  /// Leases `cpus` CPUs of a site for `ttl`. Returns the lease id.
-  LeaseId acquire(SiteId site, int cpus, Duration ttl);
+  /// Leases `cpus` CPUs of a site for `ttl`. Fails with
+  /// "broker.lease_invalid" on nonsense input, and — when the caller states
+  /// the site's capacity (>= 0) — with "broker.lease_conflict" when the
+  /// request would over-commit CPUs already under lease (a concurrent
+  /// submission won the race). Capacity -1 skips the conflict check.
+  [[nodiscard]] Expected<LeaseId> acquire(SiteId site, int cpus, Duration ttl,
+                                          int site_capacity = -1);
 
   /// Releases a lease early (match committed or abandoned). Returns false
   /// if the lease already expired.

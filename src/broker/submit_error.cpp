@@ -1,0 +1,38 @@
+#include "broker/submit_error.hpp"
+
+#include "util/strings.hpp"
+
+namespace cg::broker {
+
+std::string_view to_string(SubmitErrorKind kind) {
+  switch (kind) {
+    case SubmitErrorKind::kBadDescription: return "bad-description";
+    case SubmitErrorKind::kAuth: return "auth";
+    case SubmitErrorKind::kNoMatch: return "no-match";
+    case SubmitErrorKind::kOverShare: return "over-share";
+    case SubmitErrorKind::kLeaseConflict: return "lease-conflict";
+    case SubmitErrorKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+SubmitError classify_submit_error(const Error& error) {
+  SubmitErrorKind kind = SubmitErrorKind::kInternal;
+  if (starts_with(error.code, "gsi.")) {
+    kind = SubmitErrorKind::kAuth;
+  } else if (error.code == "broker.fair_share") {
+    kind = SubmitErrorKind::kOverShare;
+  } else if (error.code == "broker.no_resources" ||
+             error.code == "mpijob.no_resources" ||
+             error.code == "broker.retries_exhausted") {
+    kind = SubmitErrorKind::kNoMatch;
+  } else if (error.code == "broker.lease_conflict") {
+    kind = SubmitErrorKind::kLeaseConflict;
+  } else if (error.code == "broker.bad_description" ||
+             error.code == "broker.invalid_user") {
+    kind = SubmitErrorKind::kBadDescription;
+  }
+  return SubmitError{kind, error};
+}
+
+}  // namespace cg::broker

@@ -1,0 +1,46 @@
+// Typed failure reasons for the submission path. Everything that used to
+// surface as a bool, a throw, or a bare error-code string on submit / lease
+// acquisition is classified here, so callers can branch on *why* a
+// submission failed without string-matching codes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/expected.hpp"
+
+namespace cg::broker {
+
+enum class SubmitErrorKind {
+  kBadDescription,  ///< invalid user / unusable job description
+  kAuth,            ///< GSI pre-flight failed (no/invalid/expired credentials)
+  kNoMatch,         ///< no resource satisfies Requirements / capacity
+  kOverShare,       ///< fair-share rejection: user over-consuming
+  kLeaseConflict,   ///< exclusive-temporal-access lease could not be taken
+  kInternal,        ///< anything else (site vanished, agent died, ...)
+};
+
+[[nodiscard]] std::string_view to_string(SubmitErrorKind kind);
+
+struct SubmitError {
+  SubmitErrorKind kind = SubmitErrorKind::kInternal;
+  Error cause;  ///< the underlying code/message
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string{broker::to_string(kind)} + " (" + cause.to_string() + ")";
+  }
+};
+
+[[nodiscard]] inline SubmitError make_submit_error(SubmitErrorKind kind,
+                                                   std::string code,
+                                                   std::string message) {
+  return SubmitError{kind, make_error(std::move(code), std::move(message))};
+}
+
+/// Classifies a lifecycle Error (record.last_error) into a typed reason:
+/// gsi.* -> kAuth, broker.fair_share -> kOverShare, *.no_resources /
+/// matchmaker misses -> kNoMatch, lease codes -> kLeaseConflict, else
+/// kInternal.
+[[nodiscard]] SubmitError classify_submit_error(const Error& error);
+
+}  // namespace cg::broker

@@ -49,8 +49,10 @@ void WorkloadGenerator::submit_batch() {
   ++stats_.batch_submitted;
   JobCallbacks callbacks;
   callbacks.on_complete = [this](const JobRecord&) { ++stats_.batch_completed; };
-  broker_.submit(jd.value(), next_user(), lrms::Workload::cpu(runtime), "ui",
-                 callbacks);
+  if (!broker_.submit(jd.value(), next_user(), lrms::Workload::cpu(runtime),
+                      "ui", callbacks)) {
+    --stats_.batch_submitted;  // refused up front; never entered the grid
+  }
 }
 
 void WorkloadGenerator::submit_interactive() {
@@ -75,8 +77,10 @@ void WorkloadGenerator::submit_interactive() {
   callbacks.on_failed = [this](const JobRecord&, const Error&) {
     ++stats_.interactive_failed;
   };
-  broker_.submit(jd.value(), next_user(), lrms::Workload::cpu(runtime), "ui",
-                 callbacks);
+  if (!broker_.submit(jd.value(), next_user(), lrms::Workload::cpu(runtime),
+                      "ui", callbacks)) {
+    ++stats_.interactive_failed;
+  }
 }
 
 }  // namespace cg::broker

@@ -53,11 +53,37 @@ void GlideinAgent::on_carrier_killed() {
       slot.reset();
     }
   }
+  update_occupancy_metrics();
   set_state(AgentState::kDead);
 }
 
 void GlideinAgent::set_state_observer(StateObserver observer) {
   observer_ = std::move(observer);
+}
+
+void GlideinAgent::set_metrics(obs::MetricsRegistry* metrics,
+                               obs::LabelSet labels) {
+  metrics_ = metrics;
+  metric_labels_ = std::move(labels);
+  update_occupancy_metrics();
+}
+
+void GlideinAgent::update_occupancy_metrics() {
+  if (metrics_ == nullptr) return;
+  int occupied = 0;
+  for (const auto& slot : interactive_) {
+    if (slot) ++occupied;
+  }
+  obs::LabelSet labels = metric_labels_;
+  labels.set("agent", std::to_string(id_.value()));
+  metrics_->gauge("glidein.interactive_vms_occupied", labels)
+      .set(static_cast<double>(occupied));
+  metrics_->gauge("glidein.batch_vm_occupied", labels)
+      .set(batch_job_ ? 1.0 : 0.0);
+  // The occupancy histogram feeds mean/peak utilisation of the interactive
+  // VMs per site without per-agent cardinality.
+  metrics_->histogram("glidein.interactive_occupancy", metric_labels_)
+      .observe(static_cast<double>(occupied));
 }
 
 void GlideinAgent::set_state(AgentState state) {
@@ -133,6 +159,7 @@ Status GlideinAgent::start_on_slot(int slot_index, SlotJob job,
     auto finished = std::move(done);
     // The surviving jobs get their shares back from this instant.
     reapply_dilations();
+    update_occupancy_metrics();
     if (cb) cb();
   };
 
@@ -157,6 +184,12 @@ Status GlideinAgent::start_on_slot(int slot_index, SlotJob job,
     res->runner->start();
     reapply_dilations();
   });
+  if (metrics_ != nullptr) {
+    obs::LabelSet labels = metric_labels_;
+    labels.set("slot", slot_index < 0 ? "batch" : "interactive");
+    metrics_->counter("glidein.slot_starts", labels).inc();
+  }
+  update_occupancy_metrics();
   return Status::ok_status();
 }
 
@@ -166,6 +199,7 @@ void GlideinAgent::cancel_slot(SlotType slot) {
     batch_job_->runner->cancel();
     batch_job_.reset();
     reapply_dilations();
+    update_occupancy_metrics();
     return;
   }
   for (auto& resident : interactive_) {
@@ -173,6 +207,7 @@ void GlideinAgent::cancel_slot(SlotType slot) {
       resident->runner->cancel();
       resident.reset();
       reapply_dilations();
+      update_occupancy_metrics();
       return;
     }
   }
@@ -198,6 +233,7 @@ bool GlideinAgent::cancel_interactive_job(JobId id) {
       resident->runner->cancel();
       resident.reset();
       reapply_dilations();
+      update_occupancy_metrics();
       return true;
     }
   }

@@ -13,6 +13,7 @@
 
 #include "glidein/vm_model.hpp"
 #include "lrms/task_runner.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 #include "util/expected.hpp"
 #include "util/ids.hpp"
@@ -83,6 +84,11 @@ public:
   /// Installed by the registry/broker to track availability.
   void set_state_observer(StateObserver observer);
 
+  /// Attaches a metrics registry (must outlive the agent, or be detached
+  /// with nullptr): VM occupancy gauges plus slot start/demotion counters,
+  /// labelled with `labels` (typically {"site": ...}).
+  void set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels = {});
+
   // -- Virtual machine occupancy. ------------------------------------------
   [[nodiscard]] bool batch_vm_busy() const { return batch_job_ != nullptr; }
   /// True when every interactive slot is occupied.
@@ -132,6 +138,9 @@ private:
 
   void set_state(AgentState state);
   void reapply_dilations();
+  /// Refreshes the occupancy gauges after any slot change (no-op without a
+  /// registry attached).
+  void update_occupancy_metrics();
   /// Dilation for the batch slot (slot_index < 0) or interactive slot i.
   [[nodiscard]] double dilation_for(int slot_index, lrms::PhaseKind kind) const;
   Status start_on_slot(int slot_index, SlotJob job, int performance_loss);
@@ -151,6 +160,9 @@ private:
   std::unique_ptr<Resident> batch_job_;
   std::vector<std::unique_ptr<Resident>> interactive_;  ///< fixed slot array
   std::uint64_t next_epoch_ = 1;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LabelSet metric_labels_;
 };
 
 }  // namespace cg::glidein

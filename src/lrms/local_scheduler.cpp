@@ -19,10 +19,26 @@ LocalScheduler::LocalScheduler(sim::Simulation& sim,
   }
 }
 
+void LocalScheduler::set_metrics(obs::MetricsRegistry* metrics,
+                                 obs::LabelSet labels) {
+  metrics_ = metrics;
+  metric_labels_ = std::move(labels);
+  update_queue_metrics();
+}
+
+void LocalScheduler::update_queue_metrics() {
+  if (metrics_ == nullptr) return;
+  metrics_->gauge("lrms.queue_depth", metric_labels_)
+      .set(static_cast<double>(queue_.size()));
+}
+
 bool LocalScheduler::submit(LocalJob job) {
   // A full queue only matters when no node can take the job right away.
   if (queue_.size() >= config_.max_queue_length && first_idle_node() == nullptr) {
     log_warn("lrms", "queue full, rejecting ", job.id);
+    if (metrics_ != nullptr) {
+      metrics_->counter("lrms.jobs_rejected", metric_labels_).inc();
+    }
     return false;
   }
   // Wrap completion so a finishing job pulls the next one from the queue.
@@ -31,7 +47,9 @@ bool LocalScheduler::submit(LocalJob job) {
     if (user_complete) user_complete();
     try_dispatch();
   };
+  enqueued_at_.emplace(job.id, sim_.now());
   queue_.push_back(std::move(job));
+  update_queue_metrics();
   try_dispatch();
   return true;
 }
@@ -41,6 +59,8 @@ bool LocalScheduler::cancel_queued(JobId id) {
                                [id](const LocalJob& j) { return j.id == id; });
   if (it == queue_.end()) return false;
   queue_.erase(it);
+  enqueued_at_.erase(id);
+  update_queue_metrics();
   return true;
 }
 
@@ -178,6 +198,7 @@ void LocalScheduler::try_dispatch() {
     }
     LocalJob job = std::move(*it);
     queue_.erase(it);
+    update_queue_metrics();
     node->reserve();
     const NodeId node_id = node->id();
     sim_.schedule(config_.dispatch_latency, [this, node_id, job = std::move(job)]() mutable {
@@ -186,8 +207,20 @@ void LocalScheduler::try_dispatch() {
       if (target->failed()) {
         // The node crashed mid-dispatch; put the job back at the head.
         queue_.push_front(std::move(job));
+        update_queue_metrics();
         try_dispatch();
         return;
+      }
+      if (metrics_ != nullptr) {
+        const auto enq = enqueued_at_.find(job.id);
+        if (enq != enqueued_at_.end()) {
+          metrics_->histogram("lrms.dispatch_latency_s", metric_labels_)
+              .observe_duration(sim_.now() - enq->second);
+          enqueued_at_.erase(enq);
+        }
+        metrics_->counter("lrms.dispatches", metric_labels_).inc();
+      } else {
+        enqueued_at_.erase(job.id);
       }
       target->run(std::move(job));
     });

@@ -6,12 +6,14 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "lrms/worker_node.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace cg::lrms {
@@ -71,6 +73,12 @@ public:
   /// about kills.
   void set_kill_observer(JobKilledFn fn) { on_killed_ = std::move(fn); }
 
+  /// Attaches a metrics registry (must outlive the scheduler, or be detached
+  /// with nullptr): queue-depth gauge, dispatch-latency histogram (submit to
+  /// job start, including the scheduling cycle) and rejection counter,
+  /// labelled with `labels` (typically {"site": ...}).
+  void set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels = {});
+
   // -- State inspection (drives the information-system provider). ----------
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] int free_nodes() const;
@@ -88,6 +96,7 @@ public:
 
 private:
   void try_dispatch();
+  void update_queue_metrics();
   [[nodiscard]] WorkerNode* first_idle_node();
   [[nodiscard]] std::deque<LocalJob>::iterator next_queued();
   /// Matchmaking dispatch: finds a (queued job, idle node) pair.
@@ -100,6 +109,11 @@ private:
   std::deque<LocalJob> queue_;
   JobKilledFn on_killed_;
   IdGenerator<NodeId> node_ids_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LabelSet metric_labels_;
+  /// Submission instants of jobs not yet started (drives dispatch latency).
+  std::map<JobId, SimTime> enqueued_at_;
 };
 
 }  // namespace cg::lrms

@@ -1,0 +1,17 @@
+// The observability bundle threaded through the stack: one MetricsRegistry
+// plus one JobTracer, owned by whoever owns the run (the cg::Grid facade, a
+// bench harness, a test). Components take an `Observability*` and treat null
+// as "not instrumented" — observation is always optional and free when off.
+#pragma once
+
+#include "obs/job_tracer.hpp"
+#include "obs/metrics.hpp"
+
+namespace cg::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  JobTracer tracer;
+};
+
+}  // namespace cg::obs

@@ -4,11 +4,27 @@
 
 namespace cg::stream {
 
+const char* to_string(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kCapacity: return "capacity";
+    case FlushReason::kNewline: return "newline";
+    case FlushReason::kTimeout: return "timeout";
+    case FlushReason::kExplicit: return "explicit";
+  }
+  return "?";
+}
+
 FlushBuffer::FlushBuffer(sim::Simulation& sim, FlushBufferConfig config,
                          FlushFn on_flush)
     : sim_{sim}, config_{config}, on_flush_{std::move(on_flush)} {
   if (config_.capacity == 0) throw std::invalid_argument{"capacity must be > 0"};
   if (!on_flush_) throw std::invalid_argument{"null flush callback"};
+}
+
+void FlushBuffer::set_metrics(obs::MetricsRegistry* metrics,
+                              obs::LabelSet labels) {
+  metrics_ = metrics;
+  metric_labels_ = std::move(labels);
 }
 
 void FlushBuffer::append(std::string_view data) {
@@ -31,7 +47,7 @@ void FlushBuffer::append(std::string_view data) {
     data.remove_prefix(take);
 
     if (buffer_.size() >= config_.capacity || newline_flush) {
-      emit();
+      emit(newline_flush ? FlushReason::kNewline : FlushReason::kCapacity);
     } else if (!buffer_.empty() && !timer_.armed()) {
       arm_timeout();
     }
@@ -39,18 +55,26 @@ void FlushBuffer::append(std::string_view data) {
 }
 
 void FlushBuffer::flush() {
-  if (!buffer_.empty()) emit();
+  if (!buffer_.empty()) emit(FlushReason::kExplicit);
 }
 
 void FlushBuffer::arm_timeout() {
-  timer_.rearm(sim_, sim_.schedule(config_.timeout, [this] { flush(); }));
+  timer_.rearm(sim_, sim_.schedule(config_.timeout, [this] {
+    if (!buffer_.empty()) emit(FlushReason::kTimeout);
+  }));
 }
 
-void FlushBuffer::emit() {
+void FlushBuffer::emit(FlushReason reason) {
   timer_.reset();
   std::string out;
   out.swap(buffer_);
   ++flushes_;
+  ++reason_counts_[static_cast<std::size_t>(reason)];
+  if (metrics_ != nullptr) {
+    obs::LabelSet labels = metric_labels_;
+    labels.set("reason", to_string(reason));
+    metrics_->counter("stream.flushes", labels).inc();
+  }
   on_flush_(std::move(out));
 }
 

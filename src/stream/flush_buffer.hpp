@@ -6,9 +6,11 @@
 // submitting machine (Job Shadow buffer flushed to the screen).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
 
 namespace cg::stream {
@@ -18,6 +20,12 @@ struct FlushBufferConfig {
   Duration timeout = Duration::millis(200);
   bool flush_on_newline = true;
 };
+
+/// Which of the paper's triggers caused a flush (plus the explicit flush()
+/// call used on job exit).
+enum class FlushReason { kCapacity, kNewline, kTimeout, kExplicit };
+
+[[nodiscard]] const char* to_string(FlushReason reason);
 
 class FlushBuffer {
 public:
@@ -37,18 +45,30 @@ public:
 
   [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
   [[nodiscard]] std::size_t flush_count() const { return flushes_; }
+  /// Flushes attributable to one trigger.
+  [[nodiscard]] std::size_t flush_count(FlushReason reason) const {
+    return reason_counts_[static_cast<std::size_t>(reason)];
+  }
   [[nodiscard]] const FlushBufferConfig& config() const { return config_; }
+
+  /// Attaches a metrics registry: every flush increments
+  /// "stream.flushes"{reason=...} on top of `labels`. Must outlive the
+  /// buffer (or be detached with nullptr).
+  void set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels = {});
 
 private:
   void arm_timeout();
-  void emit();
+  void emit(FlushReason reason);
 
   sim::Simulation& sim_;
   FlushBufferConfig config_;
   FlushFn on_flush_;
   std::string buffer_;
   std::size_t flushes_ = 0;
+  std::array<std::size_t, 4> reason_counts_{};
   sim::ScopedTimer timer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LabelSet metric_labels_;
 };
 
 }  // namespace cg::stream

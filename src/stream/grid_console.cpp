@@ -34,6 +34,15 @@ ConsoleAgent::ConsoleAgent(sim::Simulation& sim, int rank,
   err_buffer_ = std::make_unique<FlushBuffer>(
       sim_, config_.agent_buffer,
       [this](std::string data) { dispatch(StdStream::kStderr, std::move(data)); });
+  if (config_.obs != nullptr) {
+    const obs::LabelSet labels{{"rank", std::to_string(rank_)},
+                               {"side", "agent"}};
+    out_buffer_->set_metrics(&config_.obs->metrics, labels);
+    err_buffer_->set_metrics(&config_.obs->metrics, labels);
+    if (reliable_uplink_) {
+      reliable_uplink_->set_metrics(&config_.obs->metrics, labels);
+    }
+  }
 }
 
 ConsoleAgent::~ConsoleAgent() = default;
@@ -62,6 +71,9 @@ void ConsoleAgent::deliver_input(std::string line) {
 void ConsoleAgent::dispatch(StdStream stream, std::string data) {
   const std::size_t bytes = data.size();
   auto deliver = [this, stream, data = std::move(data)](std::size_t) {
+    // A delivery after drops means the link healed: tell the shadow how
+    // much of the stream it missed.
+    if (pending_dropped_frames_ > 0) report_drops_on_reconnect();
     shadow_.on_output_frame(rank_, stream, data);
   };
   if (reliable_uplink_) {
@@ -70,9 +82,45 @@ void ConsoleAgent::dispatch(StdStream stream, std::string data) {
     uplink_.send(bytes, std::move(deliver), [this](std::size_t lost) {
       // Fast mode: data on a down link is simply gone (Section 3: "the data
       // may be lost in case of network failure").
-      lost_bytes_ += lost;
+      on_fast_frame_lost(lost);
     });
   }
+}
+
+void ConsoleAgent::on_fast_frame_lost(std::size_t lost) {
+  lost_bytes_ += lost;
+  ++frames_dropped_;
+  ++pending_dropped_frames_;
+  pending_dropped_bytes_ += lost;
+  if (config_.obs != nullptr) {
+    config_.obs->metrics
+        .counter("stream.frames_dropped",
+                 obs::LabelSet{{"rank", std::to_string(rank_)}})
+        .inc();
+    config_.obs->tracer.record(
+        sim_.now(), config_.job, obs::TraceEventKind::kFrameDropped,
+        std::to_string(lost) + " bytes lost on down link",
+        obs::LabelSet{{"rank", std::to_string(rank_)}});
+  }
+}
+
+void ConsoleAgent::report_drops_on_reconnect() {
+  const std::size_t frames = pending_dropped_frames_;
+  const std::size_t bytes = pending_dropped_bytes_;
+  pending_dropped_frames_ = 0;
+  pending_dropped_bytes_ = 0;
+  if (config_.obs != nullptr) {
+    config_.obs->metrics
+        .counter("stream.reconnects",
+                 obs::LabelSet{{"rank", std::to_string(rank_)}})
+        .inc();
+    config_.obs->tracer.record(
+        sim_.now(), config_.job, obs::TraceEventKind::kReconnected,
+        "link healed after dropping " + std::to_string(frames) + " frames (" +
+            std::to_string(bytes) + " bytes)",
+        obs::LabelSet{{"rank", std::to_string(rank_)}});
+  }
+  shadow_.on_agent_reconnected(rank_, frames, bytes);
 }
 
 // --------------------------------------------------------------- shadow ----
@@ -87,6 +135,10 @@ ConsoleShadow::ConsoleShadow(sim::Simulation& sim, GridConsoleConfig config,
   screen_buffer_ = std::make_unique<FlushBuffer>(
       sim_, config_.shadow_buffer,
       [this](std::string data) { sink_(std::move(data)); });
+  if (config_.obs != nullptr) {
+    screen_buffer_->set_metrics(&config_.obs->metrics,
+                                obs::LabelSet{{"side", "shadow"}});
+  }
 }
 
 void ConsoleShadow::attach_agent(ConsoleAgent& agent, SimChannel downlink) {
@@ -126,6 +178,15 @@ void ConsoleShadow::on_output_frame(int rank, StdStream stream, std::string data
 void ConsoleShadow::agent_failed(int rank) {
   log_warn("stream", "console agent rank ", rank, " exhausted retries");
   if (fatal_handler_) fatal_handler_(rank);
+}
+
+void ConsoleShadow::on_agent_reconnected(int rank, std::size_t frames,
+                                         std::size_t bytes) {
+  frames_dropped_ += frames;
+  ++drop_reports_;
+  log_warn("stream", "rank ", rank, " reconnected: ", frames,
+           " fast-mode frame(s) (", bytes,
+           " bytes) were dropped while the link was down");
 }
 
 // -------------------------------------------------------------- console ----

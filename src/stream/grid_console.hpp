@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "jdl/job_description.hpp"
+#include "obs/observability.hpp"
 #include "sim/disk.hpp"
 #include "stream/channel_model.hpp"
 #include "stream/flush_buffer.hpp"
@@ -30,6 +31,11 @@ struct GridConsoleConfig {
   FlushBufferConfig agent_buffer{};   ///< per-subjob output buffer on the WN
   FlushBufferConfig shadow_buffer{};  ///< Job Shadow buffer on the UI machine
   RetryPolicy retry{};
+  /// Optional observability bundle (must outlive the console): flush-reason
+  /// and spool counters, per-rank dropped-frame counts, and trace events
+  /// (kFrameDropped / kReconnected) under `job`'s track.
+  obs::Observability* obs = nullptr;
+  JobId job{};  ///< trace track for the console's events
 };
 
 class ConsoleShadow;
@@ -63,11 +69,16 @@ public:
   void deliver_input(std::string line);
 
   [[nodiscard]] std::size_t output_bytes_lost() const { return lost_bytes_; }
+  /// Fast-mode frames lost to a down link (each lost frame is one flushed
+  /// buffer that never reached the shadow).
+  [[nodiscard]] std::size_t frames_dropped() const { return frames_dropped_; }
   [[nodiscard]] bool failed() const { return failed_; }
 
 private:
   friend class ConsoleShadow;
   void dispatch(StdStream stream, std::string data);
+  void on_fast_frame_lost(std::size_t lost);
+  void report_drops_on_reconnect();
 
   sim::Simulation& sim_;
   int rank_;
@@ -80,6 +91,11 @@ private:
   InputHandler input_handler_;
   ConsoleShadow& shadow_;
   std::size_t lost_bytes_ = 0;
+  std::size_t frames_dropped_ = 0;
+  /// Drops since the last successful delivery; reported to the shadow (and
+  /// reset) when the link heals.
+  std::size_t pending_dropped_frames_ = 0;
+  std::size_t pending_dropped_bytes_ = 0;
   bool failed_ = false;
 };
 
@@ -115,10 +131,17 @@ public:
   [[nodiscard]] const GridConsoleConfig& config() const { return config_; }
   [[nodiscard]] std::size_t frames_received() const { return frames_; }
   [[nodiscard]] std::size_t lines_typed() const { return lines_typed_; }
+  /// Fast-mode frames its agents dropped during link outages, as reported
+  /// when the link heals. The user-facing answer to "did I see everything?".
+  [[nodiscard]] std::size_t frames_dropped() const { return frames_dropped_; }
+  /// Number of reconnect reports received (one per healed outage per agent).
+  [[nodiscard]] std::size_t drop_reports() const { return drop_reports_; }
 
 private:
   friend class ConsoleAgent;
   void agent_failed(int rank);
+  /// An agent's uplink healed after dropping fast-mode frames.
+  void on_agent_reconnected(int rank, std::size_t frames, std::size_t bytes);
 
   struct AgentLink {
     ConsoleAgent* agent;
@@ -136,6 +159,8 @@ private:
   FatalHandler fatal_handler_;
   std::size_t frames_ = 0;
   std::size_t lines_typed_ = 0;
+  std::size_t frames_dropped_ = 0;
+  std::size_t drop_reports_ = 0;
 };
 
 /// Convenience bundle: a shadow plus its agents for one (possibly parallel)

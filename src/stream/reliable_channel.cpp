@@ -25,9 +25,18 @@ ReliableChannel::~ReliableChannel() {
   ++epoch_;
 }
 
+void ReliableChannel::set_metrics(obs::MetricsRegistry* metrics,
+                                  obs::LabelSet labels) {
+  metrics_ = metrics;
+  metric_labels_ = std::move(labels);
+}
+
 void ReliableChannel::send(std::size_t bytes, DeliverFn on_deliver) {
   if (gave_up_) return;  // the process is being killed; drop silently
   const Duration write_cost = spool_.push(bytes);
+  if (metrics_ != nullptr) {
+    metrics_->counter("stream.bytes_spooled", metric_labels_).inc(bytes);
+  }
   queue_.push_back(Entry{bytes, std::move(on_deliver), false});
   if (!transmitting_) {
     transmitting_ = true;
@@ -57,6 +66,10 @@ void ReliableChannel::transmit_head(Duration extra_delay) {
 
 void ReliableChannel::on_head_delivered() {
   if (queue_.empty()) return;
+  if (failures_ > 0 && metrics_ != nullptr) {
+    // First successful delivery after a failure streak: the link healed.
+    metrics_->counter("stream.reconnects", metric_labels_).inc();
+  }
   failures_ = 0;
   Entry head = std::move(queue_.front());
   queue_.pop_front();
@@ -94,6 +107,9 @@ void ReliableChannel::on_head_failed() {
     return;
   }
   ++retries_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("stream.retries", metric_labels_).inc();
+  }
   queue_.front().recovered_from_disk = true;
   retry_timer_.rearm(sim_, sim_.schedule(policy_.retry_interval, [this] {
     if (gave_up_ || queue_.empty()) return;

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/metrics.hpp"
 #include "stream/channel_model.hpp"
 #include "stream/spool.hpp"
 
@@ -40,6 +41,11 @@ public:
 
   void set_give_up_handler(GiveUpFn fn) { on_give_up_ = std::move(fn); }
 
+  /// Attaches a metrics registry: bytes spooled, retry and reconnect
+  /// counters on top of `labels`. Must outlive the channel (or be detached
+  /// with nullptr).
+  void set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels = {});
+
   [[nodiscard]] bool gave_up() const { return gave_up_; }
   [[nodiscard]] std::size_t in_flight_or_queued() const { return queue_.size(); }
   [[nodiscard]] const Spool& spool() const { return spool_; }
@@ -72,6 +78,8 @@ private:
   std::size_t retries_ = 0;
   sim::ScopedTimer retry_timer_;
   std::uint64_t epoch_ = 0;  ///< invalidates in-flight callbacks on teardown
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::LabelSet metric_labels_;
 };
 
 }  // namespace cg::stream

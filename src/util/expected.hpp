@@ -22,12 +22,14 @@ struct Error {
   return Error{std::move(code), std::move(message)};
 }
 
-/// Result of an operation that produces a T or fails with an Error.
-template <typename T>
+/// Result of an operation that produces a T or fails with an error payload
+/// (cg::Error by default; any type with a to_string() member works — e.g.
+/// broker::SubmitError on the submission path).
+template <typename T, typename E = Error>
 class Expected {
 public:
   Expected(T value) : data_{std::in_place_index<0>, std::move(value)} {}  // NOLINT(google-explicit-constructor)
-  Expected(Error error) : data_{std::in_place_index<1>, std::move(error)} {}  // NOLINT(google-explicit-constructor)
+  Expected(E error) : data_{std::in_place_index<1>, std::move(error)} {}  // NOLINT(google-explicit-constructor)
 
   [[nodiscard]] bool has_value() const { return data_.index() == 0; }
   explicit operator bool() const { return has_value(); }
@@ -45,7 +47,7 @@ public:
     return std::get<0>(std::move(data_));
   }
 
-  [[nodiscard]] const Error& error() const {
+  [[nodiscard]] const E& error() const {
     if (has_value()) throw std::logic_error{"Expected: no error present"};
     return std::get<1>(data_);
   }
@@ -67,7 +69,7 @@ private:
     }
   }
 
-  std::variant<T, Error> data_;
+  std::variant<T, E> data_;
 };
 
 /// Specialization-free void result.

@@ -22,4 +22,8 @@ namespace cg {
 /// True if `s` starts with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
 
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Used by the observability exporters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 }  // namespace cg

@@ -55,7 +55,7 @@ TEST_F(BrokerFixture, BatchJobRunsInsideAgentBatchVm) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1},
-      lrms::Workload::cpu(60_s), GridScenario::ui_endpoint(), watch(outcome));
+      lrms::Workload::cpu(60_s), GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run();
   EXPECT_TRUE(outcome.completed);
   EXPECT_FALSE(outcome.failed);
@@ -77,7 +77,7 @@ TEST_F(BrokerFixture, BatchJobRunsInsideAgentBatchVm) {
 TEST_F(BrokerFixture, AgentDismissedAfterBatchCompletes) {
   GridScenario grid{default_config()};
   Outcome outcome;
-  grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
+  (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
                        lrms::Workload::cpu(60_s), GridScenario::ui_endpoint(),
                        watch(outcome));
   grid.sim().run();
@@ -98,7 +98,7 @@ TEST_F(BrokerFixture, InteractiveExclusiveRunsOnIdleMachine) {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"exclusive\";"),
       UserId{1}, lrms::Workload::cpu(30_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run();
   EXPECT_TRUE(outcome.completed);
   const JobRecord* record = grid.broker().record(id);
@@ -111,7 +111,7 @@ TEST_F(BrokerFixture, SharedModeUsesExistingAgentVmAndIsFaster) {
   GridScenario grid{default_config()};
   // Run a long batch job first so an agent is resident on some node.
   Outcome batch;
-  grid.broker().submit(parse_job("Executable = \"background\";"), UserId{1},
+  (void)grid.broker().submit(parse_job("Executable = \"background\";"), UserId{1},
                        lrms::Workload::cpu(3600_s), GridScenario::ui_endpoint(),
                        watch(batch));
   grid.sim().run_until(SimTime::from_seconds(120));
@@ -125,7 +125,7 @@ TEST_F(BrokerFixture, SharedModeUsesExistingAgentVmAndIsFaster) {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\"; PerformanceLoss = 10;"),
       UserId{2}, lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(),
-      watch(inter));
+      watch(inter)).value();
   grid.sim().run();
   EXPECT_TRUE(inter.completed);
   const JobRecord* record = grid.broker().record(id);
@@ -147,7 +147,7 @@ TEST_F(BrokerFixture, SharedModeFallsBackToNewAgentOnIdleMachine) {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\";"),
       UserId{1}, lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run();
   EXPECT_TRUE(outcome.completed);
   const JobRecord* record = grid.broker().record(id);
@@ -167,7 +167,7 @@ TEST_F(BrokerFixture, InteractiveFailsWhenGridFull) {
   grid.sim().run_until(SimTime::from_seconds(30));
 
   Outcome outcome;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"exclusive\";"),
       UserId{1}, lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(),
@@ -189,7 +189,7 @@ TEST_F(BrokerFixture, BatchQueuesInBrokerUntilMachineFrees) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1}, lrms::Workload::cpu(20_s),
-      GridScenario::ui_endpoint(), watch(outcome));
+      GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(400));
   const JobRecord* record = grid.broker().record(id);
   EXPECT_EQ(record->state, JobState::kQueuedBroker);
@@ -209,7 +209,7 @@ TEST_F(BrokerFixture, FairShareRejectionUnderContention) {
 
   // User 7 monopolizes the grid with a long interactive job first.
   Outcome first;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"hog\"; JobType = \"interactive\";"), UserId{7},
       lrms::Workload::cpu(2000_s), GridScenario::ui_endpoint(), watch(first));
   grid.sim().run_until(SimTime::from_seconds(1000));
@@ -218,7 +218,7 @@ TEST_F(BrokerFixture, FairShareRejectionUnderContention) {
 
   // Their next submission hits a full grid and a degraded priority: reject.
   Outcome second;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"hog2\"; JobType = \"interactive\";"), UserId{7},
       lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(), watch(second));
   grid.sim().run_until(SimTime::from_seconds(1100));
@@ -260,7 +260,7 @@ TEST_F(BrokerFixture, OnlineSchedulingResubmitsWhenQueued) {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "Rank = -other.FreeCPUs;"),  // prefer the fuller site: site0
       UserId{1}, lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(300));
   const JobRecord* record = grid.broker().record(id);
   ASSERT_NE(record, nullptr);
@@ -279,12 +279,12 @@ TEST_F(BrokerFixture, AgentDeathFailsInteractiveAndResubmitsBatch) {
   Outcome batch;
   const JobId batch_id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1}, lrms::Workload::cpu(3600_s),
-      GridScenario::ui_endpoint(), watch(batch));
+      GridScenario::ui_endpoint(), watch(batch)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(batch.running);
 
   Outcome inter;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\"; PerformanceLoss = 10;"),
       UserId{2}, lrms::Workload::cpu(3600_s), GridScenario::ui_endpoint(),
@@ -329,7 +329,7 @@ TEST_F(BrokerFixture, MpichG2SpansSitesWithStartupBarrier) {
       parse_job("Executable = \"mpi_app\"; "
                 "JobType = {\"interactive\", \"mpich-g2\"}; NodeNumber = 5;"),
       UserId{1}, lrms::Workload::cpu(30_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run();
   EXPECT_TRUE(outcome.completed);
   const JobRecord* record = grid.broker().record(id);
@@ -351,7 +351,7 @@ TEST_F(BrokerFixture, MpichP4ConstrainedToSingleSite) {
       parse_job("Executable = \"mpi_app\"; "
                 "JobType = {\"interactive\", \"mpich-p4\"}; NodeNumber = 2;"),
       UserId{1}, lrms::Workload::cpu(30_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run();
   EXPECT_TRUE(outcome.completed);
   const JobRecord* record = grid.broker().record(id);
@@ -365,7 +365,7 @@ TEST_F(BrokerFixture, MpichP4TooBigForAnySiteFails) {
   config.nodes_per_site = 2;
   GridScenario grid{config};
   Outcome outcome;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"mpi_app\"; "
                 "JobType = {\"interactive\", \"mpich-p4\"}; NodeNumber = 4;"),
       UserId{1}, lrms::Workload::cpu(30_s), GridScenario::ui_endpoint(),
@@ -377,7 +377,7 @@ TEST_F(BrokerFixture, MpichP4TooBigForAnySiteFails) {
 TEST_F(BrokerFixture, RequirementsExcludeIncompatibleSites) {
   GridScenario grid{default_config()};
   Outcome outcome;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"app\"; JobType = \"interactive\"; "
                 "Requirements = other.Arch == \"ia64\";"),
       UserId{1}, lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(),
@@ -398,10 +398,10 @@ TEST_F(BrokerFixture, MatchLeasesPreventDoubleBookingConcurrentSubmissions) {
   GridScenario grid{config};
   Outcome a;
   Outcome b;
-  grid.broker().submit(parse_job("Executable = \"i1\"; JobType = \"interactive\";"),
+  (void)grid.broker().submit(parse_job("Executable = \"i1\"; JobType = \"interactive\";"),
                        UserId{1}, lrms::Workload::cpu(600_s),
                        GridScenario::ui_endpoint(), watch(a));
-  grid.broker().submit(parse_job("Executable = \"i2\"; JobType = \"interactive\";"),
+  (void)grid.broker().submit(parse_job("Executable = \"i2\"; JobType = \"interactive\";"),
                        UserId{2}, lrms::Workload::cpu(600_s),
                        GridScenario::ui_endpoint(), watch(b));
   grid.sim().run_until(SimTime::from_seconds(300));
@@ -425,7 +425,7 @@ TEST_F(BrokerFixture, PreloadAgentWarmsThePool) {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\";"),
       UserId{1}, lrms::Workload::cpu(5_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run();
   EXPECT_TRUE(outcome.completed);
   EXPECT_EQ(grid.broker().record(id)->placement, PlacementKind::kInteractiveVm);
@@ -442,7 +442,7 @@ TEST_F(BrokerFixture, CancelQueuedBatchJob) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1}, lrms::Workload::cpu(20_s),
-      GridScenario::ui_endpoint(), watch(outcome));
+      GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_EQ(grid.broker().record(id)->state, JobState::kQueuedBroker);
   EXPECT_TRUE(grid.broker().cancel(id));
@@ -459,7 +459,7 @@ TEST_F(BrokerFixture, CancelRunningInteractiveOnVmRestoresBatch) {
   Outcome batch;
   const JobId batch_id = grid.broker().submit(
       parse_job("Executable = \"bg\";"), UserId{1},
-      lrms::Workload::cpu(1000_s), GridScenario::ui_endpoint(), watch(batch));
+      lrms::Workload::cpu(1000_s), GridScenario::ui_endpoint(), watch(batch)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(batch.running);
 
@@ -468,7 +468,7 @@ TEST_F(BrokerFixture, CancelRunningInteractiveOnVmRestoresBatch) {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\"; PerformanceLoss = 10;"),
       UserId{2}, lrms::Workload::cpu(1000_s), GridScenario::ui_endpoint(),
-      watch(inter));
+      watch(inter)).value();
   grid.sim().run_until(SimTime::from_seconds(240));
   ASSERT_TRUE(inter.running);
 
@@ -486,7 +486,7 @@ TEST_F(BrokerFixture, CancelRunningExclusiveKillsAtSite) {
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"viz\"; JobType = \"interactive\";"),
       UserId{1}, lrms::Workload::cpu(1000_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(outcome.running);
   EXPECT_TRUE(grid.broker().cancel(id));
@@ -525,10 +525,10 @@ TEST_F(BrokerFixture, MultiprogrammingDegreeHostsSeveralInteractiveJobs) {
       "MachineAccess = \"shared\"; PerformanceLoss = 10;";
   const JobId id_a = grid.broker().submit(parse_job(jdl), UserId{1},
                                           lrms::Workload::cpu(60_s),
-                                          GridScenario::ui_endpoint(), watch(a));
+                                          GridScenario::ui_endpoint(), watch(a)).value();
   const JobId id_b = grid.broker().submit(parse_job(jdl), UserId{2},
                                           lrms::Workload::cpu(60_s),
-                                          GridScenario::ui_endpoint(), watch(b));
+                                          GridScenario::ui_endpoint(), watch(b)).value();
   grid.sim().run();
   EXPECT_TRUE(a.completed);
   EXPECT_TRUE(b.completed);
@@ -543,14 +543,14 @@ TEST_F(BrokerFixture, OutputSandboxDelaysCompletion) {
   GridScenario grid{default_config()};
   Outcome plain;
   Outcome with_output;
-  grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
+  (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
                        lrms::Workload::cpu(60_s), GridScenario::ui_endpoint(),
                        watch(plain));
   const JobId out_id = grid.broker().submit(
       parse_job("Executable = \"sim\"; "
                 "OutputSandbox = {\"a.dat\", \"b.dat\", \"c.dat\"};"),
       UserId{2}, lrms::Workload::cpu(60_s), GridScenario::ui_endpoint(),
-      watch(with_output));
+      watch(with_output)).value();
   grid.sim().run();
   EXPECT_TRUE(plain.completed);
   EXPECT_TRUE(with_output.completed);
@@ -580,7 +580,7 @@ TEST_F(BrokerFixture, HeterogeneousGridRespectsRequirements) {
         parse_job("Executable = \"a\"; JobType = \"interactive\"; "
                   "Requirements = other.Arch == \"x86_64\";"),
         UserId{1}, lrms::Workload::cpu(10_s), GridScenario::ui_endpoint(),
-        watch(outcome));
+        watch(outcome)).value();
     grid.sim().run();
     ASSERT_TRUE(outcome.completed) << "round " << round;
     EXPECT_EQ(grid.broker().record(id)->subjobs[0].site, grid.site(2).id());
@@ -597,7 +597,7 @@ TEST_F(BrokerFixture, SiteFailureKillsJobAndBrokerRecoversElsewhere) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1},
-      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), watch(outcome));
+      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(outcome.running);
   const SiteId first_site = *grid.broker().record(id)->site();
@@ -622,7 +622,7 @@ TEST_F(BrokerFixture, TraceRecordsTheFullLifecycle) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1}, lrms::Workload::cpu(30_s),
-      GridScenario::ui_endpoint(), watch(outcome));
+      GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run();
   ASSERT_TRUE(outcome.completed);
 
@@ -657,7 +657,7 @@ TEST_F(BrokerFixture, TraceRecordsResubmissions) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1},
-      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), watch(outcome));
+      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(outcome.running);
   const SiteId first_site = *grid.broker().record(id)->site();
@@ -698,7 +698,7 @@ TEST_F(BrokerFixture, BspWorkloadGatedBySlowestRank) {
     completed_at = grid.sim().now();
   };
 
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"bsp\"; JobType = {\"interactive\", "
                 "\"mpich-g2\"}; NodeNumber = 3;"),
       UserId{1}, lrms::Workload::bulk_synchronous(4, 10_s),
@@ -768,7 +768,7 @@ TEST_F(BrokerFixture, RetryCountZeroFailsWithoutResubmission) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\"; RetryCount = 0;"), UserId{1},
-      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), watch(outcome));
+      lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(outcome.running);
   const SiteId first_site = *grid.broker().record(id)->site();
@@ -786,7 +786,7 @@ TEST_F(BrokerFixture, CancelDuringDiscoveryAbortsCleanly) {
   Outcome outcome;
   const JobId id = grid.broker().submit(
       parse_job("Executable = \"sim\";"), UserId{1}, lrms::Workload::cpu(30_s),
-      GridScenario::ui_endpoint(), watch(outcome));
+      GridScenario::ui_endpoint(), watch(outcome)).value();
   // The index query takes 0.5 s; cancel at 0.2 s, mid-discovery.
   grid.sim().schedule(Duration::millis(200),
                       [&] { EXPECT_TRUE(grid.broker().cancel(id)); });
@@ -818,7 +818,7 @@ TEST_F(BrokerFixture, MpichP4SharedRunsOnSingleSiteVms) {
       parse_job("Executable = \"mpi\"; JobType = {\"interactive\", "
                 "\"mpich-p4\"}; NodeNumber = 2; MachineAccess = \"shared\";"),
       UserId{1}, lrms::Workload::cpu(30_s), GridScenario::ui_endpoint(),
-      watch(outcome));
+      watch(outcome)).value();
   grid.sim().run();
   ASSERT_TRUE(outcome.completed) << outcome.error_code;
   const JobRecord* record = grid.broker().record(id);
@@ -833,7 +833,7 @@ TEST_F(BrokerFixture, InteractiveOnVmReducesBatchUsersCharge) {
   // Section 5.1: the batch job forced to yield is charged a_f = PL/100.
   GridScenario grid{default_config()};
   Outcome batch;
-  grid.broker().submit(parse_job("Executable = \"bg\";"), UserId{1},
+  (void)grid.broker().submit(parse_job("Executable = \"bg\";"), UserId{1},
                        lrms::Workload::cpu(3600_s), GridScenario::ui_endpoint(),
                        watch(batch));
   grid.sim().run_until(SimTime::from_seconds(120));
@@ -843,7 +843,7 @@ TEST_F(BrokerFixture, InteractiveOnVmReducesBatchUsersCharge) {
   ASSERT_GT(usage_before, 0.0);
 
   Outcome inter;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\"; PerformanceLoss = 20;"),
       UserId{2}, lrms::Workload::cpu(600_s), GridScenario::ui_endpoint(),
@@ -874,7 +874,7 @@ TEST_F(BrokerFixture, InteractiveNeverPreemptsInteractive) {
   grid.sim().run_until(SimTime::from_seconds(60));
 
   Outcome first;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"v1\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\";"),
       UserId{1}, lrms::Workload::cpu(3600_s), GridScenario::ui_endpoint(),
@@ -883,7 +883,7 @@ TEST_F(BrokerFixture, InteractiveNeverPreemptsInteractive) {
   ASSERT_TRUE(first.running);
 
   Outcome second;
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"v2\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\";"),
       UserId{2}, lrms::Workload::cpu(60_s), GridScenario::ui_endpoint(),
@@ -899,9 +899,13 @@ TEST_F(BrokerFixture, InteractiveNeverPreemptsInteractive) {
 
 TEST_F(BrokerFixture, SubmitValidation) {
   GridScenario grid{default_config()};
-  EXPECT_THROW(grid.broker().submit(parse_job("Executable = \"x\";"), UserId{},
-                                    lrms::Workload::cpu(1_s), "ui", {}),
-               std::invalid_argument);
+  // An invalid user is refused up front with a typed reason, not a throw.
+  const auto refused = grid.broker().submit(parse_job("Executable = \"x\";"),
+                                            UserId{}, lrms::Workload::cpu(1_s),
+                                            "ui", {});
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error().kind, SubmitErrorKind::kBadDescription);
+  EXPECT_EQ(refused.error().cause.code, "broker.invalid_user");
   EXPECT_EQ(grid.broker().record(JobId{999}), nullptr);
 }
 

@@ -169,7 +169,7 @@ AgentCrashRun run_agent_crash_scenario() {
   grid.broker().set_trace(&trace);
 
   Outcome batch;
-  grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
+  (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
                        lrms::Workload::cpu(1200_s),
                        broker::GridScenario::ui_endpoint(), watch(batch));
   grid.sim().run_until(SimTime::from_seconds(120));
@@ -179,7 +179,7 @@ AgentCrashRun run_agent_crash_scenario() {
       parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\"; PerformanceLoss = 10;"),
       UserId{2}, lrms::Workload::cpu(600_s),
-      broker::GridScenario::ui_endpoint(), watch(inter));
+      broker::GridScenario::ui_endpoint(), watch(inter)).value();
   grid.sim().run_until(SimTime::from_seconds(240));
   EXPECT_TRUE(inter.running);
 
@@ -247,7 +247,7 @@ TEST(FaultInjectionTest, NodeCrashDuringExclusiveInteractiveRecovers) {
       parse_job("Executable = \"shell\"; JobType = \"interactive\"; "
                 "MachineAccess = \"exclusive\";"),
       UserId{1}, lrms::Workload::cpu(120_s),
-      broker::GridScenario::ui_endpoint(), watch(outcome));
+      broker::GridScenario::ui_endpoint(), watch(outcome)).value();
   grid.sim().run_until(SimTime::from_seconds(30));
   ASSERT_TRUE(outcome.running);
 

@@ -214,7 +214,7 @@ TEST_F(GsiBrokerFixture, RegisteredUserRunsJobs) {
   bool completed = false;
   broker::JobCallbacks callbacks;
   callbacks.on_complete = [&](const broker::JobRecord&) { completed = true; };
-  grid.broker().submit(job(), UserId{1}, lrms::Workload::cpu(30_s),
+  (void)grid.broker().submit(job(), UserId{1}, lrms::Workload::cpu(30_s),
                        broker::GridScenario::ui_endpoint(), callbacks);
   grid.sim().run();
   EXPECT_TRUE(completed);
@@ -222,15 +222,13 @@ TEST_F(GsiBrokerFixture, RegisteredUserRunsJobs) {
 
 TEST_F(GsiBrokerFixture, UnregisteredUserRejectedUpFront) {
   broker::GridScenario grid{secure_config()};
-  std::string error_code;
-  broker::JobCallbacks callbacks;
-  callbacks.on_failed = [&](const broker::JobRecord&, const Error& e) {
-    error_code = e.code;
-  };
-  grid.broker().submit(job(), UserId{2}, lrms::Workload::cpu(30_s),
-                       broker::GridScenario::ui_endpoint(), callbacks);
-  grid.sim().run();
-  EXPECT_EQ(error_code, "gsi.no_credentials");
+  // The GSI pre-flight refuses synchronously with a typed auth error.
+  const auto refused =
+      grid.broker().submit(job(), UserId{2}, lrms::Workload::cpu(30_s),
+                           broker::GridScenario::ui_endpoint(), {});
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error().kind, broker::SubmitErrorKind::kAuth);
+  EXPECT_EQ(refused.error().cause.code, "gsi.no_credentials");
 }
 
 TEST_F(GsiBrokerFixture, ExpiredProxyFailsSubmission) {
@@ -241,16 +239,12 @@ TEST_F(GsiBrokerFixture, ExpiredProxyFailsSubmission) {
   // Let the proxy expire before submitting.
   grid.sim().run_until(SimTime::from_seconds(120));
 
-  std::string error_code;
-  broker::JobCallbacks callbacks;
-  callbacks.on_failed = [&](const broker::JobRecord&, const Error& e) {
-    error_code = e.code;
-  };
-  grid.broker().submit(job("JobType = \"interactive\";"), UserId{1},
-                       lrms::Workload::cpu(30_s),
-                       broker::GridScenario::ui_endpoint(), callbacks);
-  grid.sim().run_until(SimTime::from_seconds(600));
-  EXPECT_EQ(error_code, "gsi.expired");
+  const auto refused = grid.broker().submit(
+      job("JobType = \"interactive\";"), UserId{1}, lrms::Workload::cpu(30_s),
+      broker::GridScenario::ui_endpoint(), {});
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error().kind, broker::SubmitErrorKind::kAuth);
+  EXPECT_EQ(refused.error().cause.code, "gsi.expired");
 }
 
 TEST_F(GsiBrokerFixture, SecureInteractiveSharedPathStillWorks) {
@@ -266,7 +260,7 @@ TEST_F(GsiBrokerFixture, SecureInteractiveSharedPathStillWorks) {
   batch_callbacks.on_running = [&](const broker::JobRecord&) {
     batch_running = true;
   };
-  grid.broker().submit(job(), UserId{1}, lrms::Workload::cpu(3600_s),
+  (void)grid.broker().submit(job(), UserId{1}, lrms::Workload::cpu(3600_s),
                        broker::GridScenario::ui_endpoint(), batch_callbacks);
   grid.sim().run_until(SimTime::from_seconds(120));
   ASSERT_TRUE(batch_running);
@@ -277,7 +271,7 @@ TEST_F(GsiBrokerFixture, SecureInteractiveSharedPathStillWorks) {
     interactive_done = true;
     EXPECT_EQ(record.placement, broker::PlacementKind::kInteractiveVm);
   };
-  grid.broker().submit(
+  (void)grid.broker().submit(
       jdl::JobDescription::parse(
           "Executable = \"viz\"; JobType = \"interactive\"; "
           "MachineAccess = \"shared\"; PerformanceLoss = 10;")

@@ -63,7 +63,7 @@ TEST(IntegrationTest, InteractiveJobStreamsOutputAfterPlacement) {
   bool completed = false;
   callbacks.on_complete = [&](const broker::JobRecord&) { completed = true; };
 
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"hep_sim\"; JobType = \"interactive\"; "
                 "StreamingMode = \"fast\";"),
       UserId{1}, lrms::Workload::cpu(120_s), broker::GridScenario::ui_endpoint(),
@@ -113,7 +113,7 @@ TEST(IntegrationTest, MpichG2JobGetsOneConsoleAgentPerSubjob) {
     }
   };
 
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"mpi_sim\"; "
                 "JobType = {\"interactive\", \"mpich-g2\"}; NodeNumber = 4;"),
       UserId{1}, lrms::Workload::cpu(60_s), broker::GridScenario::ui_endpoint(),
@@ -164,7 +164,7 @@ TEST(IntegrationTest, ReliableStreamSurvivesWanOutageDuringRun) {
         .add_outage(now + 15_s, now + 40_s);
   };
 
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"sensor\"; JobType = \"interactive\"; "
                 "StreamingMode = \"reliable\";"),
       UserId{1}, lrms::Workload::cpu(120_s), broker::GridScenario::ui_endpoint(),
@@ -187,7 +187,7 @@ TEST(IntegrationTest, Figure8EndToEnd) {
   broker::GridScenario grid{config};
 
   broker::JobCallbacks batch_cb;
-  grid.broker().submit(parse_job("Executable = \"background\";"), UserId{1},
+  (void)grid.broker().submit(parse_job("Executable = \"background\";"), UserId{1},
                        lrms::Workload::cpu(100000_s),
                        broker::GridScenario::ui_endpoint(), batch_cb);
   grid.sim().run_until(SimTime::from_seconds(120));
@@ -202,7 +202,7 @@ TEST(IntegrationTest, Figure8EndToEnd) {
       cpu_times.push_back(measured.to_seconds());
     }
   };
-  grid.broker().submit(
+  (void)grid.broker().submit(
       parse_job("Executable = \"interactive_loop\"; JobType = \"interactive\"; "
                 "MachineAccess = \"shared\"; PerformanceLoss = 25;"),
       UserId{2}, lrms::Workload::iterative(50, 6_ms, 921_ms),
@@ -242,7 +242,7 @@ TEST(IntegrationTest, GrandTourEverySubsystemTogether) {
   for (int i = 0; i < 4; ++i) {
     broker::JobCallbacks cb;
     cb.on_complete = [&](const broker::JobRecord&) { ++batch_completed; };
-    grid.broker().submit(parse_job("Executable = \"reco\";"), UserId{1},
+    (void)grid.broker().submit(parse_job("Executable = \"reco\";"), UserId{1},
                          lrms::Workload::cpu(4000_s),
                          broker::GridScenario::ui_endpoint(), cb);
   }
@@ -284,7 +284,7 @@ TEST(IntegrationTest, GrandTourEverySubsystemTogether) {
                 "\"mpich-g2\"}; NodeNumber = 4; MachineAccess = \"shared\"; "
                 "PerformanceLoss = 10; StreamingMode = \"reliable\";"),
       UserId{2}, lrms::Workload::bulk_synchronous(3, 60_s),
-      broker::GridScenario::ui_endpoint(), callbacks);
+      broker::GridScenario::ui_endpoint(), callbacks).value();
 
   grid.sim().run_until(SimTime::from_seconds(8000));
 

@@ -61,7 +61,7 @@ TEST_F(MatchmakerFixture, NeededCpusRespectsParallelJobs) {
 
 TEST_F(MatchmakerFixture, LeasesShadowFreeCpus) {
   const auto job = make_job();
-  leases.acquire(SiteId{1}, 3, 60_s);
+  ASSERT_TRUE(leases.acquire(SiteId{1}, 3, 60_s));
   const auto out = matchmaker.filter(job, {make_record(1, 4)}, leases, 2);
   // 4 free - 3 leased = 1 effective, below the 2 needed.
   EXPECT_TRUE(out.empty());
@@ -123,9 +123,9 @@ TEST_F(MatchmakerFixture, NonNumericRankIsNeutral) {
 TEST(LeaseManagerTest, AcquireReleaseCounts) {
   sim::Simulation sim;
   LeaseManager leases{sim};
-  const LeaseId a = leases.acquire(SiteId{1}, 2, 60_s);
-  leases.acquire(SiteId{1}, 1, 60_s);
-  leases.acquire(SiteId{2}, 5, 60_s);
+  const LeaseId a = leases.acquire(SiteId{1}, 2, 60_s).value();
+  ASSERT_TRUE(leases.acquire(SiteId{1}, 1, 60_s));
+  ASSERT_TRUE(leases.acquire(SiteId{2}, 5, 60_s));
   EXPECT_EQ(leases.leased_cpus(SiteId{1}), 3);
   EXPECT_EQ(leases.leased_cpus(SiteId{2}), 5);
   EXPECT_EQ(leases.active_leases(), 3u);
@@ -137,7 +137,7 @@ TEST(LeaseManagerTest, AcquireReleaseCounts) {
 TEST(LeaseManagerTest, ExpiryFreesAutomatically) {
   sim::Simulation sim;
   LeaseManager leases{sim};
-  leases.acquire(SiteId{1}, 4, 30_s);
+  ASSERT_TRUE(leases.acquire(SiteId{1}, 4, 30_s));
   sim.run_until(SimTime::from_seconds(29));
   EXPECT_EQ(leases.leased_cpus(SiteId{1}), 4);
   sim.run_until(SimTime::from_seconds(31));
@@ -148,7 +148,7 @@ TEST(LeaseManagerTest, ExpiryFreesAutomatically) {
 TEST(LeaseManagerTest, ReleaseCancelsExpiryEvent) {
   sim::Simulation sim;
   LeaseManager leases{sim};
-  const LeaseId a = leases.acquire(SiteId{1}, 1, 30_s);
+  const LeaseId a = leases.acquire(SiteId{1}, 1, 30_s).value();
   EXPECT_TRUE(leases.release(a));
   sim.run();  // the cancelled expiry must not fire on a stale id
   EXPECT_EQ(leases.active_leases(), 0u);
@@ -157,10 +157,24 @@ TEST(LeaseManagerTest, ReleaseCancelsExpiryEvent) {
 TEST(LeaseManagerTest, Validation) {
   sim::Simulation sim;
   LeaseManager leases{sim};
-  EXPECT_THROW(leases.acquire(SiteId{}, 1, 1_s), std::invalid_argument);
-  EXPECT_THROW(leases.acquire(SiteId{1}, 0, 1_s), std::invalid_argument);
-  EXPECT_THROW(leases.acquire(SiteId{1}, 1, Duration::zero()),
-               std::invalid_argument);
+  // Validation failures come back as typed errors, not throws.
+  const auto bad_site = leases.acquire(SiteId{}, 1, 1_s);
+  ASSERT_FALSE(bad_site);
+  EXPECT_EQ(bad_site.error().code, "broker.lease_invalid");
+  EXPECT_FALSE(leases.acquire(SiteId{1}, 0, 1_s));
+  EXPECT_FALSE(leases.acquire(SiteId{1}, 1, Duration::zero()));
+}
+
+TEST(LeaseManagerTest, CapacityConflict) {
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  ASSERT_TRUE(leases.acquire(SiteId{1}, 3, 60_s));
+  // A 4-CPU site with 3 leased refuses 2 more but accepts 1.
+  const auto conflict = leases.acquire(SiteId{1}, 2, 60_s, 4);
+  ASSERT_FALSE(conflict);
+  EXPECT_EQ(conflict.error().code, "broker.lease_conflict");
+  EXPECT_TRUE(leases.acquire(SiteId{1}, 1, 60_s, 4));
+  EXPECT_EQ(leases.leased_cpus(SiteId{1}), 4);
 }
 
 }  // namespace

@@ -38,7 +38,7 @@ std::string run_scenario_digest(std::uint64_t seed) {
   int i = 0;
   for (const char* jdl : jdls) {
     ++i;
-    grid.broker().submit(jdl::JobDescription::parse(jdl).value(),
+    (void)grid.broker().submit(jdl::JobDescription::parse(jdl).value(),
                          UserId{static_cast<std::uint64_t>(i)},
                          lrms::Workload::cpu(Duration::seconds(30 * i)),
                          broker::GridScenario::ui_endpoint(), {});
