@@ -1,0 +1,270 @@
+// Matchmaking scale benchmark: runs the same deterministic workload through
+// the legacy path (per-site ClassAd rebuild + AST interpretation over every
+// published record) and the fast path (cached machine views, compiled
+// Requirements/Rank, free-CPU index pruning, fused filter+select), asserts
+// both produce byte-identical decision digests, and reports throughput.
+//
+// Usage:
+//   match_scale                 full sweep (sites {100,1000,10000} x jobs)
+//   match_scale --smoke         smallest grid only; exit 1 on divergence
+//   match_scale --json <path>   also write machine-readable results
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/matchmaker.hpp"
+#include "infosys/information_system.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cg;
+using namespace cg::broker;
+using namespace cg::literals;
+
+constexpr std::uint64_t kSeed = 42;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic site population: mixed arches, node counts, memory sizes
+/// and free-CPU levels (including full sites), all pure functions of the
+/// site index so both paths see the identical grid.
+infosys::SiteRecord make_site(std::uint64_t i) {
+  infosys::SiteRecord r;
+  r.static_info.id = SiteId{i};
+  r.static_info.name = "site" + std::to_string(i);
+  r.static_info.arch = (i % 4 == 0) ? "x86_64" : "i686";
+  r.static_info.worker_nodes = static_cast<int>(1 + i % 32);
+  r.static_info.cpus_per_node = static_cast<int>(1 + i % 2);
+  r.static_info.memory_mb_per_node = static_cast<std::int64_t>(512 << (i % 3));
+  const int total = r.static_info.total_cpus();
+  r.dynamic_info.free_cpus =
+      static_cast<int>((i * 7919) % static_cast<std::uint64_t>(total + 1));
+  r.dynamic_info.running_jobs = total - r.dynamic_info.free_cpus;
+  r.dynamic_info.free_interactive_vms = static_cast<int>(i % 3);
+  return r;
+}
+
+/// Job mix: plain capacity jobs, arch constraints, compound Requirements,
+/// negative and compound Rank expressions. Cycled per job index.
+jdl::JobDescription make_job(std::size_t j) {
+  static const char* kTemplates[] = {
+      "Executable = \"app\";",
+      "Executable = \"app\"; Requirements = other.Arch == \"x86_64\";",
+      "Executable = \"app\"; Requirements = other.MemoryMB >= 1024 && "
+      "other.FreeCPUs >= 2;",
+      "Executable = \"app\"; Rank = -other.FreeCPUs;",
+      "Executable = \"app\"; Requirements = other.Arch == \"i686\" || "
+      "other.TotalCPUs > 16; Rank = other.MemoryMB + other.FreeCPUs;",
+  };
+  auto jd = jdl::JobDescription::parse(kTemplates[j % 5]);
+  if (!jd) {
+    std::cerr << "template parse failure: " << jd.error().to_string() << "\n";
+    std::exit(2);
+  }
+  return std::move(jd).value();
+}
+
+int needed_cpus(std::size_t j) {
+  static constexpr int kNeeded[] = {1, 2, 4, 8};
+  return kNeeded[j % 4];
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  double seconds = 0.0;
+  std::size_t matched = 0;
+};
+
+/// Runs `jobs` matchmaking rounds against `n_sites` published sites through
+/// one path. Every decision (including "no match") folds into the digest;
+/// matched jobs acquire a lease (with deterministic release churn) so the
+/// free-CPU index sees deltas of both signs mid-run, and every 16th job a
+/// site republishes with shifted load to exercise cache invalidation.
+RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
+  sim::Simulation sim;
+  infosys::InformationSystemConfig icfg;
+  icfg.index_query_latency = Duration::millis(1);
+  icfg.default_site_query_latency = Duration::millis(1);
+  infosys::InformationSystem is{sim, icfg};
+  LeaseManager leases{sim};
+  leases.set_observer(
+      [&is](SiteId site, int delta) { is.apply_lease_delta(site, delta); });
+  MatchmakerConfig mc;
+  mc.use_fast_path = fast;
+  const Matchmaker mm{mc};
+  Rng rng{kSeed};
+
+  for (std::uint64_t i = 1; i <= n_sites; ++i) {
+    const auto record = make_site(i);
+    is.register_site(record.static_info, [record] { return record; });
+    is.publish(record);
+  }
+
+  RunResult out;
+  out.digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::deque<LeaseId> active;
+  const std::size_t max_active = std::max<std::size_t>(4, n_sites / 8);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const auto desc = make_job(j);
+    const int needed = needed_cpus(j);
+    std::optional<Candidate> picked;
+    bool delivered = false;
+    if (fast) {
+      is.query_index_matching(
+          needed, [&, compiled = mm.compile(desc)](
+                      infosys::InformationSystem::IndexSnapshot records) {
+            picked = mm.match_one(*compiled, records, leases, needed, rng);
+            delivered = true;
+          });
+    } else {
+      is.query_index([&](std::vector<infosys::SiteRecord> records) {
+        const auto candidates = mm.filter(desc, records, leases, needed);
+        if (const auto site = mm.select(candidates, rng)) {
+          for (const auto& c : candidates) {
+            if (c.site == *site) picked = c;
+          }
+        }
+        delivered = true;
+      });
+    }
+    sim.run_until(sim.now() + Duration::millis(2));
+    if (!delivered) {
+      std::cerr << "index query never delivered\n";
+      std::exit(2);
+    }
+
+    out.digest = fnv1a(out.digest, static_cast<std::uint64_t>(j));
+    out.digest = fnv1a(out.digest, picked ? picked->site.value() : 0);
+    if (picked) {
+      ++out.matched;
+      if (auto lease = leases.acquire(picked->site, needed, 3600_s)) {
+        active.push_back(*lease);
+      }
+      while (active.size() > max_active) {
+        leases.release(active.front());
+        active.pop_front();
+      }
+    }
+    if (j % 16 == 15) {
+      // Republish one site with shifted load: invalidates its cached
+      // machine view and moves it in the free-CPU index.
+      auto churned = make_site(1 + (j * 31) % n_sites);
+      churned.dynamic_info.free_cpus =
+          (churned.dynamic_info.free_cpus + static_cast<int>(j)) %
+          (churned.static_info.total_cpus() + 1);
+      is.publish(churned);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+struct Row {
+  std::size_t sites = 0;
+  std::size_t jobs = 0;
+  RunResult legacy;
+  RunResult fast;
+  [[nodiscard]] bool digests_match() const {
+    return legacy.digest == fast.digest && legacy.matched == fast.matched;
+  }
+  [[nodiscard]] double speedup() const {
+    return fast.seconds > 0.0 ? legacy.seconds / fast.seconds : 0.0;
+  }
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream f{path};
+  f << "{\n  \"bench\": \"match_scale\",\n  \"seed\": " << kSeed
+    << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "    {\"sites\": " << r.sites << ", \"jobs\": " << r.jobs
+      << ", \"matched\": " << r.legacy.matched
+      << ", \"legacy_seconds\": " << r.legacy.seconds
+      << ", \"fast_seconds\": " << r.fast.seconds
+      << ", \"legacy_jobs_per_sec\": "
+      << static_cast<double>(r.jobs) / r.legacy.seconds
+      << ", \"fast_jobs_per_sec\": "
+      << static_cast<double>(r.jobs) / r.fast.seconds
+      << ", \"speedup\": " << r.speedup() << ", \"digest_match\": "
+      << (r.digests_match() ? "true" : "false") << "}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: match_scale [--smoke] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> combos;
+  if (smoke) {
+    combos = {{100, 16}};
+  } else {
+    combos = {{100, 128}, {1000, 128}, {10000, 64}};
+  }
+
+  std::cout << "== match_scale: legacy vs fast matchmaking ==\n";
+  std::vector<Row> rows;
+  bool diverged = false;
+  for (const auto& [sites, jobs] : combos) {
+    Row row;
+    row.sites = sites;
+    row.jobs = jobs;
+    row.legacy = run_path(sites, jobs, /*fast=*/false);
+    row.fast = run_path(sites, jobs, /*fast=*/true);
+    if (!row.digests_match()) {
+      diverged = true;
+      std::cerr << "[FAIL] decision divergence at " << sites << " sites: legacy="
+                << std::hex << row.legacy.digest << " fast=" << row.fast.digest
+                << std::dec << " (matched " << row.legacy.matched << " vs "
+                << row.fast.matched << ")\n";
+    }
+    rows.push_back(row);
+  }
+
+  cg::TablePrinter table{{"Sites", "Jobs", "Matched", "Legacy s", "Fast s",
+                          "Speedup", "Digest"}};
+  for (const Row& r : rows) {
+    table.add_row({std::to_string(r.sites), std::to_string(r.jobs),
+                   std::to_string(r.legacy.matched),
+                   cg::fmt_fixed(r.legacy.seconds, 4),
+                   cg::fmt_fixed(r.fast.seconds, 4),
+                   cg::fmt_fixed(r.speedup(), 1) + "x",
+                   r.digests_match() ? "match" : "DIVERGED"});
+  }
+  std::cout << table.render() << "\n";
+  if (!json_path.empty()) write_json(json_path, rows);
+  std::cout << (diverged
+                    ? "[MISS] fast path diverged from legacy decisions\n"
+                    : "[ok]   identical decisions on both paths\n");
+  return diverged ? 1 : 0;
+}

@@ -25,13 +25,29 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
       fair_share_{sim, config.fair_share},
       agents_{sim} {
   fair_share_.start();
+  // Keep the information system's free-CPU index lease-aware: every
+  // acquire/release/expiry adjusts the indexed effective count, so the
+  // fast-path discovery prunes against live lease state.
+  leases_.set_observer([this](SiteId site, int cpu_delta) {
+    infosys_.apply_lease_delta(site, cpu_delta);
+  });
+  // Machine-ad cache invalidations (republish, unregister, lease deltas)
+  // surface as a counter; no-op until observability is attached.
+  infosys_.set_invalidation_listener([this](SiteId, const char* reason) {
+    count("broker.match.cache_invalidations",
+          obs::LabelSet{{"reason", reason}});
+  });
   if (config_.enable_agent_heartbeats) {
     sim_.schedule_daemon(config_.agent_heartbeat_interval,
                          [this] { heartbeat_tick(); });
   }
 }
 
-CrossBroker::~CrossBroker() = default;
+CrossBroker::~CrossBroker() {
+  // The information system outlives the broker; drop the callback that
+  // captures `this`.
+  infosys_.set_invalidation_listener(nullptr);
+}
 
 void CrossBroker::enable_security(const gsi::Certificate* trust_anchor,
                                   std::vector<gsi::Credential> broker_credentials) {
@@ -361,12 +377,26 @@ void CrossBroker::begin_discovery(JobId id) {
   ManagedJob* job = find_job(id);
   if (job == nullptr || is_terminal(job->record.state)) return;
   set_state(*job, JobState::kDiscovery);
-  infosys_.query_index([this, id](std::vector<infosys::SiteRecord> records) {
-    ManagedJob* j = find_job(id);
-    if (j == nullptr || is_terminal(j->record.state)) return;
-    j->record.timestamps.discovery_done = sim_.now();
-    begin_selection(id, std::move(records));
-  });
+  if (config_.matchmaker.use_fast_path) {
+    // The free-CPU index prunes sites that cannot possibly fit the job;
+    // the pruning bound is lease-independent, so the surviving set equals
+    // what the full snapshot would yield after begin_selection's filters.
+    infosys_.query_index_matching(
+        needed_cpus_per_site(job->record.description),
+        [this, id](infosys::InformationSystem::IndexSnapshot records) {
+          ManagedJob* j = find_job(id);
+          if (j == nullptr || is_terminal(j->record.state)) return;
+          j->record.timestamps.discovery_done = sim_.now();
+          begin_selection(id, std::move(records));
+        });
+  } else {
+    infosys_.query_index([this, id](std::vector<infosys::SiteRecord> records) {
+      ManagedJob* j = find_job(id);
+      if (j == nullptr || is_terminal(j->record.state)) return;
+      j->record.timestamps.discovery_done = sim_.now();
+      begin_selection(id, std::move(records));
+    });
+  }
 }
 
 void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> stale) {
@@ -386,8 +416,47 @@ void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> sta
     }
     if (sites_.contains(sid)) considered.push_back(std::move(r));
   }
-  std::vector<Candidate> coarse =
-      matchmaker_.filter(job->record.description, considered, leases_, needed);
+  const bool fast = config_.matchmaker.use_fast_path;
+  if (fast && job->compiled_match == nullptr) {
+    job->compiled_match = matchmaker_.compile(job->record.description);
+  }
+  // Coarse pass on the (possibly stale) records: only the surviving site
+  // ids matter here — rank is deferred to the fresh data below.
+  continue_selection(
+      id, matchmaker_.filter_sites(
+              job->record.description,
+              fast ? job->compiled_match.get() : nullptr, considered, leases_,
+              needed));
+}
+
+void CrossBroker::begin_selection(JobId id,
+                                  infosys::InformationSystem::IndexSnapshot stale) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
+  set_state(*job, JobState::kSelection);
+
+  const int needed = needed_cpus_per_site(job->record.description);
+  infosys::InformationSystem::IndexSnapshot considered;
+  for (auto& r : stale) {
+    const SiteId sid = r->static_info.id;
+    if (std::find(job->excluded_sites.begin(), job->excluded_sites.end(), sid) !=
+        job->excluded_sites.end()) {
+      continue;
+    }
+    if (sites_.contains(sid)) considered.push_back(std::move(r));
+  }
+  if (job->compiled_match == nullptr) {
+    job->compiled_match = matchmaker_.compile(job->record.description);
+  }
+  continue_selection(
+      id, matchmaker_.filter_sites(job->record.description,
+                                   job->compiled_match.get(), considered,
+                                   leases_, needed));
+}
+
+void CrossBroker::continue_selection(JobId id, std::vector<SiteId> coarse) {
+  ManagedJob* job = find_job(id);
+  if (job == nullptr || is_terminal(job->record.state)) return;
   if (coarse.empty()) {
     job->record.timestamps.selection_done = sim_.now();
     handle_no_resources(id);
@@ -400,8 +469,8 @@ void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> sta
   // when the slowest site answers.
   auto fresh = std::make_shared<std::vector<infosys::SiteRecord>>();
   auto remaining = std::make_shared<std::size_t>(coarse.size());
-  for (const auto& c : coarse) {
-    infosys_.query_site(c.record.static_info.id,
+  for (const SiteId site : coarse) {
+    infosys_.query_site(site,
                         [this, id, fresh, remaining](
                             std::optional<infosys::SiteRecord> record) {
       if (record) fresh->push_back(std::move(*record));
@@ -410,8 +479,25 @@ void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> sta
       if (j == nullptr || is_terminal(j->record.state)) return;
       j->record.timestamps.selection_done = sim_.now();
       const int cpus = needed_cpus_per_site(j->record.description);
+      const auto& d = j->record.description;
+      const bool shared_interactive =
+          d.is_interactive() && d.machine_access() == jdl::MachineAccess::kShared;
+      if (j->compiled_match != nullptr && !shared_interactive &&
+          d.flavor() == jdl::JobFlavor::kSequential) {
+        // Fast path, sequential, no VM placement possible in place_job:
+        // fuse filter+select in one streaming pass. Shared-mode jobs keep
+        // the two-step form because place_job may cover them with
+        // interactive VMs without ever consulting the candidates (and
+        // without consuming the tie-breaking rng).
+        place_job(id, {}, matchmaker_.match_one(*j->compiled_match, *fresh,
+                                                leases_, cpus, rng_));
+        return;
+      }
       std::vector<Candidate> final_candidates =
-          matchmaker_.filter(j->record.description, *fresh, leases_, cpus);
+          j->compiled_match != nullptr
+              ? matchmaker_.filter_compiled(*j->compiled_match, *fresh, leases_,
+                                            cpus)
+              : matchmaker_.filter(j->record.description, *fresh, leases_, cpus);
       place_job(id, std::move(final_candidates));
     });
   }
@@ -419,7 +505,8 @@ void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> sta
 
 // ------------------------------------------------------------- placement ----
 
-void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates) {
+void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates,
+                            std::optional<Candidate> preselected) {
   ManagedJob* job = find_job(id);
   if (job == nullptr || is_terminal(job->record.state)) return;
   const auto& desc = job->record.description;
@@ -495,8 +582,11 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates) {
     Expected<mpijob::AllocationPlan> plan{sequential_plan};
     if (desc.flavor() == jdl::JobFlavor::kSequential) {
       // Sequential placement honours the job's Rank expression and the
-      // randomized tie-breaking policy via the matchmaker.
-      const auto site = matchmaker_.select(candidates, rng_);
+      // randomized tie-breaking policy via the matchmaker. The fast path
+      // already fused that decision into `preselected`.
+      const auto site = preselected.has_value()
+                            ? std::optional<SiteId>{preselected->site}
+                            : matchmaker_.select(candidates, rng_);
       if (site) {
         sequential_plan.placements.push_back(mpijob::SubJobPlacement{*site, 1});
         plan = sequential_plan;
@@ -507,8 +597,7 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates) {
       std::vector<mpijob::SiteCapacity> capacity;
       capacity.reserve(candidates.size());
       for (const auto& c : candidates) {
-        capacity.push_back(mpijob::SiteCapacity{c.record.static_info.id,
-                                                c.effective_free_cpus});
+        capacity.push_back(mpijob::SiteCapacity{c.site, c.effective_free_cpus});
       }
       // Parallel co-allocation; randomized site ordering unless disabled.
       Rng* plan_rng = config_.matchmaker.randomize_ties ? &rng_ : nullptr;

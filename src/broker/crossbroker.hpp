@@ -157,9 +157,13 @@ public:
   /// Attaches the observability bundle: lifecycle transitions go to its
   /// JobTracer as typed events and the hot paths update its MetricsRegistry
   /// (match latency, lease revocations, resubmission backoff, heartbeat
-  /// misses, ...). Must outlive the broker (or be detached with nullptr).
-  /// Agents created after this call inherit the registry.
-  void set_observability(obs::Observability* obs) { obs_ = obs; }
+  /// misses, matchmaking scan/cache counters, ...). Must outlive the broker
+  /// (or be detached with nullptr). Agents created after this call inherit
+  /// the registry.
+  void set_observability(obs::Observability* obs) {
+    obs_ = obs;
+    matchmaker_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
+  }
 
   [[nodiscard]] const JobRecord* record(JobId id) const;
   [[nodiscard]] FairShare& fair_share() { return fair_share_; }
@@ -190,6 +194,9 @@ private:
     int subjobs_completed = 0;
     bool queue_timer_armed = false;
     bool staging_out = false;  ///< OutputSandbox transfer in progress
+    /// Requirements/Rank compiled once per job, reused across scheduling
+    /// attempts and resubmissions (fast path only).
+    std::shared_ptr<const jdl::CompiledMatch> compiled_match;
     /// Runtime barrier coordination for BSP workloads (multi-rank only).
     std::unique_ptr<mpijob::RuntimeBarrierCoordinator> barrier_coordinator;
   };
@@ -223,7 +230,16 @@ private:
   void schedule_job(JobId id);
   void begin_discovery(JobId id);
   void begin_selection(JobId id, std::vector<infosys::SiteRecord> stale_records);
-  void place_job(JobId id, std::vector<Candidate> fresh_candidates);
+  /// Fast-path variant: the index snapshot is scanned in place, never copied.
+  void begin_selection(JobId id, infosys::InformationSystem::IndexSnapshot stale);
+  /// Common tail of both begin_selection overloads: fresh per-site queries
+  /// over the coarse survivors, then the final filter + placement.
+  void continue_selection(JobId id, std::vector<SiteId> coarse);
+  /// `preselected` carries the fused filter+select decision of the fast
+  /// path for sequential jobs; absent, the sequential branch selects from
+  /// `fresh_candidates` itself (legacy path, or no match -> no resources).
+  void place_job(JobId id, std::vector<Candidate> fresh_candidates,
+                 std::optional<Candidate> preselected = std::nullopt);
   void handle_no_resources(JobId id);
 
   // -- dispatch ------------------------------------------------------------

@@ -23,8 +23,16 @@ Expected<LeaseId> LeaseManager::acquire(SiteId site, int cpus, Duration ttl,
                           " more would over-commit");
   }
   const LeaseId id = ids_.next();
-  const sim::EventHandle expiry = sim_.schedule(ttl, [this, id] { leases_.erase(id); });
+  const sim::EventHandle expiry = sim_.schedule(ttl, [this, id] {
+    const auto it = leases_.find(id);
+    if (it == leases_.end()) return;
+    const SiteId expired_site = it->second.site;
+    const int expired_cpus = it->second.cpus;
+    leases_.erase(it);
+    account(expired_site, -expired_cpus);
+  });
   leases_.emplace(id, Lease{site, cpus, expiry});
+  account(site, cpus);
   return id;
 }
 
@@ -32,16 +40,23 @@ bool LeaseManager::release(LeaseId id) {
   const auto it = leases_.find(id);
   if (it == leases_.end()) return false;
   if (it->second.expiry.valid()) sim_.cancel(it->second.expiry);
+  const SiteId site = it->second.site;
+  const int cpus = it->second.cpus;
   leases_.erase(it);
+  account(site, -cpus);
   return true;
 }
 
 int LeaseManager::leased_cpus(SiteId site) const {
-  int total = 0;
-  for (const auto& [id, lease] : leases_) {
-    if (lease.site == site) total += lease.cpus;
-  }
-  return total;
+  const auto it = by_site_.find(site);
+  return it != by_site_.end() ? it->second : 0;
+}
+
+void LeaseManager::account(SiteId site, int cpu_delta) {
+  const auto it = by_site_.try_emplace(site, 0).first;
+  it->second += cpu_delta;
+  if (it->second <= 0) by_site_.erase(it);
+  notify(site, cpu_delta);
 }
 
 }  // namespace cg::broker

@@ -1,15 +1,42 @@
 #include "broker/matchmaker.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "jdl/eval.hpp"
 
 namespace cg::broker {
 
+namespace {
+
+/// Slot context for one record: every attribute comes from the cached
+/// machine view except FreeCPUs, which leases shadow per evaluation.
+jdl::SlotEvalContext slot_context(const infosys::SiteRecord::MachineView& view,
+                                  int effective_free) {
+  jdl::SlotEvalContext ctx;
+  ctx.slots = &view.slots;
+  ctx.override_slot = infosys::machine_free_cpus_slot();
+  ctx.override_value = jdl::Value::integer(effective_free);
+  return ctx;
+}
+
+/// Unifies the two record-container shapes the matchmaker scans.
+const infosys::SiteRecord& as_record(const infosys::SiteRecord& r) { return r; }
+const infosys::SiteRecord& as_record(
+    const std::shared_ptr<const infosys::SiteRecord>& r) {
+  return *r;
+}
+
+}  // namespace
+
 std::vector<Candidate> Matchmaker::filter(
     const jdl::JobDescription& job, const std::vector<infosys::SiteRecord>& records,
     const LeaseManager& leases, int needed_cpus) const {
+  if (config_.use_fast_path) {
+    return filter_compiled(*compile(job), records, leases, needed_cpus);
+  }
   std::vector<Candidate> out;
+  out.reserve(records.size());
   for (const auto& record : records) {
     const int effective =
         record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
@@ -20,12 +47,162 @@ std::vector<Candidate> Matchmaker::filter(
     if (!jdl::symmetric_match(job.ad(), machine)) continue;
 
     Candidate c;
-    c.record = record;
+    c.site = record.static_info.id;
     c.effective_free_cpus = effective;
     c.rank = rank_of(job, machine);
-    out.push_back(std::move(c));
+    out.push_back(c);
   }
+  note_scan("fresh", records.size(), 0, 0);
   return out;
+}
+
+std::vector<Candidate> Matchmaker::filter_compiled(
+    const jdl::CompiledMatch& compiled,
+    const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+    int needed_cpus) const {
+  std::vector<Candidate> out;
+  if (compiled.never_matches()) {
+    note_scan("fresh", 0, 0, 0);
+    return out;
+  }
+  out.reserve(records.size());
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const auto& record : records) {
+    const int effective =
+        record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
+    if (effective < needed_cpus) continue;
+
+    record.cache_primed() ? ++hits : ++misses;
+    const auto ctx = slot_context(record.machine_view(), effective);
+    if (!compiled.matches(ctx)) continue;
+
+    Candidate c;
+    c.site = record.static_info.id;
+    c.effective_free_cpus = effective;
+    c.rank = compiled.has_rank() ? compiled.rank(ctx)
+                                 : static_cast<double>(effective);
+    out.push_back(c);
+  }
+  note_scan("fresh", records.size(), hits, misses);
+  return out;
+}
+
+template <typename Records>
+std::vector<SiteId> Matchmaker::filter_sites_impl(
+    const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+    const Records& records, const LeaseManager& leases, int needed_cpus) const {
+  std::vector<SiteId> out;
+  if (compiled != nullptr && compiled->never_matches()) {
+    note_scan("coarse", 0, 0, 0);
+    return out;
+  }
+  out.reserve(records.size());
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const auto& element : records) {
+    const infosys::SiteRecord& record = as_record(element);
+    const int effective =
+        record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
+    if (effective < needed_cpus) continue;
+    if (compiled != nullptr) {
+      record.cache_primed() ? ++hits : ++misses;
+      if (!compiled->matches(slot_context(record.machine_view(), effective))) {
+        continue;
+      }
+    } else {
+      jdl::ClassAd machine = record.to_classad();
+      machine.set_int("FreeCPUs", effective);
+      if (!jdl::symmetric_match(job.ad(), machine)) continue;
+    }
+    out.push_back(record.static_info.id);
+  }
+  note_scan("coarse", records.size(), hits, misses);
+  return out;
+}
+
+std::vector<SiteId> Matchmaker::filter_sites(
+    const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+    const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+    int needed_cpus) const {
+  return filter_sites_impl(job, compiled, records, leases, needed_cpus);
+}
+
+std::vector<SiteId> Matchmaker::filter_sites(
+    const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+    const infosys::InformationSystem::IndexSnapshot& records,
+    const LeaseManager& leases, int needed_cpus) const {
+  return filter_sites_impl(job, compiled, records, leases, needed_cpus);
+}
+
+std::shared_ptr<const jdl::CompiledMatch> Matchmaker::compile(
+    const jdl::JobDescription& job) const {
+  return std::make_shared<const jdl::CompiledMatch>(
+      jdl::CompiledMatch::compile(job.ad(), infosys::machine_slot_layout()));
+}
+
+template <typename Records>
+std::optional<Candidate> Matchmaker::match_one_impl(
+    const jdl::CompiledMatch& compiled, const Records& records,
+    const LeaseManager& leases, int needed_cpus, Rng& rng) const {
+  // Streaming equivalent of filter()+select(): candidates are examined in
+  // record order; `ties` holds, in encounter order, exactly those whose
+  // rank ties the running best. Because the tie window is monotone in the
+  // running best (rank_tie_margin < 1), pruning on each best-raise leaves
+  // the same tie set select() would compute from the full candidate vector.
+  std::vector<Candidate> ties;
+  if (compiled.never_matches()) {
+    note_scan("fresh", 0, 0, 0);
+    return std::nullopt;
+  }
+  double best = 0.0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const auto& element : records) {
+    const infosys::SiteRecord& record = as_record(element);
+    const int effective =
+        record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
+    if (effective < needed_cpus) continue;
+
+    record.cache_primed() ? ++hits : ++misses;
+    const auto ctx = slot_context(record.machine_view(), effective);
+    if (!compiled.matches(ctx)) continue;
+
+    const double rank = compiled.has_rank() ? compiled.rank(ctx)
+                                            : static_cast<double>(effective);
+    Candidate c;
+    c.site = record.static_info.id;
+    c.effective_free_cpus = effective;
+    c.rank = rank;
+    if (ties.empty() || rank > best) {
+      best = rank;
+      std::erase_if(ties, [&](const Candidate& t) { return !is_tie(best, t.rank); });
+      ties.push_back(c);
+    } else if (is_tie(best, rank)) {
+      ties.push_back(c);
+    }
+  }
+  note_scan("fresh", records.size(), hits, misses);
+  if (ties.empty()) return std::nullopt;
+  // Same rng consumption as select(): exactly one pick for a non-empty
+  // candidate set when randomized tie-breaking is on.
+  const Candidate& chosen =
+      config_.randomize_ties ? ties[rng.pick_index(ties.size())] : ties.front();
+  return chosen;
+}
+
+std::optional<Candidate> Matchmaker::match_one(
+    const jdl::CompiledMatch& compiled,
+    const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+    int needed_cpus, Rng& rng) const {
+  return match_one_impl(compiled, records, leases, needed_cpus, rng);
+}
+
+std::optional<Candidate> Matchmaker::match_one(
+    const jdl::CompiledMatch& compiled,
+    const infosys::InformationSystem::IndexSnapshot& records,
+    const LeaseManager& leases, int needed_cpus, Rng& rng) const {
+  return match_one_impl(compiled, records, leases, needed_cpus, rng);
 }
 
 double Matchmaker::rank_of(const jdl::JobDescription& job,
@@ -53,14 +230,34 @@ std::optional<SiteId> Matchmaker::select(const std::vector<Candidate>& candidate
                          return a.rank < b.rank;
                        })
           ->rank;
-  const double margin = std::abs(best) * config_.rank_tie_margin + 1e-12;
   std::vector<const Candidate*> ties;
   for (const auto& c : candidates) {
-    if (c.rank >= best - margin) ties.push_back(&c);
+    if (is_tie(best, c.rank)) ties.push_back(&c);
   }
   const Candidate* chosen =
       config_.randomize_ties ? ties[rng.pick_index(ties.size())] : ties.front();
-  return chosen->record.static_info.id;
+  return chosen->site;
+}
+
+bool Matchmaker::is_tie(double best, double rank) const {
+  // Relative to the larger magnitude so the window is symmetric under
+  // negation: ranks {10, 18} and {-10, -18} tie under the same margin.
+  const double scale = std::max(std::abs(best), std::abs(rank));
+  return best - rank <= config_.rank_tie_margin * scale + 1e-12;
+}
+
+void Matchmaker::note_scan(const char* pass, std::size_t scanned,
+                           std::size_t cache_hits, std::size_t cache_misses) const {
+  if (metrics_ == nullptr) return;
+  const obs::LabelSet labels{{"pass", pass}};
+  metrics_->histogram("broker.match.sites_scanned", labels)
+      .observe(static_cast<double>(scanned));
+  if (cache_hits > 0) {
+    metrics_->counter("broker.match.cache_hits", labels).inc(cache_hits);
+  }
+  if (cache_misses > 0) {
+    metrics_->counter("broker.match.cache_misses", labels).inc(cache_misses);
+  }
 }
 
 }  // namespace cg::broker

@@ -3,20 +3,32 @@
 // better; default rank = free CPUs), and picks randomly among the top-ranked
 // candidates — the paper's "randomized selection of resources ... used to
 // generate different answers when there are multiple resource choices".
+//
+// Two equivalent evaluation paths (MatchmakerConfig::use_fast_path):
+//  * legacy: rebuild each site's ClassAd and re-walk the job's ASTs per
+//    site (the reference implementation, kept for A/B testing);
+//  * fast: evaluate the job's CompiledMatch against each record's cached
+//    slot values — no ClassAd construction, no map lookups, constant
+//    conjuncts decided once per job. Same-seed runs of both paths must
+//    produce identical decisions; tests diff their trace digests.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "broker/lease_manager.hpp"
+#include "infosys/information_system.hpp"
 #include "infosys/site_record.hpp"
+#include "jdl/compiled_match.hpp"
 #include "jdl/job_description.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace cg::broker {
 
 struct Candidate {
-  infosys::SiteRecord record;
+  SiteId site;
   double rank = 0.0;
   /// Free CPUs after subtracting active match leases.
   int effective_free_cpus = 0;
@@ -24,11 +36,16 @@ struct Candidate {
 
 struct MatchmakerConfig {
   /// Ranks within this relative margin of the best are "ties" eligible for
-  /// randomized selection.
+  /// randomized selection. Must be < 1 (the fused streaming select relies
+  /// on the tie window being monotone in the running best).
   double rank_tie_margin = 1e-9;
   /// When false, the first tied candidate wins deterministically (the
   /// baseline the randomized-selection ablation compares against).
   bool randomize_ties = true;
+  /// Compiled-expression fast path (cached machine views, slot-indexed
+  /// evaluation, fused filter+select). Off = the legacy per-site ClassAd
+  /// interpretation. Both produce identical decisions for the same seed.
+  bool use_fast_path = true;
 };
 
 class Matchmaker {
@@ -42,6 +59,50 @@ public:
       const jdl::JobDescription& job, const std::vector<infosys::SiteRecord>& records,
       const LeaseManager& leases, int needed_cpus) const;
 
+  /// filter() against an already-compiled job (fast path; avoids
+  /// recompiling per scheduling attempt).
+  [[nodiscard]] std::vector<Candidate> filter_compiled(
+      const jdl::CompiledMatch& compiled,
+      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+      int needed_cpus) const;
+
+  /// The coarse (discovery-time) pass: which sites survive Requirements +
+  /// capacity. Rank is not evaluated — the broker only needs the site list
+  /// to issue fresh queries. `compiled` selects the fast path; nullptr
+  /// interprets the ASTs like the legacy filter.
+  [[nodiscard]] std::vector<SiteId> filter_sites(
+      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+      int needed_cpus) const;
+
+  /// filter_sites over a shared index snapshot (what query_index_matching
+  /// delivers on the fast path — no per-record copies).
+  [[nodiscard]] std::vector<SiteId> filter_sites(
+      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+      const infosys::InformationSystem::IndexSnapshot& records,
+      const LeaseManager& leases, int needed_cpus) const;
+
+  /// Compiles a job's Requirements/Rank against the machine slot layout.
+  /// The result is immutable and shared across scheduling attempts.
+  [[nodiscard]] std::shared_ptr<const jdl::CompiledMatch> compile(
+      const jdl::JobDescription& job) const;
+
+  /// Fused filter+select in one streaming pass: tracks the running best
+  /// rank and the tie set instead of materializing every candidate.
+  /// Consumes the rng exactly as filter()+select() would (one pick when at
+  /// least one candidate survives and randomize_ties is on), so fast and
+  /// legacy paths stay in rng lockstep.
+  [[nodiscard]] std::optional<Candidate> match_one(
+      const jdl::CompiledMatch& compiled,
+      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+      int needed_cpus, Rng& rng) const;
+
+  /// match_one over a shared index snapshot.
+  [[nodiscard]] std::optional<Candidate> match_one(
+      const jdl::CompiledMatch& compiled,
+      const infosys::InformationSystem::IndexSnapshot& records,
+      const LeaseManager& leases, int needed_cpus, Rng& rng) const;
+
   /// Picks one site from non-empty candidates: best rank, random among ties.
   [[nodiscard]] std::optional<SiteId> select(const std::vector<Candidate>& candidates,
                                              Rng& rng) const;
@@ -50,8 +111,34 @@ public:
   [[nodiscard]] double rank_of(const jdl::JobDescription& job,
                                const jdl::ClassAd& machine) const;
 
+  /// Attaches the metrics registry the scan/cache counters are written to
+  /// (nullptr detaches; observation is optional).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  [[nodiscard]] const MatchmakerConfig& config() const { return config_; }
+
 private:
+  /// Shared loop bodies: `Records` ranges over SiteRecord values (fresh
+  /// queries) or shared_ptr<const SiteRecord> snapshots (index queries).
+  template <typename Records>
+  [[nodiscard]] std::vector<SiteId> filter_sites_impl(
+      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+      const Records& records, const LeaseManager& leases, int needed_cpus) const;
+  template <typename Records>
+  [[nodiscard]] std::optional<Candidate> match_one_impl(
+      const jdl::CompiledMatch& compiled, const Records& records,
+      const LeaseManager& leases, int needed_cpus, Rng& rng) const;
+
+  /// Symmetric tie test: |best - rank| within margin relative to the larger
+  /// magnitude, so negated rank expressions see the same tie window
+  /// (best - |best|*margin widened asymmetrically for negative ranks).
+  [[nodiscard]] bool is_tie(double best, double rank) const;
+  /// Records broker.match.sites_scanned / cache_hits / cache_misses.
+  void note_scan(const char* pass, std::size_t scanned, std::size_t cache_hits,
+                 std::size_t cache_misses) const;
+
   MatchmakerConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace cg::broker

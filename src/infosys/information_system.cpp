@@ -1,5 +1,6 @@
 #include "infosys/information_system.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -15,6 +16,18 @@ void InformationSystem::register_site(const SiteStaticInfo& info,
                                       std::optional<Duration> site_query_latency) {
   if (!info.id.valid()) throw std::invalid_argument{"register_site: invalid id"};
   if (!provider) throw std::invalid_argument{"register_site: null provider"};
+  // Re-registration resets the entry; drop any stale index membership first
+  // so the index never points at an entry whose index_key was wiped.
+  if (const auto old = sites_.find(info.id); old != sites_.end()) {
+    if (old->second.index_key) {
+      const auto bucket = by_effective_.find(*old->second.index_key);
+      if (bucket != by_effective_.end()) {
+        bucket->second.erase(info.id);
+        if (bucket->second.empty()) by_effective_.erase(bucket);
+      }
+    }
+    leased_sites_.erase(info.id);
+  }
   SiteEntry entry;
   entry.static_info = info;
   entry.provider = std::move(provider);
@@ -23,7 +36,19 @@ void InformationSystem::register_site(const SiteStaticInfo& info,
 }
 
 void InformationSystem::unregister_site(SiteId id) {
-  sites_.erase(id);
+  const auto it = sites_.find(id);
+  if (it == sites_.end()) return;
+  if (it->second.index_key) {
+    const auto bucket = by_effective_.find(*it->second.index_key);
+    if (bucket != by_effective_.end()) {
+      bucket->second.erase(id);
+      if (bucket->second.empty()) by_effective_.erase(bucket);
+    }
+  }
+  leased_sites_.erase(id);
+  const bool had_published = it->second.published != nullptr;
+  sites_.erase(it);
+  if (had_published) notify_invalidation(id, "unregister");
 }
 
 void InformationSystem::publish(const SiteRecord& record) {
@@ -32,16 +57,70 @@ void InformationSystem::publish(const SiteRecord& record) {
     log_warn("infosys", "publish for unregistered site ", record.static_info.name);
     return;
   }
-  it->second.published = record;
-  it->second.published->sampled_at = sim_.now();
+  store_published(it->first, it->second, record);
 }
 
 void InformationSystem::publish_fresh(SiteId id) {
   const auto it = sites_.find(id);
   if (it == sites_.end()) return;
-  SiteRecord record = it->second.provider();
+  store_published(id, it->second, it->second.provider());
+}
+
+void InformationSystem::store_published(SiteId id, SiteEntry& entry,
+                                        SiteRecord record) {
+  if (entry.published) notify_invalidation(id, "republish");
   record.sampled_at = sim_.now();
-  it->second.published = std::move(record);
+  // Prime before storing: every copy of this record the index hands out
+  // shares the one machine view built here.
+  record.prime_cache();
+  entry.published = std::make_shared<const SiteRecord>(std::move(record));
+  reindex(id, entry);
+}
+
+void InformationSystem::reindex(SiteId id, SiteEntry& entry) {
+  if (entry.index_key) {
+    const auto bucket = by_effective_.find(*entry.index_key);
+    if (bucket != by_effective_.end()) {
+      bucket->second.erase(id);
+      if (bucket->second.empty()) by_effective_.erase(bucket);
+    }
+    entry.index_key.reset();
+  }
+  if (entry.published) {
+    const int effective =
+        entry.published->dynamic_info.free_cpus - entry.leased_cpus;
+    by_effective_[effective].insert_or_assign(id, &entry);
+    entry.index_key = effective;
+  }
+}
+
+void InformationSystem::apply_lease_delta(SiteId id, int cpu_delta) {
+  const auto it = sites_.find(id);
+  if (it == sites_.end() || cpu_delta == 0) return;
+  it->second.leased_cpus += cpu_delta;
+  if (it->second.leased_cpus > 0) {
+    leased_sites_.insert_or_assign(id, &it->second);
+  } else {
+    leased_sites_.erase(id);
+  }
+  reindex(id, it->second);
+  notify_invalidation(id, "lease");
+}
+
+std::optional<int> InformationSystem::effective_free(SiteId id) const {
+  const auto it = sites_.find(id);
+  if (it == sites_.end() || !it->second.published) return std::nullopt;
+  return it->second.published->dynamic_info.free_cpus - it->second.leased_cpus;
+}
+
+std::size_t InformationSystem::index_size() const {
+  std::size_t total = 0;
+  for (const auto& [effective, ids] : by_effective_) total += ids.size();
+  return total;
+}
+
+void InformationSystem::notify_invalidation(SiteId id, const char* reason) {
+  if (invalidation_listener_) invalidation_listener_(id, reason);
 }
 
 void InformationSystem::start_periodic_publication(SiteId id, Duration period) {
@@ -81,6 +160,46 @@ void InformationSystem::query_index(IndexCallback callback) {
                 });
 }
 
+void InformationSystem::query_index_matching(int needed_cpus,
+                                             SnapshotCallback callback) {
+  if (!callback) throw std::invalid_argument{"query_index_matching: null callback"};
+  ++index_queries_;
+  IndexSnapshot survivors;
+  // Prefix of the effective-free ordering: every site whose published free
+  // CPUs minus leased CPUs already covers the request.
+  for (auto it = by_effective_.rbegin();
+       it != by_effective_.rend() && it->first >= needed_cpus; ++it) {
+    for (const auto& [id, entry] : it->second) {
+      survivors.push_back(entry->published);
+    }
+  }
+  // Leased sites below the prefix whose published capacity still covers the
+  // request: a lease may be released while this reply is in flight and the
+  // broker subtracts live leases again at delivery time, so the pruning
+  // bound must ignore leases to return exactly the sites query_index's
+  // snapshot could have matched. Sites this rule excludes have
+  // published free < needed, hence effective < needed at any later time.
+  for (const auto& [id, site] : leased_sites_) {
+    const SiteEntry& entry = *site;
+    if (!entry.published || !entry.index_key) continue;
+    if (*entry.index_key >= needed_cpus) continue;  // already in the prefix
+    if (entry.published->dynamic_info.free_cpus >= needed_cpus) {
+      survivors.push_back(entry.published);
+    }
+  }
+  // Ascending site-id order — the order query_index delivers records in —
+  // so downstream tie-breaking sees an identical candidate sequence.
+  std::sort(survivors.begin(), survivors.end(),
+            [](const std::shared_ptr<const SiteRecord>& a,
+               const std::shared_ptr<const SiteRecord>& b) {
+              return a->static_info.id < b->static_info.id;
+            });
+  sim_.schedule(config_.index_query_latency,
+                [cb = std::move(callback), recs = std::move(survivors)]() mutable {
+                  cb(std::move(recs));
+                });
+}
+
 void InformationSystem::query_site(SiteId id, SiteCallback callback) {
   if (!callback) throw std::invalid_argument{"query_site: null callback"};
   ++site_queries_;
@@ -106,8 +225,8 @@ void InformationSystem::query_site(SiteId id, SiteCallback callback) {
 
 std::optional<SiteRecord> InformationSystem::published_record(SiteId id) const {
   const auto it = sites_.find(id);
-  if (it == sites_.end()) return std::nullopt;
-  return it->second.published;
+  if (it == sites_.end() || it->second.published == nullptr) return std::nullopt;
+  return *it->second.published;
 }
 
 }  // namespace cg::infosys

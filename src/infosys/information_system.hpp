@@ -10,7 +10,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "infosys/site_record.hpp"
@@ -30,6 +32,11 @@ public:
   /// Supplies a site's live state when the IS (or broker) asks directly.
   using FreshProvider = std::function<SiteRecord()>;
   using IndexCallback = std::function<void(std::vector<SiteRecord>)>;
+  /// Matching queries hand out shared immutable snapshots instead of record
+  /// copies: publishing always creates a fresh record, so a snapshot taken
+  /// at query time stays valid however the index changes afterwards.
+  using IndexSnapshot = std::vector<std::shared_ptr<const SiteRecord>>;
+  using SnapshotCallback = std::function<void(IndexSnapshot)>;
   using SiteCallback = std::function<void(std::optional<SiteRecord>)>;
 
   InformationSystem(sim::Simulation& sim, InformationSystemConfig config = {});
@@ -53,6 +60,38 @@ public:
   /// the (possibly stale) published records.
   void query_index(IndexCallback callback);
 
+  /// Like query_index, but consults the incremental free-CPU index and
+  /// returns only sites that could possibly offer `needed_cpus`: the prefix
+  /// of the effective-free ordering (published free minus leased CPUs) plus
+  /// leased sites whose *published* capacity still covers the request —
+  /// leases may be released while the reply is in flight and the broker
+  /// re-checks leases at delivery time, so pruning must use the
+  /// lease-independent bound to stay decision-identical with query_index.
+  /// Records are delivered in ascending site-id order, exactly the order
+  /// query_index would list the same survivors in.
+  void query_index_matching(int needed_cpus, SnapshotCallback callback);
+
+  /// Applies a match-lease delta (positive on acquire, negative on release
+  /// or expiry) to a site's effective free-CPU count in the index. Unknown
+  /// sites are ignored (the lease outlived the site).
+  void apply_lease_delta(SiteId id, int cpu_delta);
+
+  /// Effective free CPUs as the index sees them (published free minus
+  /// leased); nullopt when the site is unknown or never published.
+  [[nodiscard]] std::optional<int> effective_free(SiteId id) const;
+
+  /// Sites currently present in the free-CPU index (tests).
+  [[nodiscard]] std::size_t index_size() const;
+
+  /// Observer fired whenever a site's published machine ad is invalidated:
+  /// reason "republish" (a newer snapshot replaced it), "unregister" (site
+  /// gone), or "lease" (a lease delta moved its effective free CPUs).
+  /// Single listener; pass nullptr to detach.
+  using InvalidationListener = std::function<void(SiteId, const char* reason)>;
+  void set_invalidation_listener(InvalidationListener listener) {
+    invalidation_listener_ = std::move(listener);
+  }
+
   /// Asynchronous fresh query of a single site; nullopt if unknown.
   void query_site(SiteId id, SiteCallback callback);
 
@@ -70,16 +109,37 @@ private:
     SiteStaticInfo static_info;
     FreshProvider provider;
     Duration query_latency;
-    std::optional<SiteRecord> published;
+    /// Last published snapshot; immutable and shared with in-flight queries.
+    std::shared_ptr<const SiteRecord> published;
     bool periodic = false;
     Duration period = Duration::zero();
+    /// CPUs under match lease (broker-reported); shadows the published count
+    /// in the free-CPU index.
+    int leased_cpus = 0;
+    /// Current key in by_effective_ (absent when never published).
+    std::optional<int> index_key;
   };
 
   void schedule_publication(SiteId id);
+  /// Stores a new published snapshot: notifies invalidation, primes the
+  /// machine-ad cache, and reindexes the site.
+  void store_published(SiteId id, SiteEntry& entry, SiteRecord record);
+  /// Moves the site to its current effective-free bucket (or out of the
+  /// index when it has no published record).
+  void reindex(SiteId id, SiteEntry& entry);
+  void notify_invalidation(SiteId id, const char* reason);
 
   sim::Simulation& sim_;
   InformationSystemConfig config_;
   std::map<SiteId, SiteEntry> sites_;
+  /// Incremental index: effective free CPUs (published free minus leased)
+  /// -> sites at that level, each with a pointer to its entry so queries
+  /// skip the per-survivor sites_ lookup (map nodes are address-stable).
+  /// Maintained on publish/lease/unregister events.
+  std::map<int, std::map<SiteId, const SiteEntry*>> by_effective_;
+  /// Sites with leased_cpus > 0 (their index key understates published free).
+  std::map<SiteId, const SiteEntry*> leased_sites_;
+  InvalidationListener invalidation_listener_;
   std::size_t index_queries_ = 0;
   std::size_t site_queries_ = 0;
 };

@@ -9,16 +9,11 @@ namespace cg::jdl {
 
 namespace {
 
-constexpr int kMaxDepth = 64;
-
 Value eval_impl(const Expr& expr, const EvalContext& ctx, int depth);
 
-Value eval_call(const Expr::Call& call, const EvalContext& ctx, int depth) {
-  std::vector<Value> args;
-  args.reserve(call.args.size());
-  for (const auto& a : call.args) args.push_back(eval_impl(*a, ctx, depth));
+}  // namespace
 
-  const std::string& fn = call.function;
+Value call_function(const std::string& fn, const std::vector<Value>& args) {
   if (fn == "isundefined") {
     if (args.size() != 1) return Value::undefined();
     return Value::boolean(args[0].is_undefined());
@@ -110,8 +105,17 @@ Value eval_call(const Expr::Call& call, const EvalContext& ctx, int depth) {
   return Value::undefined();  // unknown function
 }
 
+namespace {
+
+Value eval_call(const Expr::Call& call, const EvalContext& ctx, int depth) {
+  std::vector<Value> args;
+  args.reserve(call.args.size());
+  for (const auto& a : call.args) args.push_back(eval_impl(*a, ctx, depth));
+  return call_function(call.function, args);
+}
+
 Value eval_impl(const Expr& expr, const EvalContext& ctx, int depth) {
-  if (depth > kMaxDepth) return Value::undefined();
+  if (depth > kMaxEvalDepth) return Value::undefined();
 
   struct Visitor {
     const EvalContext& ctx;

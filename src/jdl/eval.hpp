@@ -9,6 +9,11 @@
 
 namespace cg::jdl {
 
+/// Recursion cutoff shared by the interpreter and the compiler: any node
+/// nested (or inlined through attribute references) deeper than this
+/// evaluates to Undefined, so cyclic ads cannot hang the matchmaker.
+inline constexpr int kMaxEvalDepth = 64;
+
 struct EvalContext {
   const ClassAd* self = nullptr;
   const ClassAd* other = nullptr;
@@ -18,6 +23,13 @@ struct EvalContext {
 /// and unknown functions yield Undefined (matchmaking treats that as no
 /// match), matching ClassAd behaviour.
 [[nodiscard]] Value evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// Applies a ClassAd builtin function (name lowercase, as the parser emits)
+/// to already-evaluated arguments. Unknown functions and arity/type errors
+/// yield Undefined. Shared by the AST interpreter and the compiled
+/// evaluator so both agree on builtin semantics.
+[[nodiscard]] Value call_function(const std::string& function,
+                                  const std::vector<Value>& args);
 
 /// Convenience: evaluates an attribute of `self` (nullptr-safe).
 [[nodiscard]] Value evaluate_attr(const ClassAd& self, std::string_view name,

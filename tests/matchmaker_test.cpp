@@ -1,6 +1,10 @@
 // Matchmaker and lease-manager tests: Requirements filtering, Rank ordering,
-// randomized tie-breaking, and exclusive temporal access.
+// randomized tie-breaking, and exclusive temporal access. The fixture is
+// parameterized over MatchmakerConfig::use_fast_path so every behaviour is
+// asserted for both the legacy AST interpretation and the compiled fast path.
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "broker/matchmaker.hpp"
 
@@ -27,39 +31,55 @@ jdl::JobDescription make_job(const std::string& extra = "") {
   return jd.value();
 }
 
-class MatchmakerFixture : public ::testing::Test {
+class MatchmakerFixture : public ::testing::TestWithParam<bool> {
 protected:
+  [[nodiscard]] MatchmakerConfig config(double tie_margin = 1e-9) const {
+    MatchmakerConfig c;
+    c.rank_tie_margin = tie_margin;
+    c.use_fast_path = GetParam();
+    return c;
+  }
+
   sim::Simulation sim;
   LeaseManager leases{sim};
-  Matchmaker matchmaker;
+  Matchmaker matchmaker{MatchmakerConfig{
+      .rank_tie_margin = 1e-9, .randomize_ties = true,
+      .use_fast_path = false}};  // overwritten in SetUp
+
+  void SetUp() override { matchmaker = Matchmaker{config()}; }
 };
 
-TEST_F(MatchmakerFixture, CapacityFilter) {
+INSTANTIATE_TEST_SUITE_P(LegacyAndFast, MatchmakerFixture, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& p) {
+                           return p.param ? "Fast" : "Legacy";
+                         });
+
+TEST_P(MatchmakerFixture, CapacityFilter) {
   const auto job = make_job();
   const auto out = matchmaker.filter(
       job, {make_record(1, 0), make_record(2, 3)}, leases, 1);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].record.static_info.id, SiteId{2});
+  EXPECT_EQ(out[0].site, SiteId{2});
   EXPECT_EQ(out[0].effective_free_cpus, 3);
 }
 
-TEST_F(MatchmakerFixture, RequirementsFilter) {
+TEST_P(MatchmakerFixture, RequirementsFilter) {
   const auto job = make_job("Requirements = other.Arch == \"x86_64\";");
   const auto out = matchmaker.filter(
       job, {make_record(1, 4, "i686"), make_record(2, 4, "x86_64")}, leases, 1);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].record.static_info.id, SiteId{2});
+  EXPECT_EQ(out[0].site, SiteId{2});
 }
 
-TEST_F(MatchmakerFixture, NeededCpusRespectsParallelJobs) {
+TEST_P(MatchmakerFixture, NeededCpusRespectsParallelJobs) {
   const auto job = make_job();
   const auto out = matchmaker.filter(
       job, {make_record(1, 2), make_record(2, 8)}, leases, 4);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].record.static_info.id, SiteId{2});
+  EXPECT_EQ(out[0].site, SiteId{2});
 }
 
-TEST_F(MatchmakerFixture, LeasesShadowFreeCpus) {
+TEST_P(MatchmakerFixture, LeasesShadowFreeCpus) {
   const auto job = make_job();
   ASSERT_TRUE(leases.acquire(SiteId{1}, 3, 60_s));
   const auto out = matchmaker.filter(job, {make_record(1, 4)}, leases, 2);
@@ -70,7 +90,7 @@ TEST_F(MatchmakerFixture, LeasesShadowFreeCpus) {
   EXPECT_EQ(loose[0].effective_free_cpus, 1);
 }
 
-TEST_F(MatchmakerFixture, DefaultRankPrefersFreeCpus) {
+TEST_P(MatchmakerFixture, DefaultRankPrefersFreeCpus) {
   const auto job = make_job();
   const auto out = matchmaker.filter(
       job, {make_record(1, 2), make_record(2, 8)}, leases, 1);
@@ -81,7 +101,7 @@ TEST_F(MatchmakerFixture, DefaultRankPrefersFreeCpus) {
   }
 }
 
-TEST_F(MatchmakerFixture, CustomRankExpression) {
+TEST_P(MatchmakerFixture, CustomRankExpression) {
   // Prefer the *fuller* site via a custom Rank.
   const auto job = make_job("Rank = -other.FreeCPUs;");
   const auto out = matchmaker.filter(
@@ -90,7 +110,7 @@ TEST_F(MatchmakerFixture, CustomRankExpression) {
   EXPECT_EQ(matchmaker.select(out, rng), SiteId{1});
 }
 
-TEST_F(MatchmakerFixture, RandomizedSelectionAmongTies) {
+TEST_P(MatchmakerFixture, RandomizedSelectionAmongTies) {
   // "Randomized selection of resources ... used to generate different
   // answers when there are multiple resource choices."
   const auto job = make_job();
@@ -106,16 +126,46 @@ TEST_F(MatchmakerFixture, RandomizedSelectionAmongTies) {
   EXPECT_EQ(chosen.size(), 3u);
 }
 
-TEST_F(MatchmakerFixture, SelectEmptyReturnsNullopt) {
+TEST_P(MatchmakerFixture, SelectEmptyReturnsNullopt) {
   Rng rng{1};
   EXPECT_FALSE(matchmaker.select({}, rng).has_value());
 }
 
-TEST_F(MatchmakerFixture, NonNumericRankIsNeutral) {
+TEST_P(MatchmakerFixture, NonNumericRankIsNeutral) {
   const auto job = make_job("Rank = \"not a number\";");
   const auto out = matchmaker.filter(job, {make_record(1, 4)}, leases, 1);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].rank, 0.0);
+}
+
+TEST_P(MatchmakerFixture, TieMarginIsSymmetricUnderNegation) {
+  // Regression for the asymmetric tie window: the old rule
+  // `rank >= best - |best| * margin` scaled by the best rank's magnitude,
+  // which for negative ranks is the *smallest* magnitude in the tie set —
+  // ranks {10, 18} tied under margin 0.5 while the mirrored {-10, -18}
+  // (gap 8, window |−10|·0.5 = 5) did not. The window now scales with the
+  // larger magnitude, so negating every rank preserves the tie set.
+  const Matchmaker wide{config(/*tie_margin=*/0.5)};
+  const auto records = [&] {
+    return std::vector<infosys::SiteRecord>{make_record(1, 10),
+                                            make_record(2, 18)};
+  };
+  const auto draws = [&](const std::string& rank_expr) {
+    const auto out =
+        wide.filter(make_job(rank_expr), records(), leases, 1);
+    EXPECT_EQ(out.size(), 2u);
+    Rng rng{7};
+    std::set<std::uint64_t> chosen;
+    for (int i = 0; i < 200; ++i) {
+      const auto site = wide.select(out, rng);
+      if (site) chosen.insert(site->value());
+    }
+    return chosen;
+  };
+  // Ranks {10, 18}: gap 8 within 0.5 * 18 = 9 -> both are ties.
+  EXPECT_EQ(draws("Rank = other.FreeCPUs;").size(), 2u);
+  // Mirrored ranks {-10, -18}: same gap, same window -> still both ties.
+  EXPECT_EQ(draws("Rank = -other.FreeCPUs;").size(), 2u);
 }
 
 // ---------------------------------------------------------------- leases ----
@@ -175,6 +225,22 @@ TEST(LeaseManagerTest, CapacityConflict) {
   EXPECT_EQ(conflict.error().code, "broker.lease_conflict");
   EXPECT_TRUE(leases.acquire(SiteId{1}, 1, 60_s, 4));
   EXPECT_EQ(leases.leased_cpus(SiteId{1}), 4);
+}
+
+TEST(LeaseManagerTest, ObserverSeesAcquireReleaseAndExpiry) {
+  sim::Simulation sim;
+  LeaseManager leases{sim};
+  std::vector<std::pair<std::uint64_t, int>> deltas;
+  leases.set_observer([&](SiteId site, int delta) {
+    deltas.emplace_back(site.value(), delta);
+  });
+  const LeaseId a = leases.acquire(SiteId{1}, 2, 60_s).value();
+  ASSERT_TRUE(leases.acquire(SiteId{2}, 3, 10_s));
+  EXPECT_TRUE(leases.release(a));
+  sim.run();  // site 2's lease expires
+  const std::vector<std::pair<std::uint64_t, int>> expected{
+      {1, 2}, {2, 3}, {1, -2}, {2, -3}};
+  EXPECT_EQ(deltas, expected);
 }
 
 }  // namespace
