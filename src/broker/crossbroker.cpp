@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
 #include "util/log.hpp"
 
@@ -40,6 +42,10 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
   if (config_.enable_agent_heartbeats) {
     sim_.schedule_daemon(config_.agent_heartbeat_interval,
                          [this] { heartbeat_tick(); });
+  }
+  if (config_.enable_liveness_probes) {
+    sim_.schedule_daemon(config_.liveness_probe_interval,
+                         [this] { liveness_tick(); });
   }
 }
 
@@ -817,7 +823,13 @@ void CrossBroker::handle_no_resources(JobId id) {
     fail_job(id, reason);
     return;
   }
-  // Batch jobs wait inside the broker for a machine to become idle.
+  // Batch jobs wait inside the broker for a machine to become idle. Site
+  // exclusions are tactical — they steer the *immediate* resubmission away
+  // from a site that just failed the job — not a permanent ban: once the job
+  // has to wait anyway they are stale knowledge, and keeping them can leave
+  // every site excluded so no poll could ever match (a livelock after
+  // repeated evictions on a small grid).
+  job->excluded_sites.clear();
   set_state(*job, JobState::kQueuedBroker);
   if (std::find(waiting_batch_.begin(), waiting_batch_.end(), id) ==
       waiting_batch_.end()) {
@@ -1245,7 +1257,10 @@ void CrossBroker::heartbeat_tick() {
         network_.link(endpoint_, site->endpoint()).is_up(sim_.now());
     if (reachable) {
       info.missed_heartbeats = 0;
-      if (info.suspected) restore_agent(agent_id);
+      // A passing link heartbeat alone is not proof of life: a wedged agent
+      // behind a healthy link stays suspected until its liveness echo
+      // returns too.
+      if (info.suspected && clear_of_suspicion(info)) restore_agent(agent_id);
     } else {
       ++info.missed_heartbeats;
       count("broker.heartbeat_misses",
@@ -1256,7 +1271,7 @@ void CrossBroker::heartbeat_tick() {
              obs::LabelSet{{"site", std::to_string(info.site.value())}});
       if (!info.suspected &&
           info.missed_heartbeats >= config_.agent_heartbeat_miss_limit) {
-        suspect_agent(agent_id);
+        suspect_agent(agent_id, "heartbeat");
       }
     }
   }
@@ -1264,21 +1279,101 @@ void CrossBroker::heartbeat_tick() {
                        [this] { heartbeat_tick(); });
 }
 
-void CrossBroker::suspect_agent(AgentId agent_id) {
+void CrossBroker::liveness_tick() {
+  for (auto& [agent_id, info] : agent_info_) {
+    glidein::GlideinAgent* agent = agents_.find(agent_id);
+    if (agent == nullptr || agent->state() != glidein::AgentState::kRunning) {
+      continue;
+    }
+    lrms::Site* site = find_site(info.site);
+    if (site == nullptr) continue;
+    if (info.probe_seq > info.echo_seq) {
+      // The previous probe was never echoed: the agent's event loop is
+      // stalled or the path is down. Either way the application-level
+      // liveness contract failed, whatever the link heartbeat says.
+      ++info.missed_echoes;
+      count("broker.liveness_misses",
+            obs::LabelSet{{"site", std::to_string(info.site.value())}});
+      tracev(JobId::none(), obs::TraceEventKind::kLivenessMiss,
+             "agent " + std::to_string(agent_id.value()) + " missed echo " +
+                 std::to_string(info.missed_echoes) + " (probe " +
+                 std::to_string(info.probe_seq) + ")",
+             obs::LabelSet{{"site", std::to_string(info.site.value())}});
+      if (!info.suspected &&
+          info.missed_echoes >= config_.liveness_miss_limit) {
+        suspect_agent(agent_id, "liveness");
+      }
+    }
+    send_liveness_probe(agent_id, info, *site);
+  }
+  sim_.schedule_daemon(config_.liveness_probe_interval,
+                       [this] { liveness_tick(); });
+}
+
+void CrossBroker::send_liveness_probe(AgentId agent_id, AgentInfo& info,
+                                      const lrms::Site& site) {
+  const std::uint64_t seq = ++info.probe_seq;
+  count("broker.liveness_probes");
+  // The probe rides the direct broker <-> agent channel; on a partitioned
+  // link it is simply lost and counted missing at the next tick.
+  if (!network_.link(endpoint_, site.endpoint()).is_up(sim_.now())) return;
+  const std::string site_endpoint = site.endpoint();
+  sim_.schedule(
+      config_.agent_channel_latency, [this, agent_id, seq, site_endpoint] {
+        glidein::GlideinAgent* agent = agents_.find(agent_id);
+        // The echo must come out of the agent's event loop: a wedged (or
+        // dead) agent never answers even though the probe arrived.
+        if (agent == nullptr || !agent->echo_liveness_probe(seq)) return;
+        if (!network_.link(endpoint_, site_endpoint).is_up(sim_.now())) return;
+        sim_.schedule(config_.agent_channel_latency, [this, agent_id, seq] {
+          on_liveness_echo(agent_id, seq);
+        });
+      });
+}
+
+void CrossBroker::on_liveness_echo(AgentId agent_id, std::uint64_t seq) {
+  const auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end()) return;
+  AgentInfo& info = it->second;
+  if (seq > info.echo_seq) info.echo_seq = seq;
+  info.missed_echoes = 0;
+  if (info.suspected && clear_of_suspicion(info)) restore_agent(agent_id);
+}
+
+bool CrossBroker::clear_of_suspicion(const AgentInfo& info) const {
+  const bool heartbeats_ok =
+      !config_.enable_agent_heartbeats ||
+      info.missed_heartbeats < config_.agent_heartbeat_miss_limit;
+  const bool echoes_ok = !config_.enable_liveness_probes ||
+                         info.missed_echoes < config_.liveness_miss_limit;
+  return heartbeats_ok && echoes_ok;
+}
+
+void CrossBroker::suspect_agent(AgentId agent_id, const char* reason) {
   const auto it = agent_info_.find(agent_id);
   if (it == agent_info_.end() || it->second.suspected) return;
   AgentInfo& info = it->second;
   info.suspected = true;
+  info.suspected_since = sim_.now();
+  const bool by_liveness = std::string_view{reason} == "liveness";
+  const std::string cause =
+      by_liveness ? std::to_string(info.missed_echoes) + " missed liveness echoes"
+                  : std::to_string(info.missed_heartbeats) + " missed heartbeats";
   trace(JobId::none(), "agent",
         "agent " + std::to_string(agent_id.value()) + " suspected after " +
-            std::to_string(info.missed_heartbeats) + " missed heartbeats");
-  log_warn(kLog, "agent ", agent_id.value(), " suspected (",
-           info.missed_heartbeats, " missed heartbeats)");
+            cause);
+  log_warn(kLog, "agent ", agent_id.value(), " suspected (", cause, ")");
   tracev(JobId::none(), obs::TraceEventKind::kAgentSuspected,
-         "agent " + std::to_string(agent_id.value()) + " after " +
-             std::to_string(info.missed_heartbeats) + " missed heartbeats",
-         obs::LabelSet{{"site", std::to_string(info.site.value())}});
-  count("broker.agents_suspected");
+         "agent " + std::to_string(agent_id.value()) + " after " + cause,
+         obs::LabelSet{{"site", std::to_string(info.site.value())},
+                       {"reason", reason}});
+  count("broker.agents_suspected", obs::LabelSet{{"reason", reason}});
+  if (config_.running_job_grace > Duration::zero()) {
+    const SimTime since = sim_.now();
+    sim_.schedule(config_.running_job_grace, [this, agent_id, since] {
+      evict_suspected_residents(agent_id, since);
+    });
+  }
 
   // Revoke the exclusive-temporal-access matches of jobs still waiting to
   // start on this agent: their leases are released inside resubmit_job and
@@ -1309,6 +1404,8 @@ void CrossBroker::restore_agent(AgentId agent_id) {
   if (it == agent_info_.end() || !it->second.suspected) return;
   it->second.suspected = false;
   it->second.missed_heartbeats = 0;
+  it->second.missed_echoes = 0;
+  it->second.suspected_since.reset();
   trace(JobId::none(), "agent",
         "agent " + std::to_string(agent_id.value()) +
             " re-registered after partition healed");
@@ -1317,6 +1414,75 @@ void CrossBroker::restore_agent(AgentId agent_id) {
          "agent " + std::to_string(agent_id.value()) + " re-registered",
          obs::LabelSet{{"site", std::to_string(it->second.site.value())}});
   count("broker.agents_restored");
+  // Residents may have been evicted while the agent was suspected, leaving
+  // it idle: now that it is reachable again the usual idle-dismissal applies,
+  // or its worker node would stay occupied by an empty carrier forever.
+  maybe_dismiss_agent(agent_id);
+}
+
+void CrossBroker::evict_suspected_residents(AgentId agent_id,
+                                            SimTime suspected_since) {
+  const auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end()) return;  // the agent died; the death path ran
+  AgentInfo& info = it->second;
+  if (!info.suspected || !info.suspected_since ||
+      *info.suspected_since != suspected_since) {
+    return;  // healed (or re-suspected anew) before the grace expired
+  }
+  glidein::GlideinAgent* agent = agents_.find(agent_id);
+  // Time out every running resident: the agent has been suspected for the
+  // whole grace window, so its residents are treated as orphaned.
+  std::vector<std::pair<JobId, bool>> victims;  // (job, interactive slot)
+  for (const JobId resident : info.interactive_residents) {
+    victims.emplace_back(resident, true);
+  }
+  if (info.batch_resident) victims.emplace_back(*info.batch_resident, false);
+  info.interactive_residents.clear();
+  info.batch_resident.reset();
+  if (!victims.empty()) info.ran_any_job = true;
+  for (const auto& [job_id, interactive] : victims) {
+    ManagedJob* job = find_job(job_id);
+    // Best-effort local kill: behind a real partition the command may never
+    // arrive, but the broker stops accounting for the resident either way.
+    if (agent != nullptr && job != nullptr) {
+      if (interactive) {
+        for (const auto& sub : job->record.subjobs) {
+          if (sub.agent == agent_id) {
+            agent->cancel_interactive_job(sub.lrms_job_id);
+          }
+        }
+      } else {
+        agent->cancel_slot(glidein::SlotType::kBatch);
+      }
+    }
+    if (job == nullptr || is_terminal(job->record.state)) continue;
+    trace(job_id, "evicted",
+          "agent " + std::to_string(agent_id.value()) +
+              " suspected past running_job_grace");
+    tracev(job_id, obs::TraceEventKind::kJobEvicted,
+           "agent " + std::to_string(agent_id.value()) +
+               " suspected past running_job_grace",
+           obs::LabelSet{{"reason", "partition"},
+                         {"agent", std::to_string(agent_id.value())},
+                         {"site", std::to_string(info.site.value())}});
+    count("broker.jobs_evicted", obs::LabelSet{{"reason", "partition"}});
+    // Subjobs on other agents cannot be rewound from here; resubmit_job then
+    // reports the partial failure. The single-agent job — the normal
+    // interactive case — is rewound and rescheduled from scratch.
+    bool all_on_this_agent = true;
+    for (const auto& sub : job->record.subjobs) {
+      if (!sub.completed && sub.agent != agent_id) {
+        all_on_this_agent = false;
+        break;
+      }
+    }
+    if (all_on_this_agent) {
+      job->subjobs_running = 0;
+      job->subjobs_completed = 0;
+      fair_share_.job_finished(job_id);
+    }
+    resubmit_job(job_id);
+  }
 }
 
 void CrossBroker::handle_agent_death(AgentId agent_id) {

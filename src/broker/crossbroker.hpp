@@ -81,6 +81,28 @@ struct CrossBrokerConfig {
   Duration agent_heartbeat_interval = Duration::seconds(10);
   int agent_heartbeat_miss_limit = 3;
 
+  /// Application-level liveness echo, distinct from the link heartbeat: the
+  /// broker sends a sequenced probe down the direct broker <-> agent channel
+  /// every interval and the agent must echo it *from its event loop*. A
+  /// wedged agent process (stalled loop, healthy link) misses echoes while
+  /// link heartbeats still pass, and is suspected after miss_limit
+  /// consecutive misses. A suspected agent is only restored once an echo
+  /// makes the round trip again.
+  bool enable_liveness_probes = true;
+  Duration liveness_probe_interval = Duration::seconds(10);
+  int liveness_miss_limit = 3;
+
+  /// Partition-aware eviction of *running* residents: when an agent stays
+  /// suspected past this grace, its running jobs are timed out — killed on
+  /// the agent side (best effort), their leases released, a typed
+  /// JobEvicted{reason=partition} event emitted, and the job resubmitted on
+  /// the normal backoff policy (eviction implies resubmission; the
+  /// resubmit_interactive_on_agent_death switch governs only *deaths*,
+  /// where the resident is gone rather than orphaned). Zero disables
+  /// eviction — the paper-era behaviour where running residents are left
+  /// untouched behind a partition.
+  Duration running_job_grace = Duration::zero();
+
   /// Resubmit interactive residents when their agent dies instead of
   /// failing them loudly. Off by default: the paper's position is that the
   /// user is attached to the console and must act. Fault-tolerance harnesses
@@ -217,6 +239,15 @@ private:
     /// whether the agent is currently suspected unreachable.
     int missed_heartbeats = 0;
     bool suspected = false;
+    /// Liveness-echo supervision: highest probe sequence sent / echoed back,
+    /// and consecutive unanswered probes. probe_seq > echo_seq means a probe
+    /// is outstanding when the next tick fires.
+    std::uint64_t probe_seq = 0;
+    std::uint64_t echo_seq = 0;
+    int missed_echoes = 0;
+    /// When the current suspicion began; guards the eviction timer against
+    /// suspect -> restore -> suspect races.
+    std::optional<SimTime> suspected_since;
     /// Free slots minus reservations: what a new placement may still take.
     /// A suspected agent offers nothing until it re-registers.
     [[nodiscard]] int reservable_slots(const glidein::GlideinAgent& agent) const {
@@ -275,10 +306,19 @@ private:
   void handle_agent_death(AgentId agent_id);
   void on_site_job_killed(SiteId site, JobId job, NodeId node);
 
-  // -- heartbeat supervision -----------------------------------------------
+  // -- heartbeat + liveness supervision --------------------------------------
   void heartbeat_tick();
-  void suspect_agent(AgentId agent_id);
+  void liveness_tick();
+  void send_liveness_probe(AgentId agent_id, AgentInfo& info,
+                           const lrms::Site& site);
+  void on_liveness_echo(AgentId agent_id, std::uint64_t seq);
+  void suspect_agent(AgentId agent_id, const char* reason);
   void restore_agent(AgentId agent_id);
+  /// True when nothing (link heartbeats, liveness echoes) still accuses the
+  /// agent; gates restoration so a wedged agent on a healthy link is not
+  /// resurrected by passing heartbeats alone.
+  [[nodiscard]] bool clear_of_suspicion(const AgentInfo& info) const;
+  void evict_suspected_residents(AgentId agent_id, SimTime suspected_since);
 
   [[nodiscard]] double application_factor(const ManagedJob& job) const;
   /// Pre-flight credential check (security enabled only); also used before

@@ -1,0 +1,139 @@
+#include "broker/fault_bridge.hpp"
+
+#include "util/log.hpp"
+
+namespace cg::broker {
+
+namespace {
+constexpr const char* kLog = "fault-bridge";
+}
+
+FaultBridge::FaultBridge(GridScenario& grid, sim::FaultInjector& injector)
+    : grid_{grid} {
+  injector.set_handler(
+      sim::FaultKind::kAgentCrash,
+      [this](const sim::FaultSpec& spec) { on_agent_crash(spec); });
+  injector.set_handler(
+      sim::FaultKind::kAgentWedge,
+      [this](const sim::FaultSpec& spec) { on_agent_wedge(spec); },
+      [this](const sim::FaultSpec& spec) { on_agent_unwedge(spec); });
+  injector.set_handler(
+      sim::FaultKind::kNodeCrash,
+      [this](const sim::FaultSpec& spec) { on_node_crash(spec); },
+      [this](const sim::FaultSpec& spec) { on_node_revive(spec); });
+}
+
+std::optional<AgentId> FaultBridge::resolve_agent(
+    const std::string& target) const {
+  const auto query = sim::parse_victim_query(target);
+  if (!query || query->fn == sim::VictimQuery::Fn::kNodeOf) return std::nullopt;
+  if (query->ref == sim::VictimQuery::Ref::kAgent) return AgentId{query->id};
+  const JobRecord* record = grid_.broker().record(JobId{query->id});
+  if (record == nullptr) return std::nullopt;
+  for (const auto& sub : record->subjobs) {
+    if (sub.agent && !sub.completed) return *sub.agent;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultBridge::NodeRef> FaultBridge::resolve_node(
+    const std::string& target) const {
+  const auto query = sim::parse_victim_query(target);
+  if (!query || query->fn != sim::VictimQuery::Fn::kNodeOf) return std::nullopt;
+  if (query->ref == sim::VictimQuery::Ref::kAgent) {
+    const glidein::GlideinAgent* agent =
+        grid_.broker().agents().find(AgentId{query->id});
+    if (agent == nullptr || !agent->node()) return std::nullopt;
+    return locate_node(agent->site(), *agent->node());
+  }
+  const JobRecord* record = grid_.broker().record(JobId{query->id});
+  if (record == nullptr) return std::nullopt;
+  for (const auto& sub : record->subjobs) {
+    if (sub.completed) continue;
+    if (sub.agent) {
+      // Agent-resident subjob: the node is wherever the carrier sits.
+      const glidein::GlideinAgent* agent = grid_.broker().agents().find(*sub.agent);
+      if (agent != nullptr && agent->node()) {
+        return locate_node(agent->site(), *agent->node());
+      }
+      continue;
+    }
+    // Direct placement: ask the site scheduler where the LRMS job runs.
+    for (std::size_t i = 0; i < grid_.site_count(); ++i) {
+      lrms::Site& site = grid_.site(i);
+      if (site.id() != sub.site) continue;
+      const auto node = site.scheduler().node_of(sub.lrms_job_id);
+      if (node) return locate_node(sub.site, *node);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultBridge::NodeRef> FaultBridge::locate_node(SiteId site,
+                                                             NodeId node) const {
+  for (std::size_t s = 0; s < grid_.site_count(); ++s) {
+    if (grid_.site(s).id() != site) continue;
+    lrms::LocalScheduler& scheduler = grid_.site(s).scheduler();
+    for (std::size_t n = 0; n < scheduler.node_count(); ++n) {
+      if (scheduler.node(n).id() == node) return NodeRef{s, n};
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultBridge::on_agent_crash(const sim::FaultSpec& spec) {
+  const auto agent_id = resolve_agent(spec.target);
+  if (!agent_id) {
+    log_warn(kLog, "agent-crash victim '", spec.target, "' did not resolve");
+    return;
+  }
+  const glidein::GlideinAgent* agent = grid_.broker().agents().find(*agent_id);
+  if (agent == nullptr) return;
+  // Killing the carrier job is how an agent dies: the kill observer chain
+  // (scheduler -> broker) runs the normal death path.
+  const JobId carrier = agent->carrier_job_id();
+  for (std::size_t i = 0; i < grid_.site_count(); ++i) {
+    if (grid_.site(i).scheduler().kill_running(carrier)) return;
+  }
+}
+
+void FaultBridge::on_agent_wedge(const sim::FaultSpec& spec) {
+  const auto agent_id = resolve_agent(spec.target);
+  if (!agent_id) {
+    log_warn(kLog, "agent-wedge victim '", spec.target, "' did not resolve");
+    return;
+  }
+  glidein::GlideinAgent* agent = grid_.broker().agents().find(*agent_id);
+  if (agent == nullptr) return;
+  agent->set_wedged(true);
+  wedged_agents_[spec.target] = *agent_id;
+}
+
+void FaultBridge::on_agent_unwedge(const sim::FaultSpec& spec) {
+  const auto it = wedged_agents_.find(spec.target);
+  if (it == wedged_agents_.end()) return;
+  glidein::GlideinAgent* agent = grid_.broker().agents().find(it->second);
+  wedged_agents_.erase(it);
+  if (agent != nullptr) agent->set_wedged(false);
+}
+
+void FaultBridge::on_node_crash(const sim::FaultSpec& spec) {
+  const auto node = resolve_node(spec.target);
+  if (!node) {
+    log_warn(kLog, "node-crash victim '", spec.target, "' did not resolve");
+    return;
+  }
+  grid_.site(node->site_index).scheduler().fail_node(node->node_index);
+  crashed_nodes_[spec.target] = *node;
+}
+
+void FaultBridge::on_node_revive(const sim::FaultSpec& spec) {
+  const auto it = crashed_nodes_.find(spec.target);
+  if (it == crashed_nodes_.end()) return;
+  grid_.site(it->second.site_index)
+      .scheduler()
+      .revive_node(it->second.node_index);
+  crashed_nodes_.erase(it);
+}
+
+}  // namespace cg::broker

@@ -1,0 +1,63 @@
+// Standard wiring between a FaultInjector and a GridScenario: the faults
+// whose victims live above the sim layer (glide-in agents, worker nodes) get
+// one canonical set of handlers here, and the victim named by a FaultSpec's
+// target is resolved *at fire time* through the victim-query DSL
+// (sim::parse_victim_query) against live broker state. Scenarios declare
+// what to break — "agent_of(job:7)", "node_of(agent:2)" — instead of each
+// test hand-writing its own resolution handlers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "broker/grid_scenario.hpp"
+#include "sim/fault.hpp"
+#include "util/ids.hpp"
+
+namespace cg::broker {
+
+class FaultBridge {
+public:
+  /// Installs handlers for kAgentCrash, kAgentWedge, and kNodeCrash on the
+  /// injector (replacing any previously installed ones for those kinds).
+  /// Both the scenario and the injector must outlive the bridge.
+  FaultBridge(GridScenario& grid, sim::FaultInjector& injector);
+  FaultBridge(const FaultBridge&) = delete;
+  FaultBridge& operator=(const FaultBridge&) = delete;
+
+  /// Resolves an agent-valued query ("agent:N", "agent_of(job:N)") against
+  /// the broker's current state. Exposed for tests and custom handlers.
+  [[nodiscard]] std::optional<AgentId> resolve_agent(
+      const std::string& target) const;
+
+  /// A worker node pinned down to its site: scheduler node indices are what
+  /// fail_node/revive_node speak.
+  struct NodeRef {
+    std::size_t site_index = 0;
+    std::size_t node_index = 0;
+  };
+
+  /// Resolves a node-valued query ("node_of(job:N)", "node_of(agent:N)").
+  [[nodiscard]] std::optional<NodeRef> resolve_node(
+      const std::string& target) const;
+
+private:
+  void on_agent_crash(const sim::FaultSpec& spec);
+  void on_agent_wedge(const sim::FaultSpec& spec);
+  void on_agent_unwedge(const sim::FaultSpec& spec);
+  void on_node_crash(const sim::FaultSpec& spec);
+  void on_node_revive(const sim::FaultSpec& spec);
+  /// NodeIds are only unique within one site's scheduler, so a lookup must
+  /// always be scoped to the site the victim is known to live at.
+  [[nodiscard]] std::optional<NodeRef> locate_node(SiteId site,
+                                                  NodeId node) const;
+
+  GridScenario& grid_;
+  /// Fire-time resolutions remembered for the matching heal event: the
+  /// queried state (which agent ran the job) may have changed by then.
+  std::map<std::string, AgentId> wedged_agents_;
+  std::map<std::string, NodeRef> crashed_nodes_;
+};
+
+}  // namespace cg::broker

@@ -128,10 +128,19 @@ Status GlideinAgent::start_interactive_job(SlotJob job, int performance_loss) {
   return make_error("glidein.slot_busy", "all interactive VMs are occupied");
 }
 
+bool GlideinAgent::echo_liveness_probe(std::uint64_t seq) {
+  if (state_ != AgentState::kRunning || wedged_) return false;
+  if (seq > last_echoed_probe_) last_echoed_probe_ = seq;
+  return true;
+}
+
 Status GlideinAgent::start_on_slot(int slot_index, SlotJob job,
                                    int performance_loss) {
   if (state_ != AgentState::kRunning) {
     return make_error("glidein.not_running", "agent is not running");
+  }
+  if (wedged_) {
+    return make_error("glidein.wedged", "agent event loop is stalled");
   }
   auto& resident = slot_index < 0
                        ? batch_job_

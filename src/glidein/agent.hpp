@@ -5,6 +5,7 @@
 // interactive submissions), and enforces the PerformanceLoss CPU split.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -84,6 +85,22 @@ public:
   /// Installed by the registry/broker to track availability.
   void set_state_observer(StateObserver observer);
 
+  /// Fault injection (kAgentWedge): a wedged agent's event loop is stalled —
+  /// it stops echoing liveness probes and refuses new slot starts — while
+  /// its carrier job, node, and link stay healthy and resident jobs keep
+  /// executing (they are separate processes; only the control loop is stuck).
+  void set_wedged(bool wedged) { wedged_ = wedged; }
+  [[nodiscard]] bool wedged() const { return wedged_; }
+
+  /// Delivery of a sequenced broker liveness probe. Returns true when the
+  /// event loop processed it (the probe will be echoed), false when the
+  /// agent is not running or its loop is wedged.
+  [[nodiscard]] bool echo_liveness_probe(std::uint64_t seq);
+  /// Highest probe sequence the loop has processed (0 before the first).
+  [[nodiscard]] std::uint64_t last_echoed_probe() const {
+    return last_echoed_probe_;
+  }
+
   /// Attaches a metrics registry (must outlive the agent, or be detached
   /// with nullptr): VM occupancy gauges plus slot start/demotion counters,
   /// labelled with `labels` (typically {"site": ...}).
@@ -152,6 +169,8 @@ private:
   GlideinAgentConfig config_;
   mutable Rng noise_rng_;  ///< execution-noise stream (dilation_for is const)
   AgentState state_ = AgentState::kPending;
+  bool wedged_ = false;
+  std::uint64_t last_echoed_probe_ = 0;
   StateObserver observer_;
   JobId carrier_job_id_;
   std::optional<NodeId> node_;

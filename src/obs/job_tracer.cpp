@@ -23,6 +23,7 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kRunning: return "running";
     case TraceEventKind::kStreaming: return "streaming";
     case TraceEventKind::kResubmitted: return "resubmitted";
+    case TraceEventKind::kJobEvicted: return "job_evicted";
     case TraceEventKind::kCompleted: return "completed";
     case TraceEventKind::kFailed: return "failed";
     case TraceEventKind::kRejected: return "rejected";
@@ -31,10 +32,12 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kAgentRestored: return "agent_restored";
     case TraceEventKind::kAgentDied: return "agent_died";
     case TraceEventKind::kHeartbeatMiss: return "heartbeat_miss";
+    case TraceEventKind::kLivenessMiss: return "liveness_miss";
     case TraceEventKind::kLinkDown: return "link_down";
     case TraceEventKind::kLinkUp: return "link_up";
     case TraceEventKind::kFrameDropped: return "frame_dropped";
     case TraceEventKind::kReconnected: return "reconnected";
+    case TraceEventKind::kSpoolFull: return "spool_full";
     case TraceEventKind::kInfo: return "info";
   }
   return "?";

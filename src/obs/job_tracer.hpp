@@ -35,6 +35,7 @@ enum class TraceEventKind {
   kRunning,       ///< the whole job runs (startup barrier passed)
   kStreaming,     ///< console/streaming activity (frames, reconnects)
   kResubmitted,
+  kJobEvicted,    ///< running resident timed out behind a suspected agent
   kCompleted,
   kFailed,
   kRejected,
@@ -44,10 +45,12 @@ enum class TraceEventKind {
   kAgentRestored,
   kAgentDied,
   kHeartbeatMiss,
+  kLivenessMiss,  ///< sequenced probe not echoed from the agent's event loop
   kLinkDown,
   kLinkUp,
   kFrameDropped,
   kReconnected,
+  kSpoolFull,     ///< reliable-mode append rejected (capacity or disk fault)
   kInfo,
 };
 

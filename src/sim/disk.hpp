@@ -35,8 +35,15 @@ public:
   [[nodiscard]] std::size_t write_ops() const { return writes_; }
   [[nodiscard]] std::size_t read_ops() const { return reads_; }
 
+  /// Fault injection (kSpoolFail): while unhealthy, every spool append
+  /// against this disk fails as if the device returned EIO. Reads of data
+  /// already on the platter still succeed.
+  void set_healthy(bool healthy) { healthy_ = healthy; }
+  [[nodiscard]] bool healthy() const { return healthy_; }
+
 private:
   DiskSpec spec_;
+  bool healthy_ = true;
   std::size_t bytes_written_ = 0;
   std::size_t bytes_read_ = 0;
   std::size_t writes_ = 0;

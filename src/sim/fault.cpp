@@ -16,9 +16,49 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kNodeCrash: return "node-crash";
     case FaultKind::kAgentCrash: return "agent-crash";
+    case FaultKind::kAgentWedge: return "agent-wedge";
     case FaultKind::kSpoolFail: return "spool-fail";
   }
   return "unknown";
+}
+
+std::optional<VictimQuery> parse_victim_query(std::string_view text) {
+  VictimQuery query;
+  std::string_view ref = text;
+  const std::size_t open = text.find('(');
+  if (open != std::string_view::npos) {
+    if (text.empty() || text.back() != ')') return std::nullopt;
+    const std::string_view fn = text.substr(0, open);
+    if (fn == "agent_of") {
+      query.fn = VictimQuery::Fn::kAgentOf;
+    } else if (fn == "node_of") {
+      query.fn = VictimQuery::Fn::kNodeOf;
+    } else {
+      return std::nullopt;
+    }
+    ref = text.substr(open + 1, text.size() - open - 2);
+  }
+  const std::size_t colon = ref.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string_view kind = ref.substr(0, colon);
+  if (kind == "job") {
+    query.ref = VictimQuery::Ref::kJob;
+  } else if (kind == "agent") {
+    query.ref = VictimQuery::Ref::kAgent;
+  } else {
+    return std::nullopt;
+  }
+  const std::string_view digits = ref.substr(colon + 1);
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t id = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  query.id = id;
+  // "agent_of(agent:N)" is redundant but harmless; "node_of" accepts both
+  // referent kinds ("the node this agent/job sits on").
+  return query;
 }
 
 // ------------------------------------------------------------- FaultPlan ----
@@ -74,6 +114,20 @@ FaultPlan& FaultPlan::crash_agent(std::string target, SimTime at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::wedge_agent(std::string target, SimTime at,
+                                  Duration duration) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument{"FaultPlan: wedge needs a positive duration"};
+  }
+  FaultSpec spec;
+  spec.kind = FaultKind::kAgentWedge;
+  spec.at = at;
+  spec.duration = duration;
+  spec.target = std::move(target);
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
 FaultPlan& FaultPlan::fail_spool(std::string target, SimTime at,
                                  Duration duration) {
   FaultSpec spec;
@@ -117,6 +171,14 @@ void FaultInjector::set_handler(FaultKind kind, Handler on_fault,
   handlers_[kind] = Handlers{std::move(on_fault), std::move(on_recover)};
 }
 
+void FaultInjector::register_disk(std::string name, DiskModel* disk) {
+  if (disk == nullptr) {
+    disks_.erase(name);
+  } else {
+    disks_[std::move(name)] = disk;
+  }
+}
+
 Link* FaultInjector::link_for(const FaultSpec& spec) {
   if (network_ == nullptr) {
     throw std::logic_error{"FaultInjector: link fault armed without a network"};
@@ -151,6 +213,10 @@ void FaultInjector::fire(const FaultSpec& spec) {
     Link* link = link_for(spec);
     link->set_extra_latency(link->extra_latency() + spec.extra_latency);
   }
+  if (spec.kind == FaultKind::kSpoolFail) {
+    const auto disk = disks_.find(spec.target);
+    if (disk != disks_.end()) disk->second->set_healthy(false);
+  }
   const auto it = handlers_.find(spec.kind);
   if (it != handlers_.end() && it->second.on_fault) it->second.on_fault(spec);
 }
@@ -165,6 +231,10 @@ void FaultInjector::heal(const FaultSpec& spec) {
   if (spec.kind == FaultKind::kLinkDegrade) {
     Link* link = link_for(spec);
     link->set_extra_latency(link->extra_latency() - spec.extra_latency);
+  }
+  if (spec.kind == FaultKind::kSpoolFail) {
+    const auto disk = disks_.find(spec.target);
+    if (disk != disks_.end()) disk->second->set_healthy(true);
   }
   const auto it = handlers_.find(spec.kind);
   if (it != handlers_.end() && it->second.on_recover) {

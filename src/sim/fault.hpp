@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sim/disk.hpp"
 
 #include "sim/network.hpp"
 #include "sim/simulation.hpp"
@@ -28,10 +31,33 @@ enum class FaultKind {
   kLinkDegrade,    ///< extra one-way latency on a link while active
   kNodeCrash,      ///< worker-node failure; delivered to a handler
   kAgentCrash,     ///< glide-in agent (carrier) kill; delivered to a handler
-  kSpoolFail,      ///< spool I/O failure window; delivered to a handler
+  kAgentWedge,     ///< agent event loop stalls (link stays up); via handler
+  kSpoolFail,      ///< spool I/O failure window; registered disk + handler
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
+
+/// The victim-query DSL: fault targets may name their victim *indirectly*
+/// ("whichever agent job 7 runs on") so plans stay declarative and the
+/// resolution happens at fire time against live broker state. Grammar:
+///
+///   query := func "(" ref ")" | ref
+///   func  := "agent_of" | "node_of"
+///   ref   := ("job" | "agent") ":" <decimal id>
+///
+/// Examples: "agent_of(job:7)", "node_of(agent:2)", "node_of(job:7)",
+/// "agent:3". Targets that do not parse are treated as opaque strings and
+/// passed to handlers unchanged (the pre-DSL behaviour).
+struct VictimQuery {
+  enum class Fn { kNone, kAgentOf, kNodeOf };
+  enum class Ref { kJob, kAgent };
+  Fn fn = Fn::kNone;
+  Ref ref = Ref::kJob;
+  std::uint64_t id = 0;
+};
+
+[[nodiscard]] std::optional<VictimQuery> parse_victim_query(
+    std::string_view text);
 
 /// One scheduled fault. Link faults name the two endpoints; the other kinds
 /// carry an opaque `target` string the registered handler interprets (a node
@@ -58,6 +84,10 @@ public:
   FaultPlan& crash_node(std::string target, SimTime at,
                         Duration down_for = Duration::zero());
   FaultPlan& crash_agent(std::string target, SimTime at);
+  /// Stalls an agent's event loop for the window without touching its link:
+  /// the process stops echoing liveness probes and accepting work while its
+  /// residents keep running. The canonical "wedged but pingable" failure.
+  FaultPlan& wedge_agent(std::string target, SimTime at, Duration duration);
   FaultPlan& fail_spool(std::string target, SimTime at, Duration duration);
 
   struct RandomLinkFaultOptions {
@@ -102,6 +132,13 @@ public:
   /// everything else is event-driven. May be called more than once.
   void arm(const FaultPlan& plan);
 
+  /// Registers a spool disk under a name. A kSpoolFail whose target matches
+  /// flips the disk unhealthy for the window — the fault fires through real
+  /// sim state (appends fail at the DiskModel) instead of relying on a
+  /// handler; any kSpoolFail handler still runs afterwards. The disk must
+  /// outlive the injector (or be unregistered by registering nullptr).
+  void register_disk(std::string name, DiskModel* disk);
+
   [[nodiscard]] std::size_t injected_faults() const { return injected_; }
   [[nodiscard]] std::size_t recoveries() const { return recovered_; }
   [[nodiscard]] const std::vector<std::string>& timeline() const {
@@ -124,6 +161,7 @@ private:
   Simulation& sim_;
   Network* network_;
   std::map<FaultKind, Handlers> handlers_;
+  std::map<std::string, DiskModel*> disks_;
   std::vector<std::string> timeline_;
   std::size_t injected_ = 0;
   std::size_t recovered_ = 0;

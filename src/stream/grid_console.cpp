@@ -27,6 +27,17 @@ ConsoleAgent::ConsoleAgent(sim::Simulation& sim, int rank,
       failed_ = true;
       shadow_.agent_failed(rank_);
     });
+    reliable_uplink_->set_spool_reject_handler([this](std::size_t bytes) {
+      if (config_.obs == nullptr) return;
+      config_.obs->metrics
+          .counter("stream.spool_full",
+                   obs::LabelSet{{"rank", std::to_string(rank_)}})
+          .inc();
+      config_.obs->tracer.record(
+          sim_.now(), config_.job, obs::TraceEventKind::kSpoolFull,
+          std::to_string(bytes) + " byte append rejected; retrying",
+          obs::LabelSet{{"rank", std::to_string(rank_)}});
+    });
   }
   out_buffer_ = std::make_unique<FlushBuffer>(
       sim_, config_.agent_buffer,
@@ -70,6 +81,12 @@ void ConsoleAgent::deliver_input(std::string line) {
 
 void ConsoleAgent::dispatch(StdStream stream, std::string data) {
   const std::size_t bytes = data.size();
+  if (wedged_ && !reliable_uplink_) {
+    // A stalled relay loop loses fast-mode frames just like a down link —
+    // the application keeps writing, nobody forwards.
+    on_fast_frame_lost(bytes);
+    return;
+  }
   auto deliver = [this, stream, data = std::move(data)](std::size_t) {
     // A delivery after drops means the link healed: tell the shadow how
     // much of the stream it missed.

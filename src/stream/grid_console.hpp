@@ -58,6 +58,13 @@ public:
   void write_stdout(std::string_view data);
   void write_stderr(std::string_view data);
 
+  /// Fault injection (kAgentWedge): while wedged, the agent's relay loop is
+  /// stalled. Fast mode loses every flushed frame exactly as on a down link
+  /// (same counters, same kFrameDropped events, same reconnect report on
+  /// unwedge) — the silent-loss gap a healthy link otherwise hides.
+  void set_wedged(bool wedged) { wedged_ = wedged; }
+  [[nodiscard]] bool wedged() const { return wedged_; }
+
   /// Flushes any buffered output (job exit).
   void close();
 
@@ -97,6 +104,7 @@ private:
   std::size_t pending_dropped_frames_ = 0;
   std::size_t pending_dropped_bytes_ = 0;
   bool failed_ = false;
+  bool wedged_ = false;
 };
 
 /// The Console/Job Shadow on the submitting machine.

@@ -18,6 +18,7 @@ ReliableChannel::ReliableChannel(sim::Simulation& sim, SimChannel& channel,
   if (policy_.retry_interval <= Duration::zero()) {
     throw std::invalid_argument{"retry_interval must be positive"};
   }
+  spool_.set_capacity(policy_.spool_capacity_bytes);
 }
 
 ReliableChannel::~ReliableChannel() {
@@ -33,15 +34,59 @@ void ReliableChannel::set_metrics(obs::MetricsRegistry* metrics,
 
 void ReliableChannel::send(std::size_t bytes, DeliverFn on_deliver) {
   if (gave_up_) return;  // the process is being killed; drop silently
-  const Duration write_cost = spool_.push(bytes);
-  if (metrics_ != nullptr) {
-    metrics_->counter("stream.bytes_spooled", metric_labels_).inc(bytes);
+  queue_.push_back(Entry{bytes, std::move(on_deliver)});
+  pump_appends();
+}
+
+void ReliableChannel::pump_appends() {
+  Duration head_cost = Duration::zero();
+  bool head_just_spooled = false;
+  for (Entry& entry : queue_) {
+    if (entry.spooled) continue;
+    const std::optional<Duration> cost = spool_.try_push(entry.bytes);
+    if (!cost) {
+      on_append_rejected(entry);
+      break;  // FIFO file: later entries cannot be appended first
+    }
+    spool_failures_ = 0;
+    entry.spooled = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("stream.bytes_spooled", metric_labels_).inc(entry.bytes);
+    }
+    if (&entry == &queue_.front()) {
+      head_cost = *cost;
+      head_just_spooled = true;
+    }
   }
-  queue_.push_back(Entry{bytes, std::move(on_deliver), false});
-  if (!transmitting_) {
+  if (!transmitting_ && !queue_.empty() && queue_.front().spooled) {
     transmitting_ = true;
-    transmit_head(write_cost);
+    transmit_head(head_just_spooled ? head_cost : Duration::zero());
   }
+}
+
+void ReliableChannel::on_append_rejected(Entry& entry) {
+  ++spool_failures_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("stream.spool_rejects", metric_labels_).inc();
+  }
+  if (!entry.reject_reported) {
+    entry.reject_reported = true;
+    if (on_spool_reject_) on_spool_reject_(entry.bytes);
+  }
+  if (spool_failures_ > policy_.max_retries) {
+    gave_up_ = true;
+    transmitting_ = false;
+    log_warn("stream", "spool rejected ", policy_.max_retries,
+             " consecutive appends; giving up");
+    if (on_give_up_) on_give_up_();
+    return;
+  }
+  // Delivered acknowledgements free spool space in the meantime; poll the
+  // append again on the same schedule as a failing link.
+  spool_retry_timer_.rearm(sim_, sim_.schedule(policy_.retry_interval, [this] {
+    if (gave_up_) return;
+    pump_appends();
+  }));
 }
 
 void ReliableChannel::transmit_head(Duration extra_delay) {
@@ -87,7 +132,9 @@ void ReliableChannel::on_head_delivered() {
       head.on_deliver(head.bytes);
     }
   }
-  if (queue_.empty()) {
+  if (queue_.empty() || !queue_.front().spooled) {
+    // Nothing ready: an unspooled head (rejected append) transmits only
+    // after its retry succeeds, via pump_appends.
     transmitting_ = false;
   } else {
     // Subsequent messages were already spooled at send time; no extra cost.

@@ -16,6 +16,10 @@ namespace cg::stream {
 struct RetryPolicy {
   Duration retry_interval = Duration::seconds(5);
   int max_retries = 12;  ///< consecutive failed attempts before giving up
+  /// Cap on un-acknowledged spooled bytes (0 = unlimited). A full spool
+  /// rejects appends; they are retried on the same interval/budget as a
+  /// failing link.
+  std::size_t spool_capacity_bytes = 0;
 };
 
 class ReliableChannel {
@@ -24,6 +28,9 @@ public:
   /// Fires once when the channel exhausts its retries (the paper's response:
   /// kill the process).
   using GiveUpFn = std::function<void()>;
+  /// Fires once per message whose first spool append was rejected (disk
+  /// fault or full spool); the message stays queued and keeps retrying.
+  using SpoolRejectFn = std::function<void(std::size_t bytes)>;
 
   /// `sender_disk` spools outgoing messages before transmission;
   /// `receiver_disk` (optional) models the other end's intermediate file —
@@ -36,10 +43,16 @@ public:
   ReliableChannel& operator=(const ReliableChannel&) = delete;
 
   /// Queues a message. It is spooled to disk (cost charged) and transmitted
-  /// as soon as all earlier messages have been delivered.
+  /// as soon as all earlier messages have been delivered. A rejected append
+  /// (unhealthy disk, full spool) leaves the message queued in memory; the
+  /// append is retried on the retry interval and counts against the same
+  /// budget as a failing link — nothing transmits before it is spooled.
   void send(std::size_t bytes, DeliverFn on_deliver);
 
   void set_give_up_handler(GiveUpFn fn) { on_give_up_ = std::move(fn); }
+  void set_spool_reject_handler(SpoolRejectFn fn) {
+    on_spool_reject_ = std::move(fn);
+  }
 
   /// Attaches a metrics registry: bytes spooled, retry and reconnect
   /// counters on top of `labels`. Must outlive the channel (or be detached
@@ -51,15 +64,24 @@ public:
   [[nodiscard]] const Spool& spool() const { return spool_; }
   [[nodiscard]] int consecutive_failures() const { return failures_; }
   [[nodiscard]] std::size_t retries_performed() const { return retries_; }
+  /// Append attempts the spool rejected (every attempt, retries included).
+  [[nodiscard]] std::size_t spool_rejections() const {
+    return spool_.rejected_appends();
+  }
 
 private:
   struct Entry {
     std::size_t bytes;
     DeliverFn on_deliver;
     bool recovered_from_disk = false;
+    bool spooled = false;          ///< on disk; only spooled entries transmit
+    bool reject_reported = false;  ///< on_spool_reject fired for this entry
   };
 
-  void pump();
+  /// Appends every not-yet-spooled entry in FIFO order (the spool is one
+  /// sequential file) and starts transmission when the head is on disk.
+  void pump_appends();
+  void on_append_rejected(Entry& entry);
   void transmit_head(Duration extra_delay);
   void on_head_delivered();
   void on_head_failed();
@@ -70,13 +92,16 @@ private:
   sim::DiskModel* receiver_disk_;
   RetryPolicy policy_;
   GiveUpFn on_give_up_;
+  SpoolRejectFn on_spool_reject_;
 
   std::deque<Entry> queue_;
   bool transmitting_ = false;
   bool gave_up_ = false;
   int failures_ = 0;
+  int spool_failures_ = 0;  ///< consecutive rejected appends
   std::size_t retries_ = 0;
   sim::ScopedTimer retry_timer_;
+  sim::ScopedTimer spool_retry_timer_;
   std::uint64_t epoch_ = 0;  ///< invalidates in-flight callbacks on teardown
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::LabelSet metric_labels_;

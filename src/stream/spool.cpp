@@ -12,6 +12,16 @@ Duration Spool::push(std::size_t bytes) {
   return disk_.write_duration(bytes);
 }
 
+std::optional<Duration> Spool::try_push(std::size_t bytes) {
+  const bool over_capacity =
+      capacity_bytes_ != 0 && pending_bytes_ + bytes > capacity_bytes_;
+  if (!disk_.healthy() || over_capacity) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  return push(bytes);
+}
+
 std::size_t Spool::front_bytes() const {
   return entries_.empty() ? 0 : entries_.front();
 }

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <optional>
 
 #include "sim/disk.hpp"
 #include "util/time.hpp"
@@ -18,6 +19,18 @@ public:
 
   /// Persists a message; returns the disk-write cost to charge.
   Duration push(std::size_t bytes);
+
+  /// Like push, but the append can fail: nullopt when the backing disk is
+  /// unhealthy (injected kSpoolFail) or when the write would overflow the
+  /// configured capacity. Failed appends are counted, cost nothing, and
+  /// leave the spool unchanged.
+  [[nodiscard]] std::optional<Duration> try_push(std::size_t bytes);
+
+  /// Caps the spool file at `bytes` of un-acknowledged data (0 = unlimited,
+  /// the default). Acknowledged entries free their space.
+  void set_capacity(std::size_t bytes) { capacity_bytes_ = bytes; }
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_bytes_; }
+  [[nodiscard]] std::size_t rejected_appends() const { return rejected_; }
 
   /// Bytes at the head of the spool (0 if empty).
   [[nodiscard]] std::size_t front_bytes() const;
@@ -40,6 +53,8 @@ private:
   std::deque<std::size_t> entries_;
   std::size_t pending_bytes_ = 0;
   std::size_t total_spooled_ = 0;
+  std::size_t capacity_bytes_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace cg::stream

@@ -13,6 +13,7 @@
 #include <sstream>
 #include <thread>
 
+#include "broker/fault_bridge.hpp"
 #include "broker/grid_scenario.hpp"
 #include "broker/job_trace.hpp"
 #include "interpose/interactive_session.hpp"
@@ -154,17 +155,33 @@ struct AgentCrashRun {
   int interactive_resubmissions = 0;
   std::optional<SimTime> resubmit_at;
   std::string digest;
+  std::string decisions;
 };
 
+/// Timing-free projection of the trace: the sequence of decisions the broker
+/// took, without the virtual timestamps. The matchmaker fast path must make
+/// byte-identical decisions; only its internal latencies may differ.
+std::string decision_digest(const broker::JobTrace& trace) {
+  std::string out;
+  for (const broker::TraceEvent& event : trace.events()) {
+    out += std::to_string(event.job.value()) + "|" + event.kind + "|" +
+           event.detail + "\n";
+  }
+  return out;
+}
+
 /// Shared-mode interactive job riding an agent whose carrier is killed at
-/// t = 300 s by an injected agent-crash fault. Recovery is opt-in via
+/// t = 300 s by an injected agent-crash fault, with the victim named through
+/// the FaultPlan victim-query DSL ("agent_of(job:N)") and resolved at fire
+/// time by the FaultBridge. Recovery is opt-in via
 /// resubmit_interactive_on_agent_death.
-AgentCrashRun run_agent_crash_scenario() {
+AgentCrashRun run_agent_crash_scenario(bool use_fast_path) {
   broker::JobTrace trace;
   broker::GridScenarioConfig config;
   config.sites = 3;
   config.nodes_per_site = 2;
   config.broker.resubmit_interactive_on_agent_death = true;
+  config.broker.matchmaker.use_fast_path = use_fast_path;
   broker::GridScenario grid{config};
   grid.broker().set_trace(&trace);
 
@@ -184,19 +201,10 @@ AgentCrashRun run_agent_crash_scenario() {
   EXPECT_TRUE(inter.running);
 
   sim::FaultInjector injector{grid.sim(), &grid.network()};
-  injector.set_handler(
-      sim::FaultKind::kAgentCrash, [&grid](const sim::FaultSpec&) {
-        // Kill the carrier of whichever agent exists (the scenario has one):
-        // the LRMS kill observer routes it into handle_agent_death.
-        for (glidein::GlideinAgent* agent : grid.broker().agents().agents()) {
-          const JobId carrier = agent->carrier_job_id();
-          for (std::size_t i = 0; i < grid.site_count(); ++i) {
-            if (grid.site(i).scheduler().kill_running(carrier)) return;
-          }
-        }
-      });
+  broker::FaultBridge bridge{grid, injector};
   sim::FaultPlan plan;
-  plan.crash_agent("the-agent", SimTime::from_seconds(300.0));
+  plan.crash_agent("agent_of(job:" + std::to_string(inter_id.value()) + ")",
+                   SimTime::from_seconds(300.0));
   injector.arm(plan);
 
   grid.sim().run_until(SimTime::from_seconds(1800));
@@ -214,11 +222,22 @@ AgentCrashRun run_agent_crash_scenario() {
   std::ostringstream digest;
   digest << trace.to_csv() << "events=" << grid.sim().processed_events();
   result.digest = digest.str();
+  result.decisions = decision_digest(trace);
   return result;
 }
 
-TEST(FaultInjectionTest, AgentCrashMidJobResubmitsInteractiveWithinBackoff) {
-  const AgentCrashRun run = run_agent_crash_scenario();
+/// The chaos scenarios run on both matchmaker paths: recovery decisions must
+/// not depend on which evaluation engine placed the jobs.
+class FaultInjectionPathTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(MatchmakerPaths, FaultInjectionPathTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "FastPath" : "LegacyPath";
+                         });
+
+TEST_P(FaultInjectionPathTest, AgentCrashMidJobResubmitsInteractiveWithinBackoff) {
+  const AgentCrashRun run = run_agent_crash_scenario(GetParam());
   EXPECT_TRUE(run.interactive_completed);
   EXPECT_GE(run.interactive_resubmissions, 1);
   // The resubmission decision lands within the configured backoff bound of
@@ -230,16 +249,25 @@ TEST(FaultInjectionTest, AgentCrashMidJobResubmitsInteractiveWithinBackoff) {
             SimTime::from_seconds(300.0) + defaults.resubmit_backoff_max);
 }
 
-TEST(FaultInjectionTest, AgentCrashScenarioIsBitForBitReproducible) {
-  const AgentCrashRun a = run_agent_crash_scenario();
-  const AgentCrashRun b = run_agent_crash_scenario();
+TEST_P(FaultInjectionPathTest, AgentCrashScenarioIsBitForBitReproducible) {
+  const AgentCrashRun a = run_agent_crash_scenario(GetParam());
+  const AgentCrashRun b = run_agent_crash_scenario(GetParam());
   EXPECT_EQ(a.digest, b.digest);
 }
 
-TEST(FaultInjectionTest, NodeCrashDuringExclusiveInteractiveRecovers) {
+TEST(FaultInjectionTest, AgentCrashDecisionsAgreeAcrossMatchmakerPaths) {
+  const AgentCrashRun fast = run_agent_crash_scenario(true);
+  const AgentCrashRun legacy = run_agent_crash_scenario(false);
+  EXPECT_EQ(fast.decisions, legacy.decisions);
+  EXPECT_EQ(fast.interactive_completed, legacy.interactive_completed);
+  EXPECT_EQ(fast.interactive_resubmissions, legacy.interactive_resubmissions);
+}
+
+TEST_P(FaultInjectionPathTest, NodeCrashDuringExclusiveInteractiveRecovers) {
   broker::GridScenarioConfig config;
   config.sites = 2;
   config.nodes_per_site = 2;
+  config.broker.matchmaker.use_fast_path = GetParam();
   broker::GridScenario grid{config};
 
   Outcome outcome;
@@ -251,48 +279,30 @@ TEST(FaultInjectionTest, NodeCrashDuringExclusiveInteractiveRecovers) {
   grid.sim().run_until(SimTime::from_seconds(30));
   ASSERT_TRUE(outcome.running);
 
-  // The victim node is resolved at fire time: whichever node runs the job.
-  std::optional<std::size_t> victim_site;
-  std::optional<std::size_t> victim_node;
+  // The victim node ("whichever node runs the job") is named declaratively;
+  // the FaultBridge resolves the query when the fault fires.
   sim::FaultInjector injector{grid.sim(), &grid.network()};
-  injector.set_handler(
-      sim::FaultKind::kNodeCrash,
-      [&](const sim::FaultSpec&) {
-        const broker::JobRecord* record = grid.broker().record(id);
-        const JobId lrms_id = record->subjobs.at(0).lrms_job_id;
-        for (std::size_t s = 0; s < grid.site_count(); ++s) {
-          lrms::LocalScheduler& scheduler = grid.site(s).scheduler();
-          const auto node_id = scheduler.node_of(lrms_id);
-          if (!node_id) continue;
-          for (std::size_t n = 0; n < scheduler.node_count(); ++n) {
-            if (scheduler.node(n).id() == *node_id) {
-              victim_site = s;
-              victim_node = n;
-              scheduler.fail_node(n);
-              return;
-            }
-          }
-        }
-      },
-      [&](const sim::FaultSpec&) {
-        if (victim_site && victim_node) {
-          grid.site(*victim_site).scheduler().revive_node(*victim_node);
-        }
-      });
+  broker::FaultBridge bridge{grid, injector};
   sim::FaultPlan plan;
-  plan.crash_node("victim", SimTime::from_seconds(40.0), Duration::seconds(60));
+  plan.crash_node("node_of(job:" + std::to_string(id.value()) + ")",
+                  SimTime::from_seconds(40.0), Duration::seconds(60));
   injector.arm(plan);
 
   grid.sim().run_until(SimTime::from_seconds(70));
-  ASSERT_TRUE(victim_site.has_value());
-  EXPECT_EQ(grid.site(*victim_site).scheduler().failed_nodes(), 1);
+  int failed = 0;
+  for (std::size_t s = 0; s < grid.site_count(); ++s) {
+    failed += grid.site(s).scheduler().failed_nodes();
+  }
+  EXPECT_EQ(failed, 1);
 
   grid.sim().run_until(SimTime::from_seconds(600));
   // The broker saw the kill, resubmitted, and the job finished elsewhere;
   // the crashed node was revived and is back in service.
   EXPECT_TRUE(outcome.completed);
   EXPECT_GE(grid.broker().record(id)->resubmissions, 1);
-  EXPECT_EQ(grid.site(*victim_site).scheduler().failed_nodes(), 0);
+  for (std::size_t s = 0; s < grid.site_count(); ++s) {
+    EXPECT_EQ(grid.site(s).scheduler().failed_nodes(), 0);
+  }
   EXPECT_EQ(injector.injected_faults(), 1u);
   EXPECT_EQ(injector.recoveries(), 1u);
 }

@@ -1,0 +1,94 @@
+// Randomized liveness/eviction property: across 200 seeded chaos runs —
+// random broker<->site link outages layered with a DSL-targeted agent wedge —
+// every submitted job reaches a terminal state and no match lease leaks
+// (LeaseManager aggregate and per-site leased CPUs both drain to zero).
+// Extends the 100-seed streaming property of the original fault suite from
+// transport conservation up to broker-level recovery invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "broker/fault_bridge.hpp"
+#include "broker/grid_scenario.hpp"
+#include "sim/fault.hpp"
+
+namespace cg {
+namespace {
+
+using namespace cg::literals;
+
+jdl::JobDescription parse_job(const std::string& source) {
+  auto jd = jdl::JobDescription::parse(source);
+  EXPECT_TRUE(jd.has_value()) << (jd ? "" : jd.error().to_string());
+  return jd.value();
+}
+
+TEST(LivenessPropertyTest, EveryJobTerminatesAndNoLeaseLeaksAcross200Seeds) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    broker::GridScenarioConfig config;
+    config.sites = 2;
+    config.nodes_per_site = 2;
+    config.seed = 20060915 + seed;
+    config.broker.seed = seed;
+    config.broker.running_job_grace = Duration::seconds(30);
+    config.broker.resubmit_interactive_on_agent_death = true;
+    broker::GridScenario grid{config};
+
+    (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
+                               lrms::Workload::cpu(600_s),
+                               broker::GridScenario::ui_endpoint(), {});
+    grid.sim().run_until(SimTime::from_seconds(60));
+    const auto inter = grid.broker().submit(
+        parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
+                  "MachineAccess = \"shared\"; PerformanceLoss = 10;"),
+        UserId{2}, lrms::Workload::cpu(300_s),
+        broker::GridScenario::ui_endpoint(), {});
+    ASSERT_TRUE(inter.has_value()) << "seed " << seed;
+    grid.sim().run_until(SimTime::from_seconds(120));
+
+    sim::FaultInjector injector{grid.sim(), &grid.network()};
+    broker::FaultBridge bridge{grid, injector};
+
+    // Seeded outages on every broker<->site link, plus a wedge of whichever
+    // agent carries the interactive job when the fault fires.
+    sim::FaultPlan plan;
+    for (std::size_t s = 0; s < grid.site_count(); ++s) {
+      sim::FaultPlan::RandomLinkFaultOptions options;
+      options.endpoint_a = grid.broker().endpoint();
+      options.endpoint_b = grid.site(s).endpoint();
+      options.outages = 3;
+      options.horizon = SimTime::from_seconds(400.0);
+      options.min_outage = Duration::seconds(5);
+      options.max_outage = Duration::seconds(60);
+      const sim::FaultPlan outages =
+          sim::FaultPlan::random_link_outages(seed * 31 + s, options);
+      for (const sim::FaultSpec& spec : outages.events()) {
+        plan.partition_link(spec.endpoint_a, spec.endpoint_b,
+                            spec.at + Duration::seconds(120), spec.duration);
+      }
+    }
+    plan.wedge_agent("agent_of(job:" + std::to_string(inter->value()) + ")",
+                     SimTime::from_seconds(150.0), Duration::seconds(45));
+    injector.arm(plan);
+
+    grid.sim().run_until(SimTime::from_seconds(6000));
+
+    // Termination: nothing is left in flight anywhere in the broker.
+    for (const broker::JobRecord* record : grid.broker().all_records()) {
+      EXPECT_TRUE(broker::is_terminal(record->state))
+          << "seed " << seed << " job " << record->id.value()
+          << " stuck in state " << static_cast<int>(record->state);
+    }
+    // Lease conservation: every exclusive-temporal-access lease taken during
+    // the chaos was released, at the manager and at every site.
+    EXPECT_EQ(grid.broker().leases().active_leases(), 0u) << "seed " << seed;
+    for (std::size_t s = 0; s < grid.site_count(); ++s) {
+      EXPECT_EQ(grid.broker().leases().leased_cpus(grid.site(s).id()), 0)
+          << "seed " << seed << " site " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cg
