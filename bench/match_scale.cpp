@@ -1,8 +1,9 @@
 // Matchmaking scale benchmark: runs the same deterministic workload through
 // the legacy path (per-site ClassAd rebuild + AST interpretation over every
 // published record) and the fast path (cached machine views, compiled
-// Requirements/Rank, free-CPU index pruning, fused filter+select), asserts
-// both produce byte-identical decision digests, and reports throughput.
+// Requirements/Rank, free-CPU + health index pruning, fused filter+select),
+// asserts both produce byte-identical decision digests — with SiteHealth
+// scoring active and nontrivial throughout — and reports throughput.
 //
 // Usage:
 //   match_scale                 full sweep (sites {100,1000,10000} x jobs)
@@ -92,6 +93,10 @@ struct RunResult {
 /// matched jobs acquire a lease (with deterministic release churn) so the
 /// free-CPU index sees deltas of both signs mid-run, and every 16th job a
 /// site republishes with shifted load to exercise cache invalidation.
+/// SiteHealth runs hot the whole time: a deterministic pre-seeded spread of
+/// hard-excluded, penalized, and tie-biased sites plus in-loop miss/reward
+/// churn, identical on both paths — the digest assertion therefore covers
+/// suspicion-aware placement (including the fast path's index pruning).
 RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
   sim::Simulation sim;
   infosys::InformationSystemConfig icfg;
@@ -101,15 +106,29 @@ RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
   LeaseManager leases{sim};
   leases.set_observer(
       [&is](SiteId site, int delta) { is.apply_lease_delta(site, delta); });
+  SiteHealth health{sim};
   MatchmakerConfig mc;
   mc.use_fast_path = fast;
-  const Matchmaker mm{mc};
+  Matchmaker mm{mc};
+  mm.set_site_health(&health);
+  is.set_health_provider([&health](SiteId site, SimTime delivery_time) {
+    return health.hard_excluded_at(site, delivery_time);
+  });
   Rng rng{kSeed};
 
   for (std::uint64_t i = 1; i <= n_sites; ++i) {
     const auto record = make_site(i);
     is.register_site(record.static_info, [record] { return record; });
     is.publish(record);
+    // Nontrivial health state, a pure function of the site index: every 7th
+    // site hard-excluded, every 5th rank-penalized, every 3rd tie-biased.
+    if (i % 7 == 0) {
+      health.note_eviction(SiteId{i});
+    } else if (i % 5 == 0) {
+      health.note_suspected(SiteId{i});
+    } else if (i % 3 == 0) {
+      health.note_heartbeat_miss(SiteId{i});
+    }
   }
 
   RunResult out;
@@ -159,6 +178,13 @@ RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
         active.pop_front();
       }
     }
+    // Health churn between rounds (both paths see the same sequence at the
+    // same virtual times): fresh evidence against a rotating site, rewards
+    // on some matched sites.
+    if (j % 4 == 0) {
+      health.note_liveness_miss(SiteId{1 + (j * 13) % n_sites});
+    }
+    if (picked && j % 8 == 3) health.note_completion(picked->site);
     if (j % 16 == 15) {
       // Republish one site with shifted load: invalidates its cached
       // machine view and moves it in the free-CPU index.

@@ -171,6 +171,22 @@ int main(int argc, char** argv) {
               << record.id << " -> " << to_string(record.state) << "\n";
   };
 
+  // Live supervision feed through the typed subscription API: suspicions,
+  // evictions, and reroute-driven resubmissions print as they happen instead
+  // of being reconstructed from the trace afterwards.
+  for (const obs::TraceEventKind kind :
+       {obs::TraceEventKind::kAgentSuspected,
+        obs::TraceEventKind::kAgentRestored, obs::TraceEventKind::kJobEvicted,
+        obs::TraceEventKind::kResubmitted}) {
+    grid.subscribe(kind, [](const obs::JobTraceEvent& event) {
+      std::cout << "[" << fmt_fixed(event.when.to_seconds(), 2)
+                << "s] watch: " << obs::to_string(event.kind);
+      if (event.job.valid()) std::cout << " job " << event.job.value();
+      if (!event.detail.empty()) std::cout << " (" << event.detail << ")";
+      std::cout << "\n";
+    });
+  }
+
   auto job = grid.submit(
       std::move(description.value()), UserId{1},
       lrms::Workload::cpu(Duration::from_seconds(options.runtime_s)),
@@ -180,6 +196,15 @@ int main(int argc, char** argv) {
               << job.error().cause.to_string() << ")\n";
     return 1;
   }
+  // Per-job filter on the same machinery: each match decision, with the site
+  // the matchmaker picked (suspicion-aware rank, hard exclusions applied).
+  job->on_event(obs::TraceEventKind::kMatched,
+                [](const obs::JobTraceEvent& event) {
+                  const std::string* site = event.attrs.find("site");
+                  std::cout << "[" << fmt_fixed(event.when.to_seconds(), 2)
+                            << "s] watch: matched to site "
+                            << (site != nullptr ? *site : "?") << "\n";
+                });
 
   auto done = job->await();
   int exit_code = 0;

@@ -1,0 +1,43 @@
+// CandidateSource: a non-owning view unifying the two record-container
+// shapes matchmaking scans — owned SiteRecord vectors (fresh per-site
+// queries, legacy index replies) and shared IndexSnapshot pointer vectors
+// (fast-path index replies). The matchmaker's coarse filter and fused
+// match run over this one view, so site-health consultation and every other
+// per-record policy lives in exactly one implementation instead of a
+// template instantiated per container shape.
+//
+// The view is implicitly constructible from both containers and is only
+// valid while the viewed container lives; matchmaker calls consume it
+// within the call, never store it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "infosys/information_system.hpp"
+#include "infosys/site_record.hpp"
+
+namespace cg::broker {
+
+class CandidateSource {
+public:
+  // NOLINTNEXTLINE(google-explicit-constructor): a view, by design implicit.
+  CandidateSource(const std::vector<infosys::SiteRecord>& records)
+      : records_{&records} {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  CandidateSource(const infosys::InformationSystem::IndexSnapshot& snapshot)
+      : snapshot_{&snapshot} {}
+
+  [[nodiscard]] std::size_t size() const {
+    return records_ != nullptr ? records_->size() : snapshot_->size();
+  }
+  [[nodiscard]] const infosys::SiteRecord& operator[](std::size_t i) const {
+    return records_ != nullptr ? (*records_)[i] : *(*snapshot_)[i];
+  }
+
+private:
+  const std::vector<infosys::SiteRecord>* records_ = nullptr;
+  const infosys::InformationSystem::IndexSnapshot* snapshot_ = nullptr;
+};
+
+}  // namespace cg::broker

@@ -25,8 +25,17 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
       matchmaker_{config.matchmaker},
       leases_{sim},
       fair_share_{sim, config.fair_share},
-      agents_{sim} {
+      agents_{sim},
+      site_health_{sim, config.site_health} {
   fair_share_.start();
+  // Suspicion-aware placement: every matchmaking pass consults the health
+  // scores, and the free-CPU index prunes hard-excluded sites from matching
+  // queries using the decay-only projection to delivery time (the pruned
+  // and unpruned discovery paths stay decision-identical; see SiteHealth).
+  matchmaker_.set_site_health(&site_health_);
+  infosys_.set_health_provider([this](SiteId site, SimTime delivery_time) {
+    return site_health_.hard_excluded_at(site, delivery_time);
+  });
   // Keep the information system's free-CPU index lease-aware: every
   // acquire/release/expiry adjusts the indexed effective count, so the
   // fast-path discovery prunes against live lease state.
@@ -50,9 +59,10 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
 }
 
 CrossBroker::~CrossBroker() {
-  // The information system outlives the broker; drop the callback that
-  // captures `this`.
+  // The information system outlives the broker; drop the callbacks that
+  // capture `this`.
   infosys_.set_invalidation_listener(nullptr);
+  infosys_.set_health_provider(nullptr);
 }
 
 void CrossBroker::enable_security(const gsi::Certificate* trust_anchor,
@@ -344,6 +354,9 @@ void CrossBroker::schedule_job(JobId id) {
       desc.machine_access() == jdl::MachineAccess::kShared) {
     int free_vms = 0;
     for (auto* agent : agents_.agents()) {
+      // Hard-excluded sites offer no VMs either: shared-mode placement
+      // follows the same suspicion window as external matchmaking.
+      if (site_health_.hard_excluded(agent->site())) continue;
       const auto info = agent_info_.find(agent->id());
       if (info == agent_info_.end()) continue;
       free_vms += info->second.reservable_slots(*agent);
@@ -358,6 +371,7 @@ void CrossBroker::schedule_job(JobId id) {
     if (desc.flavor() == jdl::JobFlavor::kMpichP4) {
       // Check per-site VM availability for the single-site constraint.
       for (const auto& [site_id, site] : sites_) {
+        if (site_health_.hard_excluded(site_id)) continue;
         int site_vms = 0;
         for (auto* agent : agents_.agents()) {
           if (agent->site() != site_id) continue;
@@ -431,8 +445,8 @@ void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> sta
   continue_selection(
       id, matchmaker_.filter_sites(
               job->record.description,
-              fast ? job->compiled_match.get() : nullptr, considered, leases_,
-              needed));
+              fast ? job->compiled_match.get() : nullptr,
+              CandidateSource{considered}, leases_, needed));
 }
 
 void CrossBroker::begin_selection(JobId id,
@@ -456,8 +470,9 @@ void CrossBroker::begin_selection(JobId id,
   }
   continue_selection(
       id, matchmaker_.filter_sites(job->record.description,
-                                   job->compiled_match.get(), considered,
-                                   leases_, needed));
+                                   job->compiled_match.get(),
+                                   CandidateSource{considered}, leases_,
+                                   needed));
 }
 
 void CrossBroker::continue_selection(JobId id, std::vector<SiteId> coarse) {
@@ -495,8 +510,10 @@ void CrossBroker::continue_selection(JobId id, std::vector<SiteId> coarse) {
         // the two-step form because place_job may cover them with
         // interactive VMs without ever consulting the candidates (and
         // without consuming the tie-breaking rng).
-        place_job(id, {}, matchmaker_.match_one(*j->compiled_match, *fresh,
-                                                leases_, cpus, rng_));
+        place_job(id, {},
+                  matchmaker_.match_one(*j->compiled_match,
+                                        CandidateSource{*fresh}, leases_, cpus,
+                                        rng_));
         return;
       }
       std::vector<Candidate> final_candidates =
@@ -538,6 +555,7 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates,
     // MPICH-P4 cannot span sites: use VMs only if ONE site's reservable
     // slots cover the whole job; otherwise fall through to idle machines.
     for (const auto& [site_id, site] : sites_) {
+      if (site_health_.hard_excluded(site_id)) continue;
       int takeable = 0;
       std::vector<std::pair<glidein::GlideinAgent*, AgentInfo*>> donors;
       for (auto* agent : agents_.agents()) {
@@ -567,6 +585,7 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates,
   if (shared && desc.flavor() != jdl::JobFlavor::kMpichP4) {
     for (auto* agent : agents_.agents()) {
       if (still_needed == 0) break;
+      if (site_health_.hard_excluded(agent->site())) continue;
       const auto info = agent_info_.find(agent->id());
       if (info == agent_info_.end()) continue;
       // With a multiprogramming degree above 1, one agent can host several
@@ -1263,6 +1282,7 @@ void CrossBroker::heartbeat_tick() {
       if (info.suspected && clear_of_suspicion(info)) restore_agent(agent_id);
     } else {
       ++info.missed_heartbeats;
+      site_health_.note_heartbeat_miss(info.site);
       count("broker.heartbeat_misses",
             obs::LabelSet{{"site", std::to_string(info.site.value())}});
       tracev(JobId::none(), obs::TraceEventKind::kHeartbeatMiss,
@@ -1292,6 +1312,7 @@ void CrossBroker::liveness_tick() {
       // stalled or the path is down. Either way the application-level
       // liveness contract failed, whatever the link heartbeat says.
       ++info.missed_echoes;
+      site_health_.note_liveness_miss(info.site);
       count("broker.liveness_misses",
             obs::LabelSet{{"site", std::to_string(info.site.value())}});
       tracev(JobId::none(), obs::TraceEventKind::kLivenessMiss,
@@ -1355,6 +1376,7 @@ void CrossBroker::suspect_agent(AgentId agent_id, const char* reason) {
   AgentInfo& info = it->second;
   info.suspected = true;
   info.suspected_since = sim_.now();
+  site_health_.note_suspected(info.site);
   const bool by_liveness = std::string_view{reason} == "liveness";
   const std::string cause =
       by_liveness ? std::to_string(info.missed_echoes) + " missed liveness echoes"
@@ -1406,6 +1428,7 @@ void CrossBroker::restore_agent(AgentId agent_id) {
   it->second.missed_heartbeats = 0;
   it->second.missed_echoes = 0;
   it->second.suspected_since.reset();
+  site_health_.note_restored(it->second.site);
   trace(JobId::none(), "agent",
         "agent " + std::to_string(agent_id.value()) +
             " re-registered after partition healed");
@@ -1456,6 +1479,10 @@ void CrossBroker::evict_suspected_residents(AgentId agent_id,
       }
     }
     if (job == nullptr || is_terminal(job->record.state)) continue;
+    // The strongest health evidence: a running resident lost to a
+    // partition. The resulting score pushes the site past the exclusion
+    // threshold so the resubmitted job's replacement agent avoids it.
+    site_health_.note_eviction(info.site);
     trace(job_id, "evicted",
           "agent " + std::to_string(agent_id.value()) +
               " suspected past running_job_grace");
@@ -1625,6 +1652,19 @@ void CrossBroker::complete_job(JobId id) {
   release_leases(*job);
   fair_share_.job_finished(id);
   job->record.timestamps.completed = sim_.now();
+  // A clean completion is health evidence for every site that ran a subjob
+  // (rewards are gated below the exclusion threshold; see SiteHealth).
+  {
+    std::vector<SiteId> rewarded;
+    for (const auto& sub : job->record.subjobs) {
+      if (std::find(rewarded.begin(), rewarded.end(), sub.site) !=
+          rewarded.end()) {
+        continue;
+      }
+      rewarded.push_back(sub.site);
+      site_health_.note_completion(sub.site);
+    }
+  }
   count("broker.jobs_completed",
         obs::LabelSet{{"type", std::string{jdl::to_string(
                            job->record.description.category())}}});

@@ -31,6 +31,7 @@
 #include "gsi/auth.hpp"
 #include "broker/lease_manager.hpp"
 #include "broker/matchmaker.hpp"
+#include "broker/site_health.hpp"
 #include "glidein/agent_registry.hpp"
 #include "infosys/information_system.hpp"
 #include "lrms/site.hpp"
@@ -44,6 +45,13 @@ struct CrossBrokerConfig {
   FairShareConfig fair_share;
   MatchmakerConfig matchmaker;
   glidein::GlideinAgentConfig glidein;
+  /// Suspicion-aware placement: per-site health scores fed by the
+  /// supervision paths (suspicions, misses, partition evictions,
+  /// restorations, completions) and consulted by matchmaking as a rank
+  /// penalty plus a hard-exclusion window, so eviction-driven resubmission
+  /// steers replacement agents off the partitioned site until its score
+  /// decays back under the threshold.
+  SiteHealthConfig site_health;
 
   /// Exclusive temporal access (Section 3). Disabling it lets concurrent
   /// submissions double-book stale "free" CPUs (ablation A1).
@@ -185,10 +193,13 @@ public:
   void set_observability(obs::Observability* obs) {
     obs_ = obs;
     matchmaker_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
+    site_health_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
   }
 
   [[nodiscard]] const JobRecord* record(JobId id) const;
   [[nodiscard]] FairShare& fair_share() { return fair_share_; }
+  [[nodiscard]] SiteHealth& site_health() { return site_health_; }
+  [[nodiscard]] const SiteHealth& site_health() const { return site_health_; }
   [[nodiscard]] glidein::AgentRegistry& agents() { return agents_; }
   [[nodiscard]] LeaseManager& leases() { return leases_; }
   [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
@@ -340,6 +351,7 @@ private:
   LeaseManager leases_;
   FairShare fair_share_;
   glidein::AgentRegistry agents_;
+  SiteHealth site_health_;
 
   void trace(JobId job, const std::string& kind, const std::string& detail);
   /// Typed lifecycle event into the attached obs::JobTracer (no-op without).

@@ -1,26 +1,10 @@
 #include "broker/fault_bridge.hpp"
 
-#include "util/log.hpp"
-
 namespace cg::broker {
-
-namespace {
-constexpr const char* kLog = "fault-bridge";
-}
 
 FaultBridge::FaultBridge(GridScenario& grid, sim::FaultInjector& injector)
     : grid_{grid} {
-  injector.set_handler(
-      sim::FaultKind::kAgentCrash,
-      [this](const sim::FaultSpec& spec) { on_agent_crash(spec); });
-  injector.set_handler(
-      sim::FaultKind::kAgentWedge,
-      [this](const sim::FaultSpec& spec) { on_agent_wedge(spec); },
-      [this](const sim::FaultSpec& spec) { on_agent_unwedge(spec); });
-  injector.set_handler(
-      sim::FaultKind::kNodeCrash,
-      [this](const sim::FaultSpec& spec) { on_node_crash(spec); },
-      [this](const sim::FaultSpec& spec) { on_node_revive(spec); });
+  sim::install_victim_handlers(injector, *this);
 }
 
 std::optional<AgentId> FaultBridge::resolve_agent(
@@ -81,59 +65,53 @@ std::optional<FaultBridge::NodeRef> FaultBridge::locate_node(SiteId site,
   return std::nullopt;
 }
 
-void FaultBridge::on_agent_crash(const sim::FaultSpec& spec) {
-  const auto agent_id = resolve_agent(spec.target);
-  if (!agent_id) {
-    log_warn(kLog, "agent-crash victim '", spec.target, "' did not resolve");
-    return;
-  }
+bool FaultBridge::crash_agent(const std::string& target) {
+  const auto agent_id = resolve_agent(target);
+  if (!agent_id) return false;
   const glidein::GlideinAgent* agent = grid_.broker().agents().find(*agent_id);
-  if (agent == nullptr) return;
+  if (agent == nullptr) return false;
   // Killing the carrier job is how an agent dies: the kill observer chain
   // (scheduler -> broker) runs the normal death path.
   const JobId carrier = agent->carrier_job_id();
   for (std::size_t i = 0; i < grid_.site_count(); ++i) {
-    if (grid_.site(i).scheduler().kill_running(carrier)) return;
+    if (grid_.site(i).scheduler().kill_running(carrier)) return true;
   }
+  return false;
 }
 
-void FaultBridge::on_agent_wedge(const sim::FaultSpec& spec) {
-  const auto agent_id = resolve_agent(spec.target);
-  if (!agent_id) {
-    log_warn(kLog, "agent-wedge victim '", spec.target, "' did not resolve");
-    return;
+bool FaultBridge::set_agent_wedged(const std::string& target, bool wedged) {
+  if (!wedged) {
+    const auto it = wedged_agents_.find(target);
+    if (it == wedged_agents_.end()) return false;
+    glidein::GlideinAgent* agent = grid_.broker().agents().find(it->second);
+    wedged_agents_.erase(it);
+    if (agent != nullptr) agent->set_wedged(false);
+    return true;
   }
+  const auto agent_id = resolve_agent(target);
+  if (!agent_id) return false;
   glidein::GlideinAgent* agent = grid_.broker().agents().find(*agent_id);
-  if (agent == nullptr) return;
+  if (agent == nullptr) return false;
   agent->set_wedged(true);
-  wedged_agents_[spec.target] = *agent_id;
+  wedged_agents_[target] = *agent_id;
+  return true;
 }
 
-void FaultBridge::on_agent_unwedge(const sim::FaultSpec& spec) {
-  const auto it = wedged_agents_.find(spec.target);
-  if (it == wedged_agents_.end()) return;
-  glidein::GlideinAgent* agent = grid_.broker().agents().find(it->second);
-  wedged_agents_.erase(it);
-  if (agent != nullptr) agent->set_wedged(false);
-}
-
-void FaultBridge::on_node_crash(const sim::FaultSpec& spec) {
-  const auto node = resolve_node(spec.target);
-  if (!node) {
-    log_warn(kLog, "node-crash victim '", spec.target, "' did not resolve");
-    return;
+bool FaultBridge::set_node_failed(const std::string& target, bool failed) {
+  if (!failed) {
+    const auto it = crashed_nodes_.find(target);
+    if (it == crashed_nodes_.end()) return false;
+    grid_.site(it->second.site_index)
+        .scheduler()
+        .revive_node(it->second.node_index);
+    crashed_nodes_.erase(it);
+    return true;
   }
+  const auto node = resolve_node(target);
+  if (!node) return false;
   grid_.site(node->site_index).scheduler().fail_node(node->node_index);
-  crashed_nodes_[spec.target] = *node;
-}
-
-void FaultBridge::on_node_revive(const sim::FaultSpec& spec) {
-  const auto it = crashed_nodes_.find(spec.target);
-  if (it == crashed_nodes_.end()) return;
-  grid_.site(it->second.site_index)
-      .scheduler()
-      .revive_node(it->second.node_index);
-  crashed_nodes_.erase(it);
+  crashed_nodes_[target] = *node;
+  return true;
 }
 
 }  // namespace cg::broker

@@ -1,10 +1,12 @@
 // Standard wiring between a FaultInjector and a GridScenario: the faults
-// whose victims live above the sim layer (glide-in agents, worker nodes) get
-// one canonical set of handlers here, and the victim named by a FaultSpec's
-// target is resolved *at fire time* through the victim-query DSL
+// whose victims live above the sim layer (glide-in agents, worker nodes) are
+// delivered through sim::install_victim_handlers, and the victim named by a
+// FaultSpec's target is resolved *at fire time* through the victim-query DSL
 // (sim::parse_victim_query) against live broker state. Scenarios declare
 // what to break — "agent_of(job:7)", "node_of(agent:2)" — instead of each
-// test hand-writing its own resolution handlers.
+// test hand-writing its own resolution handlers. The bridge is the broker's
+// sim::FaultVictimResolver; pure stream tests (no broker) implement the same
+// interface over their hand-built agents and reuse the same DSL.
 #pragma once
 
 #include <map>
@@ -17,11 +19,12 @@
 
 namespace cg::broker {
 
-class FaultBridge {
+class FaultBridge : public sim::FaultVictimResolver {
 public:
-  /// Installs handlers for kAgentCrash, kAgentWedge, and kNodeCrash on the
-  /// injector (replacing any previously installed ones for those kinds).
-  /// Both the scenario and the injector must outlive the bridge.
+  /// Installs the canonical victim handlers (kAgentCrash, kAgentWedge,
+  /// kNodeCrash) on the injector, resolving against this bridge (replacing
+  /// any previously installed ones for those kinds). Both the scenario and
+  /// the injector must outlive the bridge.
   FaultBridge(GridScenario& grid, sim::FaultInjector& injector);
   FaultBridge(const FaultBridge&) = delete;
   FaultBridge& operator=(const FaultBridge&) = delete;
@@ -42,12 +45,12 @@ public:
   [[nodiscard]] std::optional<NodeRef> resolve_node(
       const std::string& target) const;
 
+  // -- sim::FaultVictimResolver --------------------------------------------
+  bool set_agent_wedged(const std::string& target, bool wedged) override;
+  bool crash_agent(const std::string& target) override;
+  bool set_node_failed(const std::string& target, bool failed) override;
+
 private:
-  void on_agent_crash(const sim::FaultSpec& spec);
-  void on_agent_wedge(const sim::FaultSpec& spec);
-  void on_agent_unwedge(const sim::FaultSpec& spec);
-  void on_node_crash(const sim::FaultSpec& spec);
-  void on_node_revive(const sim::FaultSpec& spec);
   /// NodeIds are only unique within one site's scheduler, so a lookup must
   /// always be scoped to the site the victim is known to live at.
   [[nodiscard]] std::optional<NodeRef> locate_node(SiteId site,

@@ -20,14 +20,17 @@ jdl::SlotEvalContext slot_context(const infosys::SiteRecord::MachineView& view,
   return ctx;
 }
 
-/// Unifies the two record-container shapes the matchmaker scans.
-const infosys::SiteRecord& as_record(const infosys::SiteRecord& r) { return r; }
-const infosys::SiteRecord& as_record(
-    const std::shared_ptr<const infosys::SiteRecord>& r) {
-  return *r;
+}  // namespace
+
+bool Matchmaker::health_excluded(SiteId site, std::size_t& excluded) const {
+  if (health_ == nullptr || !health_->hard_excluded(site)) return false;
+  ++excluded;
+  return true;
 }
 
-}  // namespace
+double Matchmaker::health_penalty(SiteId site) const {
+  return health_ != nullptr ? health_->rank_penalty(site) : 0.0;
+}
 
 std::vector<Candidate> Matchmaker::filter(
     const jdl::JobDescription& job, const std::vector<infosys::SiteRecord>& records,
@@ -37,10 +40,12 @@ std::vector<Candidate> Matchmaker::filter(
   }
   std::vector<Candidate> out;
   out.reserve(records.size());
+  std::size_t excluded = 0;
   for (const auto& record : records) {
     const int effective =
         record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
     if (effective < needed_cpus) continue;
+    if (health_excluded(record.static_info.id, excluded)) continue;
 
     jdl::ClassAd machine = record.to_classad();
     machine.set_int("FreeCPUs", effective);  // leases shadow the raw count
@@ -49,10 +54,10 @@ std::vector<Candidate> Matchmaker::filter(
     Candidate c;
     c.site = record.static_info.id;
     c.effective_free_cpus = effective;
-    c.rank = rank_of(job, machine);
+    c.rank = rank_of(job, machine) - health_penalty(c.site);
     out.push_back(c);
   }
-  note_scan("fresh", records.size(), 0, 0);
+  note_scan("fresh", records.size(), 0, 0, excluded, !out.empty());
   return out;
 }
 
@@ -68,10 +73,12 @@ std::vector<Candidate> Matchmaker::filter_compiled(
   out.reserve(records.size());
   std::size_t hits = 0;
   std::size_t misses = 0;
+  std::size_t excluded = 0;
   for (const auto& record : records) {
     const int effective =
         record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
     if (effective < needed_cpus) continue;
+    if (health_excluded(record.static_info.id, excluded)) continue;
 
     record.cache_primed() ? ++hits : ++misses;
     const auto ctx = slot_context(record.machine_view(), effective);
@@ -80,18 +87,18 @@ std::vector<Candidate> Matchmaker::filter_compiled(
     Candidate c;
     c.site = record.static_info.id;
     c.effective_free_cpus = effective;
-    c.rank = compiled.has_rank() ? compiled.rank(ctx)
-                                 : static_cast<double>(effective);
+    c.rank = (compiled.has_rank() ? compiled.rank(ctx)
+                                  : static_cast<double>(effective)) -
+             health_penalty(c.site);
     out.push_back(c);
   }
-  note_scan("fresh", records.size(), hits, misses);
+  note_scan("fresh", records.size(), hits, misses, excluded, !out.empty());
   return out;
 }
 
-template <typename Records>
-std::vector<SiteId> Matchmaker::filter_sites_impl(
+std::vector<SiteId> Matchmaker::filter_sites(
     const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-    const Records& records, const LeaseManager& leases, int needed_cpus) const {
+    CandidateSource records, const LeaseManager& leases, int needed_cpus) const {
   std::vector<SiteId> out;
   if (compiled != nullptr && compiled->never_matches()) {
     note_scan("coarse", 0, 0, 0);
@@ -100,11 +107,13 @@ std::vector<SiteId> Matchmaker::filter_sites_impl(
   out.reserve(records.size());
   std::size_t hits = 0;
   std::size_t misses = 0;
-  for (const auto& element : records) {
-    const infosys::SiteRecord& record = as_record(element);
+  std::size_t excluded = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const infosys::SiteRecord& record = records[i];
     const int effective =
         record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
     if (effective < needed_cpus) continue;
+    if (health_excluded(record.static_info.id, excluded)) continue;
     if (compiled != nullptr) {
       record.cache_primed() ? ++hits : ++misses;
       if (!compiled->matches(slot_context(record.machine_view(), effective))) {
@@ -117,22 +126,8 @@ std::vector<SiteId> Matchmaker::filter_sites_impl(
     }
     out.push_back(record.static_info.id);
   }
-  note_scan("coarse", records.size(), hits, misses);
+  note_scan("coarse", records.size(), hits, misses, excluded, !out.empty());
   return out;
-}
-
-std::vector<SiteId> Matchmaker::filter_sites(
-    const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-    const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
-    int needed_cpus) const {
-  return filter_sites_impl(job, compiled, records, leases, needed_cpus);
-}
-
-std::vector<SiteId> Matchmaker::filter_sites(
-    const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-    const infosys::InformationSystem::IndexSnapshot& records,
-    const LeaseManager& leases, int needed_cpus) const {
-  return filter_sites_impl(job, compiled, records, leases, needed_cpus);
 }
 
 std::shared_ptr<const jdl::CompiledMatch> Matchmaker::compile(
@@ -141,9 +136,8 @@ std::shared_ptr<const jdl::CompiledMatch> Matchmaker::compile(
       jdl::CompiledMatch::compile(job.ad(), infosys::machine_slot_layout()));
 }
 
-template <typename Records>
-std::optional<Candidate> Matchmaker::match_one_impl(
-    const jdl::CompiledMatch& compiled, const Records& records,
+std::optional<Candidate> Matchmaker::match_one(
+    const jdl::CompiledMatch& compiled, CandidateSource records,
     const LeaseManager& leases, int needed_cpus, Rng& rng) const {
   // Streaming equivalent of filter()+select(): candidates are examined in
   // record order; `ties` holds, in encounter order, exactly those whose
@@ -158,18 +152,21 @@ std::optional<Candidate> Matchmaker::match_one_impl(
   double best = 0.0;
   std::size_t hits = 0;
   std::size_t misses = 0;
-  for (const auto& element : records) {
-    const infosys::SiteRecord& record = as_record(element);
+  std::size_t excluded = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const infosys::SiteRecord& record = records[i];
     const int effective =
         record.dynamic_info.free_cpus - leases.leased_cpus(record.static_info.id);
     if (effective < needed_cpus) continue;
+    if (health_excluded(record.static_info.id, excluded)) continue;
 
     record.cache_primed() ? ++hits : ++misses;
     const auto ctx = slot_context(record.machine_view(), effective);
     if (!compiled.matches(ctx)) continue;
 
-    const double rank = compiled.has_rank() ? compiled.rank(ctx)
-                                            : static_cast<double>(effective);
+    const double rank = (compiled.has_rank() ? compiled.rank(ctx)
+                                             : static_cast<double>(effective)) -
+                        health_penalty(record.static_info.id);
     Candidate c;
     c.site = record.static_info.id;
     c.effective_free_cpus = effective;
@@ -182,27 +179,13 @@ std::optional<Candidate> Matchmaker::match_one_impl(
       ties.push_back(c);
     }
   }
-  note_scan("fresh", records.size(), hits, misses);
+  note_scan("fresh", records.size(), hits, misses, excluded, !ties.empty());
   if (ties.empty()) return std::nullopt;
   // Same rng consumption as select(): exactly one pick for a non-empty
   // candidate set when randomized tie-breaking is on.
   const Candidate& chosen =
       config_.randomize_ties ? ties[rng.pick_index(ties.size())] : ties.front();
   return chosen;
-}
-
-std::optional<Candidate> Matchmaker::match_one(
-    const jdl::CompiledMatch& compiled,
-    const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
-    int needed_cpus, Rng& rng) const {
-  return match_one_impl(compiled, records, leases, needed_cpus, rng);
-}
-
-std::optional<Candidate> Matchmaker::match_one(
-    const jdl::CompiledMatch& compiled,
-    const infosys::InformationSystem::IndexSnapshot& records,
-    const LeaseManager& leases, int needed_cpus, Rng& rng) const {
-  return match_one_impl(compiled, records, leases, needed_cpus, rng);
 }
 
 double Matchmaker::rank_of(const jdl::JobDescription& job,
@@ -247,7 +230,8 @@ bool Matchmaker::is_tie(double best, double rank) const {
 }
 
 void Matchmaker::note_scan(const char* pass, std::size_t scanned,
-                           std::size_t cache_hits, std::size_t cache_misses) const {
+                           std::size_t cache_hits, std::size_t cache_misses,
+                           std::size_t health_excluded, bool rerouted) const {
   if (metrics_ == nullptr) return;
   const obs::LabelSet labels{{"pass", pass}};
   metrics_->histogram("broker.match.sites_scanned", labels)
@@ -257,6 +241,13 @@ void Matchmaker::note_scan(const char* pass, std::size_t scanned,
   }
   if (cache_misses > 0) {
     metrics_->counter("broker.match.cache_misses", labels).inc(cache_misses);
+  }
+  if (health_excluded > 0) {
+    metrics_->counter("broker.match.health_excluded", labels)
+        .inc(health_excluded);
+    if (rerouted) {
+      metrics_->counter("broker.match.health_reroutes", labels).inc();
+    }
   }
 }
 

@@ -11,13 +11,20 @@
 //    slot values — no ClassAd construction, no map lookups, constant
 //    conjuncts decided once per job. Same-seed runs of both paths must
 //    produce identical decisions; tests diff their trace digests.
+//
+// Suspicion-aware placement: with a SiteHealth attached (set_site_health),
+// hard-excluded sites are skipped by every pass and each surviving
+// candidate's rank is reduced by the site's health penalty — identically on
+// both paths, so decision digests stay byte-identical with scoring active.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "broker/candidate_source.hpp"
 #include "broker/lease_manager.hpp"
+#include "broker/site_health.hpp"
 #include "infosys/information_system.hpp"
 #include "infosys/site_record.hpp"
 #include "jdl/compiled_match.hpp"
@@ -69,18 +76,12 @@ public:
   /// The coarse (discovery-time) pass: which sites survive Requirements +
   /// capacity. Rank is not evaluated — the broker only needs the site list
   /// to issue fresh queries. `compiled` selects the fast path; nullptr
-  /// interprets the ASTs like the legacy filter.
+  /// interprets the ASTs like the legacy filter. The one implementation
+  /// scans any CandidateSource (record vectors and index snapshots alike).
   [[nodiscard]] std::vector<SiteId> filter_sites(
       const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+      CandidateSource records, const LeaseManager& leases,
       int needed_cpus) const;
-
-  /// filter_sites over a shared index snapshot (what query_index_matching
-  /// delivers on the fast path — no per-record copies).
-  [[nodiscard]] std::vector<SiteId> filter_sites(
-      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-      const infosys::InformationSystem::IndexSnapshot& records,
-      const LeaseManager& leases, int needed_cpus) const;
 
   /// Compiles a job's Requirements/Rank against the machine slot layout.
   /// The result is immutable and shared across scheduling attempts.
@@ -93,21 +94,49 @@ public:
   /// least one candidate survives and randomize_ties is on), so fast and
   /// legacy paths stay in rng lockstep.
   [[nodiscard]] std::optional<Candidate> match_one(
+      const jdl::CompiledMatch& compiled, CandidateSource records,
+      const LeaseManager& leases, int needed_cpus, Rng& rng) const;
+
+  // -- deprecated shims ------------------------------------------------------
+  // The record-vs-snapshot overload pairs below predate CandidateSource.
+  // Deprecated: call the CandidateSource signatures above instead (both
+  // containers convert implicitly); these forwarders go away next release.
+  [[nodiscard]] std::vector<SiteId> filter_sites(
+      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
+      int needed_cpus) const {
+    return filter_sites(job, compiled, CandidateSource{records}, leases,
+                        needed_cpus);
+  }
+  [[nodiscard]] std::vector<SiteId> filter_sites(
+      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
+      const infosys::InformationSystem::IndexSnapshot& records,
+      const LeaseManager& leases, int needed_cpus) const {
+    return filter_sites(job, compiled, CandidateSource{records}, leases,
+                        needed_cpus);
+  }
+  [[nodiscard]] std::optional<Candidate> match_one(
       const jdl::CompiledMatch& compiled,
       const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
-      int needed_cpus, Rng& rng) const;
-
-  /// match_one over a shared index snapshot.
+      int needed_cpus, Rng& rng) const {
+    return match_one(compiled, CandidateSource{records}, leases, needed_cpus,
+                     rng);
+  }
   [[nodiscard]] std::optional<Candidate> match_one(
       const jdl::CompiledMatch& compiled,
       const infosys::InformationSystem::IndexSnapshot& records,
-      const LeaseManager& leases, int needed_cpus, Rng& rng) const;
+      const LeaseManager& leases, int needed_cpus, Rng& rng) const {
+    return match_one(compiled, CandidateSource{records}, leases, needed_cpus,
+                     rng);
+  }
 
   /// Picks one site from non-empty candidates: best rank, random among ties.
   [[nodiscard]] std::optional<SiteId> select(const std::vector<Candidate>& candidates,
                                              Rng& rng) const;
 
-  /// Computes the job's rank for a machine ad (default: FreeCPUs).
+  /// Computes the job's rank for a machine ad (default: FreeCPUs). Health
+  /// penalties are not applied here — callers that consult this directly
+  /// see the raw expression value.
   [[nodiscard]] double rank_of(const jdl::JobDescription& job,
                                const jdl::ClassAd& machine) const;
 
@@ -115,30 +144,33 @@ public:
   /// (nullptr detaches; observation is optional).
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attaches the per-site health scores every pass consults: hard-excluded
+  /// sites are skipped, surviving candidates' ranks are penalized. nullptr
+  /// (the default) restores health-blind matching bit for bit.
+  void set_site_health(const SiteHealth* health) { health_ = health; }
+
   [[nodiscard]] const MatchmakerConfig& config() const { return config_; }
 
 private:
-  /// Shared loop bodies: `Records` ranges over SiteRecord values (fresh
-  /// queries) or shared_ptr<const SiteRecord> snapshots (index queries).
-  template <typename Records>
-  [[nodiscard]] std::vector<SiteId> filter_sites_impl(
-      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-      const Records& records, const LeaseManager& leases, int needed_cpus) const;
-  template <typename Records>
-  [[nodiscard]] std::optional<Candidate> match_one_impl(
-      const jdl::CompiledMatch& compiled, const Records& records,
-      const LeaseManager& leases, int needed_cpus, Rng& rng) const;
+  /// True when health scoring vetoes the site outright; counts the skip.
+  [[nodiscard]] bool health_excluded(SiteId site, std::size_t& excluded) const;
+  /// Rank penalty for the site (0 without an attached SiteHealth).
+  [[nodiscard]] double health_penalty(SiteId site) const;
 
   /// Symmetric tie test: |best - rank| within margin relative to the larger
   /// magnitude, so negated rank expressions see the same tie window
   /// (best - |best|*margin widened asymmetrically for negative ranks).
   [[nodiscard]] bool is_tie(double best, double rank) const;
-  /// Records broker.match.sites_scanned / cache_hits / cache_misses.
+  /// Records broker.match.sites_scanned / cache_hits / cache_misses, plus
+  /// the health_excluded / health_reroutes counters when scoring vetoed
+  /// sites (`rerouted`: the scan still produced a result elsewhere).
   void note_scan(const char* pass, std::size_t scanned, std::size_t cache_hits,
-                 std::size_t cache_misses) const;
+                 std::size_t cache_misses, std::size_t health_excluded = 0,
+                 bool rerouted = false) const;
 
   MatchmakerConfig config_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  const SiteHealth* health_ = nullptr;
 };
 
 }  // namespace cg::broker

@@ -74,4 +74,14 @@ std::vector<obs::JobTraceEvent> JobHandle::trace() const {
   return grid_->tracer().for_job(id_);
 }
 
+obs::JobTracer::SubscriptionId JobHandle::on_event(
+    obs::TraceEventKind kind,
+    std::function<void(const obs::JobTraceEvent&)> callback) {
+  if (grid_ == nullptr) return 0;
+  return grid_->tracer().subscribe(
+      kind, [job = id_, fn = std::move(callback)](const obs::JobTraceEvent& e) {
+        if (e.job == job) fn(e);
+      });
+}
+
 }  // namespace cg

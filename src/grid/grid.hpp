@@ -54,6 +54,14 @@ public:
   /// This job's typed lifecycle events recorded so far.
   [[nodiscard]] std::vector<obs::JobTraceEvent> trace() const;
 
+  /// Live subscription filtered to this job: `callback` runs synchronously
+  /// whenever an event of `kind` is recorded for this job id. Returns the
+  /// subscription id for Grid::unsubscribe. Invalid on a
+  /// default-constructed handle (returns 0, never fires).
+  obs::JobTracer::SubscriptionId on_event(
+      obs::TraceEventKind kind,
+      std::function<void(const obs::JobTraceEvent&)> callback);
+
 private:
   friend class Grid;
   JobHandle(Grid* grid, JobId id) : grid_{grid}, id_{id} {}
@@ -96,6 +104,22 @@ public:
   }
 
   // -- observability -------------------------------------------------------
+  /// Typed event subscriptions: observe suspicion, eviction, reroute, and
+  /// every other lifecycle event live — without reaching into CrossBroker
+  /// internals or scanning the tracer after the fact. Listeners run
+  /// synchronously at record time in deterministic simulation order.
+  obs::JobTracer::SubscriptionId subscribe(obs::TraceEventKind kind,
+                                           obs::JobTracer::Listener callback) {
+    return obs_.tracer.subscribe(kind, std::move(callback));
+  }
+  /// Subscribes to every event kind.
+  obs::JobTracer::SubscriptionId subscribe(obs::JobTracer::Listener callback) {
+    return obs_.tracer.subscribe(std::move(callback));
+  }
+  void unsubscribe(obs::JobTracer::SubscriptionId id) {
+    obs_.tracer.unsubscribe(id);
+  }
+
   [[nodiscard]] obs::Observability& observability() { return obs_; }
   [[nodiscard]] obs::MetricsRegistry& metrics() { return obs_.metrics; }
   [[nodiscard]] obs::JobTracer& tracer() { return obs_.tracer; }

@@ -164,12 +164,20 @@ void InformationSystem::query_index_matching(int needed_cpus,
                                              SnapshotCallback callback) {
   if (!callback) throw std::invalid_argument{"query_index_matching: null callback"};
   ++index_queries_;
+  // Health pruning projects to *delivery* time: the broker's matchmaker
+  // re-applies its health filter when the reply lands, and the provider
+  // contract (decay-only lower bound) makes call-time pruning agree with it.
+  const SimTime delivery = sim_.now() + config_.index_query_latency;
+  const auto health_pruned = [&](SiteId id) {
+    return health_provider_ && health_provider_(id, delivery);
+  };
   IndexSnapshot survivors;
   // Prefix of the effective-free ordering: every site whose published free
   // CPUs minus leased CPUs already covers the request.
   for (auto it = by_effective_.rbegin();
        it != by_effective_.rend() && it->first >= needed_cpus; ++it) {
     for (const auto& [id, entry] : it->second) {
+      if (health_pruned(id)) continue;
       survivors.push_back(entry->published);
     }
   }
@@ -183,6 +191,7 @@ void InformationSystem::query_index_matching(int needed_cpus,
     const SiteEntry& entry = *site;
     if (!entry.published || !entry.index_key) continue;
     if (*entry.index_key >= needed_cpus) continue;  // already in the prefix
+    if (health_pruned(id)) continue;
     if (entry.published->dynamic_info.free_cpus >= needed_cpus) {
       survivors.push_back(entry.published);
     }

@@ -83,6 +83,20 @@ public:
   /// Sites currently present in the free-CPU index (tests).
   [[nodiscard]] std::size_t index_size() const;
 
+  /// Placement-health veto consulted by matching queries: returns true when
+  /// the site must be pruned from a reply that will be *delivered* at the
+  /// given time (call time + index latency). The provider must be a
+  /// decay-only lower bound on exclusion at delivery — in-flight events may
+  /// only keep a pruned site excluded, never readmit it — so the pruned
+  /// reply stays decision-identical with what query_index's full snapshot
+  /// would yield after the matchmaker's own health filter (the broker wires
+  /// SiteHealth::hard_excluded_at here, whose reward gating guarantees
+  /// exactly this). Single provider; pass nullptr to detach.
+  using HealthProvider = std::function<bool(SiteId, SimTime delivery_time)>;
+  void set_health_provider(HealthProvider provider) {
+    health_provider_ = std::move(provider);
+  }
+
   /// Observer fired whenever a site's published machine ad is invalidated:
   /// reason "republish" (a newer snapshot replaced it), "unregister" (site
   /// gone), or "lease" (a lease delta moved its effective free CPUs).
@@ -140,6 +154,7 @@ private:
   /// Sites with leased_cpus > 0 (their index key understates published free).
   std::map<SiteId, const SiteEntry*> leased_sites_;
   InvalidationListener invalidation_listener_;
+  HealthProvider health_provider_;
   std::size_t index_queries_ = 0;
   std::size_t site_queries_ = 0;
 };

@@ -47,6 +47,37 @@ void JobTracer::record(SimTime when, JobId job, TraceEventKind kind,
                        std::string detail, LabelSet attrs) {
   events_.push_back(
       JobTraceEvent{when, job, kind, std::move(detail), std::move(attrs)});
+  if (!subscriptions_.empty()) notify(events_.size() - 1);
+}
+
+void JobTracer::notify(std::size_t event_index) {
+  // Index-based on both sides: a callback may append subscriptions (they
+  // only see later events — the bound is fixed here), unsubscribe, or even
+  // record (the event is re-indexed each call, so vector growth is safe).
+  const std::size_t limit = subscriptions_.size();
+  for (std::size_t i = 0; i < limit && i < subscriptions_.size(); ++i) {
+    const TraceEventKind kind = events_[event_index].kind;
+    if (subscriptions_[i].kind && *subscriptions_[i].kind != kind) continue;
+    subscriptions_[i].fn(events_[event_index]);
+  }
+}
+
+JobTracer::SubscriptionId JobTracer::subscribe(Listener listener) {
+  const SubscriptionId id = next_subscription_++;
+  subscriptions_.push_back(Subscription{id, std::nullopt, std::move(listener)});
+  return id;
+}
+
+JobTracer::SubscriptionId JobTracer::subscribe(TraceEventKind kind,
+                                               Listener listener) {
+  const SubscriptionId id = next_subscription_++;
+  subscriptions_.push_back(Subscription{id, kind, std::move(listener)});
+  return id;
+}
+
+void JobTracer::unsubscribe(SubscriptionId id) {
+  std::erase_if(subscriptions_,
+                [id](const Subscription& s) { return s.id == id; });
 }
 
 std::vector<JobTraceEvent> JobTracer::for_job(JobId job) const {

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,8 +70,24 @@ struct JobTraceEvent {
 
 class JobTracer {
 public:
+  /// Live subscription to recorded events: listeners run synchronously from
+  /// record(), after the event is appended, in subscription order. They see
+  /// only simulation-ordered, deterministic data, so observing does not
+  /// perturb a run. A listener may subscribe or unsubscribe (itself
+  /// included) from within a callback; listeners added during a callback
+  /// only see later events.
+  using SubscriptionId = std::uint64_t;
+  using Listener = std::function<void(const JobTraceEvent&)>;
+
   void record(SimTime when, JobId job, TraceEventKind kind, std::string detail,
               LabelSet attrs = {});
+
+  /// Subscribes to every event.
+  SubscriptionId subscribe(Listener listener);
+  /// Subscribes to one event kind.
+  SubscriptionId subscribe(TraceEventKind kind, Listener listener);
+  /// Removes a subscription; unknown ids are ignored.
+  void unsubscribe(SubscriptionId id);
 
   [[nodiscard]] const std::vector<JobTraceEvent>& events() const {
     return events_;
@@ -93,10 +111,21 @@ public:
   /// events appear as instant ("i") marks.
   [[nodiscard]] std::string to_chrome_trace() const;
 
+  /// Drops recorded events; subscriptions stay installed.
   void clear() { events_.clear(); }
 
 private:
+  struct Subscription {
+    SubscriptionId id = 0;
+    std::optional<TraceEventKind> kind;  ///< nullopt: every kind
+    Listener fn;
+  };
+
+  void notify(std::size_t event_index);
+
   std::vector<JobTraceEvent> events_;
+  std::vector<Subscription> subscriptions_;
+  SubscriptionId next_subscription_ = 1;
 };
 
 }  // namespace cg::obs

@@ -255,4 +255,37 @@ std::string FaultInjector::timeline_digest() const {
   return digest;
 }
 
+void install_victim_handlers(FaultInjector& injector,
+                             FaultVictimResolver& resolver) {
+  injector.set_handler(
+      FaultKind::kAgentCrash, [&resolver](const FaultSpec& spec) {
+        if (!resolver.crash_agent(spec.target)) {
+          log_warn("fault", "agent-crash victim '", spec.target,
+                   "' did not resolve");
+        }
+      });
+  injector.set_handler(
+      FaultKind::kAgentWedge,
+      [&resolver](const FaultSpec& spec) {
+        if (!resolver.set_agent_wedged(spec.target, true)) {
+          log_warn("fault", "agent-wedge victim '", spec.target,
+                   "' did not resolve");
+        }
+      },
+      [&resolver](const FaultSpec& spec) {
+        resolver.set_agent_wedged(spec.target, false);
+      });
+  injector.set_handler(
+      FaultKind::kNodeCrash,
+      [&resolver](const FaultSpec& spec) {
+        if (!resolver.set_node_failed(spec.target, true)) {
+          log_warn("fault", "node-crash victim '", spec.target,
+                   "' did not resolve");
+        }
+      },
+      [&resolver](const FaultSpec& spec) {
+        resolver.set_node_failed(spec.target, false);
+      });
+}
+
 }  // namespace cg::sim

@@ -112,6 +112,34 @@ private:
   std::vector<FaultSpec> events_;
 };
 
+class FaultInjector;
+
+/// Broker-free victim resolution: how kAgentCrash / kAgentWedge / kNodeCrash
+/// faults find and hit their concrete victims. The `target` strings are the
+/// FaultPlan's — victim-query DSL or opaque names — and each method returns
+/// false when the target does not resolve against the harness's state (the
+/// installed handlers log that and move on). broker::FaultBridge implements
+/// this against live CrossBroker state for grid scenarios; pure stream tests
+/// implement it over their hand-built console agents, so both layers declare
+/// faults through the same FaultPlan DSL instead of wiring raw handlers.
+class FaultVictimResolver {
+public:
+  virtual ~FaultVictimResolver() = default;
+  /// Stalls (or unstalls) the victim agent's event loop.
+  virtual bool set_agent_wedged(const std::string& target, bool wedged) = 0;
+  /// Kills the victim agent (its carrier job, for glide-ins).
+  virtual bool crash_agent(const std::string& target) = 0;
+  /// Fails (or revives) the victim worker node.
+  virtual bool set_node_failed(const std::string& target, bool failed) = 0;
+};
+
+/// Installs the canonical kAgentCrash / kAgentWedge / kNodeCrash handlers on
+/// the injector, forwarding each fire/heal to the resolver (unresolved
+/// targets are logged, not fatal). Replaces any handlers previously set for
+/// those kinds. The resolver must outlive the injector's armed plans.
+void install_victim_handlers(FaultInjector& injector,
+                             FaultVictimResolver& resolver);
+
 /// Arms a FaultPlan onto a simulation. Link faults are applied to the given
 /// Network; the rest fire registered handlers at their scheduled times. The
 /// injector records a virtual-time timeline of everything it did, whose

@@ -1,16 +1,21 @@
 // Randomized liveness/eviction property: across 200 seeded chaos runs —
 // random broker<->site link outages layered with a DSL-targeted agent wedge —
-// every submitted job reaches a terminal state and no match lease leaks
-// (LeaseManager aggregate and per-site leased CPUs both drain to zero).
-// Extends the 100-seed streaming property of the original fault suite from
-// transport conservation up to broker-level recovery invariants.
+// every submitted job reaches a terminal state, no match lease leaks
+// (LeaseManager aggregate and per-site leased CPUs both drain to zero), and
+// no job is ever matched to a site SiteHealth hard-excludes at that moment
+// (checked live from a kMatched subscription, so the health state is the one
+// the matchmaker actually consulted). Extends the 100-seed streaming
+// property of the original fault suite from transport conservation up to
+// broker-level recovery invariants.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "broker/fault_bridge.hpp"
 #include "broker/grid_scenario.hpp"
+#include "obs/observability.hpp"
 #include "sim/fault.hpp"
 
 namespace cg {
@@ -34,6 +39,23 @@ TEST(LivenessPropertyTest, EveryJobTerminatesAndNoLeaseLeaksAcross200Seeds) {
     config.broker.running_job_grace = Duration::seconds(30);
     config.broker.resubmit_interactive_on_agent_death = true;
     broker::GridScenario grid{config};
+
+    // Suspicion-aware placement invariant: every match decision, as it is
+    // recorded, names a site that is not hard-excluded right then.
+    obs::Observability obs;
+    grid.broker().set_observability(&obs);
+    std::uint64_t matches_checked = 0;
+    obs.tracer.subscribe(
+        obs::TraceEventKind::kMatched,
+        [&grid, &matches_checked, seed](const obs::JobTraceEvent& event) {
+          const std::string* site = event.attrs.find("site");
+          ASSERT_NE(site, nullptr);
+          ++matches_checked;
+          EXPECT_FALSE(grid.broker().site_health().hard_excluded(
+              SiteId{std::stoull(*site)}))
+              << "seed " << seed << " job " << event.job.value()
+              << " matched to hard-excluded site " << *site;
+        });
 
     (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
                                lrms::Workload::cpu(600_s),
@@ -80,6 +102,7 @@ TEST(LivenessPropertyTest, EveryJobTerminatesAndNoLeaseLeaksAcross200Seeds) {
           << "seed " << seed << " job " << record->id.value()
           << " stuck in state " << static_cast<int>(record->state);
     }
+    EXPECT_GT(matches_checked, 0u) << "seed " << seed;
     // Lease conservation: every exclusive-temporal-access lease taken during
     // the chaos was released, at the manager and at every site.
     EXPECT_EQ(grid.broker().leases().active_leases(), 0u) << "seed " << seed;

@@ -11,12 +11,14 @@
 // to stderr, which is how the goldens below were pinned.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "broker/fault_bridge.hpp"
@@ -50,6 +52,10 @@ constexpr ScenarioInfo kScenarios[] = {
     {"spool-fault-during-streaming",
      "worker-node disk fails mid reliable stream; appends are rejected and "
      "retried until the disk heals, losing nothing"},
+    {"suspected-site-avoidance",
+     "partition-past-grace eviction drives the site past the SiteHealth "
+     "exclusion threshold; the replacement provably lands elsewhere and the "
+     "site is used again once suspicion decays below the threshold"},
 };
 
 // ------------------------------------------------------------ grid harness --
@@ -304,11 +310,10 @@ ScenarioResult run_partition_past_grace() {
 
 TEST(LivenessScenarioTest, PartitionPastGraceEvictsAndResubmitsRunningJob) {
   const ScenarioResult run = run_partition_past_grace();
-  // Resubmission after eviction does not exclude the partitioned site (the
-  // stale index may still advertise it), so a fresh agent deployed there can
-  // be suspected too before the heal: at least one suspicion, exact sequence
-  // pinned by the golden digest.
-  EXPECT_GE(run.suspected, 1u);
+  // SiteHealth hard-excludes the partitioned site after suspicion + eviction,
+  // so the replacement agent is deployed elsewhere and is never suspected:
+  // exactly one suspicion cycle, exact sequence pinned by the golden digest.
+  EXPECT_EQ(run.suspected, 1u);
   // The grace expired behind the partition: the running interactive resident
   // was timed out, evicted with reason=partition, and resubmitted.
   ASSERT_TRUE(run.inter_evicted_at.has_value());
@@ -326,6 +331,142 @@ TEST(LivenessScenarioTest, PartitionPastGraceEvictsAndResubmitsRunningJob) {
 TEST(LivenessScenarioTest, PartitionPastGraceIsByteIdenticalAcrossRuns) {
   const ScenarioResult a = run_partition_past_grace();
   const ScenarioResult b = run_partition_past_grace();
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+// ------------------------- scenario: suspicion steers placement off-site --
+
+struct AvoidanceRun {
+  std::uint64_t original_site = 0;     ///< site the interactive job started on
+  std::uint64_t replacement_site = 0;  ///< site after the eviction resubmit
+  std::uint64_t late_site = 0;         ///< site of the post-recovery probe job
+  bool excluded_mid_partition = false;
+  bool excluded_at_probe = false;
+  Outcome inter;
+  Outcome probe;
+  std::string digest;
+  std::string jsonl;
+};
+
+/// Partition-past-grace chaos with site-identity assertions: the suspected
+/// site is hard-excluded by SiteHealth, so the evicted job's replacement
+/// provably lands on the other site; once suspicion decays below the
+/// exclusion threshold a late probe job — with the healthy site kept full by
+/// a long filler — returns to the recovered site.
+AvoidanceRun run_suspected_site_avoidance() {
+  broker::GridScenarioConfig config;
+  config.sites = 2;
+  config.nodes_per_site = 2;
+  config.broker.running_job_grace = Duration::seconds(60);
+  obs::Observability obs;
+  broker::GridScenario grid{config};
+  grid.broker().set_observability(&obs);
+
+  // Live capture through the typed subscription API: every match, as it
+  // happens, without scanning the tracer afterwards.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> matches;  // (job, site)
+  obs.tracer.subscribe(
+      obs::TraceEventKind::kMatched, [&matches](const obs::JobTraceEvent& e) {
+        const std::string* site = e.attrs.find("site");
+        ASSERT_NE(site, nullptr);
+        matches.emplace_back(e.job.value(), std::stoull(*site));
+      });
+  const auto site_of = [&matches](JobId job, bool last) {
+    std::optional<std::uint64_t> found;
+    for (const auto& [j, site] : matches) {
+      if (j != job.value()) continue;
+      found = site;
+      if (!last) break;
+    }
+    EXPECT_TRUE(found.has_value()) << "no match recorded for j" << job.value();
+    return found.value_or(~std::uint64_t{0});
+  };
+
+  AvoidanceRun result;
+  Outcome batch;
+  (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{1},
+                             lrms::Workload::cpu(3000_s),
+                             broker::GridScenario::ui_endpoint(), watch(batch));
+  grid.sim().run_until(SimTime::from_seconds(120));
+
+  const JobId inter_id =
+      grid.broker()
+          .submit(parse_job("Executable = \"viz\"; JobType = \"interactive\"; "
+                            "MachineAccess = \"shared\"; PerformanceLoss = 10;"),
+                  UserId{2}, lrms::Workload::cpu(600_s),
+                  broker::GridScenario::ui_endpoint(), watch(result.inter))
+          .value();
+  grid.sim().run_until(SimTime::from_seconds(240));
+  EXPECT_TRUE(result.inter.running);
+  result.original_site = site_of(inter_id, /*last=*/false);
+
+  std::string endpoint;
+  for (std::size_t i = 0; i < grid.site_count(); ++i) {
+    if (grid.site(i).id().value() == result.original_site) {
+      endpoint = grid.site(i).endpoint();
+    }
+  }
+  EXPECT_FALSE(endpoint.empty());
+
+  sim::FaultInjector injector{grid.sim(), &grid.network()};
+  sim::FaultPlan plan;
+  plan.partition_link("broker", endpoint, SimTime::from_seconds(300.0),
+                      Duration::seconds(150));
+  injector.arm(plan);
+
+  // By 600 s the grace has expired behind the partition: the residents were
+  // evicted, the site crossed the exclusion threshold, and the replacement
+  // was matched somewhere it is allowed to go.
+  grid.sim().run_until(SimTime::from_seconds(600));
+  result.excluded_mid_partition =
+      grid.broker().site_health().hard_excluded(SiteId{result.original_site});
+  result.replacement_site = site_of(inter_id, /*last=*/true);
+
+  // Fill the healthy site's remaining node for the rest of the run: the late
+  // probe can only start if the recovered site is matchable again.
+  Outcome filler;
+  (void)grid.broker().submit(parse_job("Executable = \"sim\";"), UserId{3},
+                             lrms::Workload::cpu(4000_s),
+                             broker::GridScenario::ui_endpoint(), watch(filler));
+
+  // Suspicion decays with a 600 s half-life: by 3000 s it is far below the
+  // exclusion threshold and the original site is eligible again.
+  grid.sim().run_until(SimTime::from_seconds(3000));
+  result.excluded_at_probe =
+      grid.broker().site_health().hard_excluded(SiteId{result.original_site});
+  const JobId probe_id =
+      grid.broker()
+          .submit(parse_job("Executable = \"probe\";"), UserId{4},
+                  lrms::Workload::cpu(300_s),
+                  broker::GridScenario::ui_endpoint(), watch(result.probe))
+          .value();
+  grid.sim().run_until(SimTime::from_seconds(6000));
+
+  result.late_site = site_of(probe_id, /*last=*/false);
+  result.digest = kinds_digest(obs.tracer);
+  result.jsonl = obs.tracer.to_jsonl();
+  maybe_dump("suspected-site-avoidance", result.digest);
+  return result;
+}
+
+TEST(LivenessScenarioTest, EvictionReplacementAvoidsSuspectedSiteUntilDecay) {
+  const AvoidanceRun run = run_suspected_site_avoidance();
+  // Mid-partition the suspected site sits above the exclusion threshold and
+  // the evicted interactive job's replacement landed on the other site.
+  EXPECT_TRUE(run.excluded_mid_partition);
+  EXPECT_NE(run.replacement_site, run.original_site);
+  EXPECT_TRUE(run.inter.completed);
+  // After ~4 half-lives the exclusion has lapsed; with the healthy site kept
+  // full, the probe job's only home is the recovered site — and it got it.
+  EXPECT_FALSE(run.excluded_at_probe);
+  EXPECT_EQ(run.late_site, run.original_site);
+  EXPECT_TRUE(run.probe.completed);
+}
+
+TEST(LivenessScenarioTest, SuspectedSiteAvoidanceIsByteIdenticalAcrossRuns) {
+  const AvoidanceRun a = run_suspected_site_avoidance();
+  const AvoidanceRun b = run_suspected_site_avoidance();
   EXPECT_EQ(a.jsonl, b.jsonl);
   EXPECT_EQ(a.digest, b.digest);
 }
@@ -448,6 +589,27 @@ TEST(LivenessScenarioTest, SpoolCapacityPressureDuringPartitionLosesNothing) {
 
 // ----------------------- fast-mode wedge: dropped frames stay accountable --
 
+/// Broker-free victim resolution for pure stream tests: the DSL target names
+/// one console agent directly, so fault plans drive stream scenarios through
+/// sim::install_victim_handlers without a grid or a FaultBridge.
+class ConsoleAgentResolver final : public sim::FaultVictimResolver {
+public:
+  ConsoleAgentResolver(std::string name, stream::ConsoleAgent& agent)
+      : name_{std::move(name)}, agent_{agent} {}
+
+  bool set_agent_wedged(const std::string& target, bool wedged) override {
+    if (target != name_) return false;
+    agent_.set_wedged(wedged);
+    return true;
+  }
+  bool crash_agent(const std::string&) override { return false; }
+  bool set_node_failed(const std::string&, bool) override { return false; }
+
+private:
+  std::string name_;
+  stream::ConsoleAgent& agent_;
+};
+
 TEST(LivenessScenarioTest, FastModeWedgeDropsFramesVisiblyOnShadow) {
   sim::Simulation sim;
   sim::Network network{Rng{11}};
@@ -464,13 +626,12 @@ TEST(LivenessScenarioTest, FastModeWedgeDropsFramesVisiblyOnShadow) {
                               Rng{11 ^ 0x5a5a}};
   auto& agent = console.add_agent(0, "wn");
 
-  // The wedge stalls the agent's relay loop on a *healthy* link; a handler
-  // wired directly (no grid, so no FaultBridge) flips the agent state.
+  // The wedge stalls the agent's relay loop on a *healthy* link; the shared
+  // victim-handler wiring resolves the DSL target through a stream-side
+  // resolver (no grid, so no FaultBridge).
   sim::FaultInjector injector{sim, &network};
-  injector.set_handler(
-      sim::FaultKind::kAgentWedge,
-      [&agent](const sim::FaultSpec&) { agent.set_wedged(true); },
-      [&agent](const sim::FaultSpec&) { agent.set_wedged(false); });
+  ConsoleAgentResolver resolver{"console-agent", agent};
+  sim::install_victim_handlers(injector, resolver);
   sim::FaultPlan plan;
   plan.wedge_agent("console-agent", SimTime::from_seconds(5.0),
                    Duration::seconds(10));
@@ -547,9 +708,12 @@ completed(j4)
 completed(j1)
 )";
 
-// Partition past the grace: residents evicted and resubmitted mid-partition;
-// the replacement agent lands on the still-partitioned site (no site
-// exclusion on eviction) and is suspected too until the heal restores both.
+// Partition past the grace: residents evicted and resubmitted mid-partition.
+// SiteHealth hard-excludes the partitioned site (suspicion + eviction push it
+// past the exclusion threshold), so the replacement agent provably lands on
+// the *other* site: exactly one agent_suspected / agent_restored pair, where
+// before suspicion-aware placement the replacement was re-suspected on the
+// still-partitioned site (two cycles).
 constexpr std::string_view kPartitionPastGraceGolden = R"(heartbeat_miss
 heartbeat_miss
 liveness_miss
@@ -575,31 +739,64 @@ liveness_miss
 heartbeat_miss
 liveness_miss
 heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
 heartbeat_miss
 liveness_miss
 heartbeat_miss
-heartbeat_miss
-liveness_miss
 liveness_miss
 heartbeat_miss
-heartbeat_miss
-agent_suspected
 liveness_miss
 liveness_miss
-heartbeat_miss
-heartbeat_miss
-liveness_miss
-liveness_miss
-heartbeat_miss
-heartbeat_miss
-liveness_miss
-liveness_miss
-liveness_miss
-liveness_miss
-agent_restored
 agent_restored
 completed(j4)
 completed(j1)
+)";
+
+// Suspected-site avoidance: one suspicion cycle (the replacement lands on
+// the healthy site, so no re-suspicion), then the filler (j10) and the
+// post-recovery probe (j13) complete alongside the original pair.
+constexpr std::string_view kSuspectedSiteAvoidanceGolden = R"(heartbeat_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+agent_suspected
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+job_evicted(j4)
+resubmitted(j4)
+job_evicted(j1)
+resubmitted(j1)
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+heartbeat_miss
+liveness_miss
+liveness_miss
+agent_restored
+completed(j4)
+completed(j13)
+completed(j1)
+completed(j10)
 )";
 
 TEST(LivenessScenarioTest, WedgedAgentTraceDigestMatchesGolden) {
@@ -612,6 +809,11 @@ TEST(LivenessScenarioTest, PartitionWithinGraceTraceDigestMatchesGolden) {
 
 TEST(LivenessScenarioTest, PartitionPastGraceTraceDigestMatchesGolden) {
   EXPECT_EQ(run_partition_past_grace().digest, kPartitionPastGraceGolden);
+}
+
+TEST(LivenessScenarioTest, SuspectedSiteAvoidanceTraceDigestMatchesGolden) {
+  EXPECT_EQ(run_suspected_site_avoidance().digest,
+            kSuspectedSiteAvoidanceGolden);
 }
 
 }  // namespace

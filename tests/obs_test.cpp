@@ -22,6 +22,7 @@ using namespace cg::literals;
 using obs::Counter;
 using obs::Gauge;
 using obs::Histogram;
+using obs::JobTraceEvent;
 using obs::JobTracer;
 using obs::LabelSet;
 using obs::MetricsRegistry;
@@ -205,6 +206,16 @@ TEST(GridFacadeTest, JobLifecycleIsTraced) {
   auto jd = jdl::JobDescription::parse("Executable = \"app\";");
   auto job = grid.submit(jd.value(), UserId{1}, lrms::Workload::cpu(30_s));
   ASSERT_TRUE(job.has_value());
+  // Live subscriptions, installed before virtual time runs: the per-job
+  // handle filter plus a grid-wide kind subscription see the lifecycle as it
+  // happens instead of scanning the tracer afterwards.
+  int matched = 0;
+  int completed_events = 0;
+  job->on_event(TraceEventKind::kMatched,
+                [&matched](const JobTraceEvent&) { ++matched; });
+  const auto sub = grid.subscribe(
+      TraceEventKind::kCompleted,
+      [&completed_events](const JobTraceEvent&) { ++completed_events; });
   const auto done = job->await();
   ASSERT_TRUE(done.has_value()) << to_string(done.error().kind);
   EXPECT_EQ((*done)->state, broker::JobState::kCompleted);
@@ -212,6 +223,10 @@ TEST(GridFacadeTest, JobLifecycleIsTraced) {
   const auto events = job->trace();
   ASSERT_FALSE(events.empty());
   EXPECT_EQ(events.front().kind, TraceEventKind::kSubmitted);
+  EXPECT_GE(matched, 1);
+  EXPECT_GE(completed_events, 1);
+  grid.unsubscribe(sub);
+  // The after-the-fact queries agree with what the subscriptions saw.
   EXPECT_NE(grid.tracer().first(job->id(), TraceEventKind::kMatched), nullptr);
   EXPECT_NE(grid.tracer().first(job->id(), TraceEventKind::kCompleted),
             nullptr);
