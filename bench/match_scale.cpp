@@ -111,9 +111,14 @@ RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
   mc.use_fast_path = fast;
   Matchmaker mm{mc};
   mm.set_site_health(&health);
-  is.set_health_provider([&health](SiteId site, SimTime delivery_time) {
-    return health.hard_excluded_at(site, delivery_time);
-  });
+  is.set_health_provider(
+      [&health](SiteId site, SimTime delivery_time) {
+        return health.hard_excluded_at(site, delivery_time);
+      },
+      [&health](SiteId site, SimTime delivery_time) {
+        return health.exclusion_ends_after(site, delivery_time);
+      },
+      [&health] { return health.exclusion_epoch(); });
   Rng rng{kSeed};
 
   for (std::uint64_t i = 1; i <= n_sites; ++i) {
@@ -144,9 +149,11 @@ RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
     bool delivered = false;
     if (fast) {
       is.query_index_matching(
-          needed, [&, compiled = mm.compile(desc)](
-                      infosys::InformationSystem::IndexSnapshot records) {
-            picked = mm.match_one(*compiled, records, leases, needed, rng);
+          needed,
+          [&, compiled = mm.compile(desc)](
+              std::shared_ptr<const infosys::InformationSystem::IndexSnapshot>
+                  records) {
+            picked = mm.match_one(*compiled, *records, leases, needed, rng);
             delivered = true;
           });
     } else {

@@ -1,0 +1,453 @@
+// Event-engine scale benchmark: runs one deterministic workload — per-agent
+// retry chains with heavy cancellation churn, cancel-and-rearm victim timers
+// and periodic daemon lanes — through the pre-rewrite engine (binary
+// priority_queue + std::function callbacks + tombstone cancellation,
+// embedded below) and the current slab/4-ary-heap/timer-wheel engine,
+// asserts both fire the byte-identical event sequence, and reports
+// events/sec. For the current engine it also proves the zero-allocation
+// claim: once the slab and heap reach their high-water mark, the
+// steady-state schedule/cancel/fire cycle must not touch the global heap
+// (counted via replaced operator new).
+//
+// Usage:
+//   sim_scale                 full sweep (10^5..10^7 events, 10^2..10^4 agents)
+//   sim_scale --smoke         smallest grid only; exit 1 on any violation
+//   sim_scale --json <path>   also write machine-readable results
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <new>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+// ------------------------------------------------- allocation accounting ----
+// Replacing global operator new lets the benchmark count every heap
+// allocation made while the engine runs its steady state. Single-threaded by
+// construction (the simulation is), so plain counters suffice.
+
+namespace {
+std::size_t g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_alloc_count;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace cg;
+using namespace cg::literals;
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ------------------------------------------------------- legacy engine ------
+// Faithful copy of the engine this rewrite replaced: a binary
+// std::priority_queue of events holding std::function callbacks, with lazy
+// (tombstone-map) cancellation. Kept verbatim so the digest comparison pins
+// the new engine to the exact historical firing order.
+
+class LegacyHandle {
+public:
+  constexpr LegacyHandle() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t seq() const { return seq_; }
+
+  constexpr explicit LegacyHandle(std::uint64_t seq) : seq_{seq} {}
+
+private:
+  std::uint64_t seq_ = 0;
+};
+
+class LegacySimulation {
+public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  LegacyHandle schedule(Duration delay, Callback fn) {
+    if (delay.is_negative()) delay = Duration::zero();
+    return schedule_impl(now_ + delay, std::move(fn), /*daemon=*/false);
+  }
+
+  LegacyHandle schedule_daemon(Duration delay, Callback fn) {
+    if (delay.is_negative()) delay = Duration::zero();
+    return schedule_impl(now_ + delay, std::move(fn), /*daemon=*/true);
+  }
+
+  bool cancel(LegacyHandle handle) {
+    if (!handle.valid()) return false;
+    const auto it = pending_.find(handle.seq());
+    if (it == pending_.end()) return false;
+    if (!it->second) --pending_user_;
+    pending_.erase(it);
+    return true;
+  }
+
+  std::size_t run() {
+    std::size_t n = 0;
+    Event ev;
+    while (pending_user_ > 0 && pop_one(ev)) {
+      now_ = ev.when;
+      ++processed_;
+      ++n;
+      ev.fn();
+    }
+    return n;
+  }
+
+  bool step() {
+    Event ev;
+    if (!pop_one(ev)) return false;
+    now_ = ev.when;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+
+  [[nodiscard]] std::size_t processed_events() const { return processed_; }
+
+private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq = 0;
+    Callback fn;
+    bool daemon = false;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  LegacyHandle schedule_impl(SimTime when, Callback fn, bool daemon) {
+    if (when < now_) when = now_;
+    const LegacyHandle handle{next_seq_};
+    queue_.push(Event{when, next_seq_, std::move(fn), daemon});
+    pending_.emplace(next_seq_, daemon);
+    if (!daemon) ++pending_user_;
+    ++next_seq_;
+    return handle;
+  }
+
+  bool pop_one(Event& out) {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      const auto it = pending_.find(ev.seq);
+      if (it == pending_.end()) continue;  // cancelled
+      if (!it->second) --pending_user_;
+      pending_.erase(it);
+      out = std::move(ev);
+      return true;
+    }
+    return false;
+  }
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t processed_ = 0;
+  std::size_t pending_user_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<std::uint64_t, bool> pending_;
+};
+
+// ------------------------------------------------------------ workload ------
+// Per-agent retry chains mirroring the broker's hot paths: each firing folds
+// its (virtual time, identity) into the digest, reschedules itself with an
+// LCG-drawn delay, and every fourth firing cancels-and-rearms a victim timer
+// (the ScopedTimer pattern: flush timeouts, match leases). Each agent also
+// runs a periodic daemon lane riding the timer wheel. Capture sizes are
+// deliberately beyond std::function's inline buffer — broker callbacks carry
+// ids and endpoints — and within the engine's 48-byte budget.
+
+template <class Engine>
+struct Driver {
+  using Handle = decltype(std::declval<Engine&>().schedule(Duration::zero(),
+                                                           [] {}));
+
+  struct AgentState {
+    Handle victim{};
+    std::uint64_t lcg = 0;
+  };
+
+  Engine& eng;
+  std::size_t target;
+  std::size_t issued = 0;
+  std::size_t chain_fired = 0;
+  std::uint64_t digest = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::vector<AgentState> agents;
+
+  Driver(Engine& engine, std::size_t n_events, std::size_t n_agents)
+      : eng{engine}, target{n_events}, agents(n_agents) {
+    // Prime the event pool to the workload's in-flight bound (one chain, one
+    // victim and one daemon per agent, plus transients): schedule-then-cancel
+    // a burst of leaf events through BOTH engines. The call streams stay
+    // identical so the firing digests still compare, the cancelled events
+    // never fire, and pool growth becomes a start-up cost instead of a
+    // mid-measurement one — which is exactly the claim the allocation counter
+    // checks.
+    std::vector<Handle> primer;
+    primer.reserve(n_agents * 4 + 64);
+    for (std::size_t i = 0; i < n_agents * 4 + 64; ++i) {
+      primer.push_back(eng.schedule(Duration::micros(1), [] {}));
+    }
+    for (Handle& h : primer) {
+      eng.cancel(h);
+    }
+    for (std::size_t a = 0; a < n_agents; ++a) {
+      agents[a].lcg = 0x9e3779b97f4a7c15ULL * (a + 1) ^ 0xcafef00dd15ea5e5ULL;
+      ++issued;
+      const std::uint64_t salt = agents[a].lcg;
+      eng.schedule(Duration::micros(static_cast<std::int64_t>(37 * (a + 1))),
+                   [this, a, salt] { chain(a, salt); });
+      eng.schedule_daemon(daemon_interval(a), [this, a] { daemon_tick(a); });
+    }
+  }
+
+  [[nodiscard]] static Duration daemon_interval(std::size_t a) {
+    return Duration::micros(static_cast<std::int64_t>(2048 + (a % 5) * 1024));
+  }
+
+  std::uint64_t next(std::size_t a) {
+    std::uint64_t& s = agents[a].lcg;
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 29;
+  }
+
+  void chain(std::size_t a, std::uint64_t salt) {
+    digest = fnv1a(digest, static_cast<std::uint64_t>(eng.now().count_micros()));
+    digest = fnv1a(digest, salt ^ (a * 0x100000001b3ULL));
+    ++chain_fired;
+    const std::uint64_t r = next(a);
+    if (r % 4 == 0) {
+      // The cancel result is folded in too: a victim may already have fired,
+      // and both engines must agree on exactly which ones did.
+      const bool cancelled = eng.cancel(agents[a].victim);
+      digest = fnv1a(digest, cancelled ? 1 : 0);
+      const std::uint64_t vsalt = next(a);
+      agents[a].victim =
+          eng.schedule(Duration::micros(static_cast<std::int64_t>(100 + r % 20000)),
+                       [this, a, vsalt] {
+                         digest = fnv1a(digest, vsalt ^ (a + 0x5bd1e995ULL));
+                       });
+    }
+    if (issued < target) {
+      ++issued;
+      const std::uint64_t nsalt = next(a);
+      eng.schedule(Duration::micros(static_cast<std::int64_t>(50 + r % 10000)),
+                   [this, a, nsalt] { chain(a, nsalt); });
+    }
+  }
+
+  void daemon_tick(std::size_t a) {
+    digest = fnv1a(digest, 0xda30000ULL + a);
+    eng.schedule_daemon(daemon_interval(a), [this, a] { daemon_tick(a); });
+  }
+};
+
+struct EngineResult {
+  std::uint64_t digest = 0;
+  double seconds = 0.0;
+  std::size_t processed = 0;
+  std::size_t steady_allocs = 0;  ///< only measured for the current engine
+};
+
+template <class Engine>
+EngineResult run_engine(std::size_t n_events, std::size_t n_agents,
+                        bool measure_allocs) {
+  Engine eng;
+  EngineResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  Driver<Engine> driver{eng, n_events, n_agents};
+  if (measure_allocs) {
+    // Warm-up fifth: the slab, heap and wheel grow to their in-flight
+    // high-water mark. Everything after must run allocation-free.
+    while (driver.chain_fired < n_events / 5 && eng.step()) {
+    }
+    const std::size_t before = g_alloc_count;
+    eng.run();
+    out.steady_allocs = g_alloc_count - before;
+  } else {
+    eng.run();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.digest = driver.digest;
+  out.processed = eng.processed_events();
+  return out;
+}
+
+/// Folds a repetition into the kept result: fastest wall time wins (timing
+/// noise on a shared box only ever slows a run down), while the allocation
+/// count keeps its worst observation so a single dirty rep still fails.
+void merge_rep(EngineResult& best, const EngineResult& rep) {
+  const std::size_t allocs = std::max(best.steady_allocs, rep.steady_allocs);
+  if (best.seconds == 0.0 || rep.seconds < best.seconds) best = rep;
+  best.steady_allocs = allocs;
+}
+
+struct Row {
+  std::size_t events = 0;
+  std::size_t agents = 0;
+  EngineResult legacy;
+  EngineResult current;
+  [[nodiscard]] bool digests_match() const {
+    return legacy.digest == current.digest &&
+           legacy.processed == current.processed;
+  }
+  [[nodiscard]] bool zero_alloc() const { return current.steady_allocs == 0; }
+  [[nodiscard]] double speedup() const {
+    return current.seconds > 0.0 ? legacy.seconds / current.seconds : 0.0;
+  }
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::ofstream f{path};
+  f << "{\n  \"bench\": \"sim_scale\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    f << "    {\"events\": " << r.events << ", \"agents\": " << r.agents
+      << ", \"processed\": " << r.current.processed
+      << ", \"legacy_seconds\": " << r.legacy.seconds
+      << ", \"new_seconds\": " << r.current.seconds
+      << ", \"legacy_events_per_sec\": "
+      << static_cast<double>(r.legacy.processed) / r.legacy.seconds
+      << ", \"new_events_per_sec\": "
+      << static_cast<double>(r.current.processed) / r.current.seconds
+      << ", \"speedup\": " << r.speedup()
+      << ", \"digest_match\": " << (r.digests_match() ? "true" : "false")
+      << ", \"zero_alloc_steady_state\": " << (r.zero_alloc() ? "true" : "false")
+      << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::cerr << "usage: sim_scale [--smoke] [--reps <n>] [--json <path>]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> combos;
+  if (smoke) {
+    combos = {{20000, 100}};
+  } else {
+    combos = {{100000, 100},
+              {1000000, 100},
+              {1000000, 1000},
+              {1000000, 10000},
+              {10000000, 1000}};
+  }
+
+  std::cout << "== sim_scale: legacy vs slab/heap/wheel event engine ==\n";
+  std::vector<Row> rows;
+  bool failed = false;
+  for (const auto& [events, agents] : combos) {
+    Row row;
+    row.events = events;
+    row.agents = agents;
+    // Interleave the engines across repetitions and keep each one's fastest
+    // run: background load drifts on the order of seconds, so back-to-back
+    // pairs see comparable conditions and the minimum approaches the true
+    // cost. The digest is checked on every rep — determinism is per-run, not
+    // best-of.
+    for (int r = 0; r < reps; ++r) {
+      merge_rep(row.legacy, run_engine<LegacySimulation>(events, agents, false));
+      merge_rep(row.current, run_engine<cg::sim::Simulation>(events, agents, true));
+      if (!row.digests_match()) break;
+    }
+    if (!row.digests_match()) {
+      failed = true;
+      std::cerr << "[FAIL] firing-order divergence at " << events << " events / "
+                << agents << " agents: legacy=" << std::hex << row.legacy.digest
+                << " new=" << row.current.digest << std::dec << " (processed "
+                << row.legacy.processed << " vs " << row.current.processed
+                << ")\n";
+    }
+    if (!row.zero_alloc()) {
+      failed = true;
+      std::cerr << "[FAIL] " << row.current.steady_allocs
+                << " heap allocations on the steady-state path at " << events
+                << " events / " << agents << " agents\n";
+    }
+    rows.push_back(row);
+  }
+
+  cg::TablePrinter table{{"Events", "Agents", "Legacy s", "New s", "Legacy ev/s",
+                          "New ev/s", "Speedup", "Digest", "Allocs"}};
+  for (const Row& r : rows) {
+    table.add_row(
+        {std::to_string(r.events), std::to_string(r.agents),
+         cg::fmt_fixed(r.legacy.seconds, 3), cg::fmt_fixed(r.current.seconds, 3),
+         cg::fmt_fixed(static_cast<double>(r.legacy.processed) / r.legacy.seconds,
+                       0),
+         cg::fmt_fixed(
+             static_cast<double>(r.current.processed) / r.current.seconds, 0),
+         cg::fmt_fixed(r.speedup(), 1) + "x",
+         r.digests_match() ? "match" : "DIVERGED",
+         r.zero_alloc() ? "0" : std::to_string(r.current.steady_allocs)});
+  }
+  std::cout << table.render() << "\n";
+  if (!json_path.empty()) write_json(json_path, rows);
+  std::cout << (failed ? "[MISS] engine rewrite violated its contract\n"
+                       : "[ok]   identical firing order, allocation-free "
+                         "steady state\n");
+  return failed ? 1 : 0;
+}

@@ -27,17 +27,27 @@ public:
   // NOLINTNEXTLINE(google-explicit-constructor)
   CandidateSource(const infosys::InformationSystem::IndexSnapshot& snapshot)
       : snapshot_{&snapshot} {}
+  /// Pre-filtered view over records owned elsewhere (e.g. a shared index
+  /// snapshot the broker screened without copying shared_ptrs).
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  CandidateSource(const std::vector<const infosys::SiteRecord*>& pointers)
+      : pointers_{&pointers} {}
 
   [[nodiscard]] std::size_t size() const {
-    return records_ != nullptr ? records_->size() : snapshot_->size();
+    if (records_ != nullptr) return records_->size();
+    if (snapshot_ != nullptr) return snapshot_->size();
+    return pointers_->size();
   }
   [[nodiscard]] const infosys::SiteRecord& operator[](std::size_t i) const {
-    return records_ != nullptr ? (*records_)[i] : *(*snapshot_)[i];
+    if (records_ != nullptr) return (*records_)[i];
+    if (snapshot_ != nullptr) return *(*snapshot_)[i];
+    return *(*pointers_)[i];
   }
 
 private:
   const std::vector<infosys::SiteRecord>* records_ = nullptr;
   const infosys::InformationSystem::IndexSnapshot* snapshot_ = nullptr;
+  const std::vector<const infosys::SiteRecord*>* pointers_ = nullptr;
 };
 
 }  // namespace cg::broker

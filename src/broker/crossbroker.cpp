@@ -1,6 +1,7 @@
 #include "broker/crossbroker.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string_view>
 #include <utility>
@@ -33,9 +34,17 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
   // queries using the decay-only projection to delivery time (the pruned
   // and unpruned discovery paths stay decision-identical; see SiteHealth).
   matchmaker_.set_site_health(&site_health_);
-  infosys_.set_health_provider([this](SiteId site, SimTime delivery_time) {
-    return site_health_.hard_excluded_at(site, delivery_time);
-  });
+  // The horizon + epoch feeds let the index cache matching replies: the
+  // excluded-site set is provably unchanged while no site entered exclusion
+  // (epoch) and no pruned site could have decayed out (horizon).
+  infosys_.set_health_provider(
+      [this](SiteId site, SimTime delivery_time) {
+        return site_health_.hard_excluded_at(site, delivery_time);
+      },
+      [this](SiteId site, SimTime delivery_time) {
+        return site_health_.exclusion_ends_after(site, delivery_time);
+      },
+      [this] { return site_health_.exclusion_epoch(); });
   // Keep the information system's free-CPU index lease-aware: every
   // acquire/release/expiry adjusts the indexed effective count, so the
   // fast-path discovery prunes against live lease state.
@@ -43,10 +52,17 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
     infosys_.apply_lease_delta(site, cpu_delta);
   });
   // Machine-ad cache invalidations (republish, unregister, lease deltas)
-  // surface as a counter; no-op until observability is attached.
+  // surface as a counter; no-op until observability is attached. This fires
+  // on every publication and lease delta, so it dispatches to pre-bound
+  // per-reason handles instead of building a label set per event.
   infosys_.set_invalidation_listener([this](SiteId, const char* reason) {
-    count("broker.match.cache_invalidations",
-          obs::LabelSet{{"reason", reason}});
+    if (std::strcmp(reason, "lease") == 0) {
+      metrics_.invalidations_lease.inc();
+    } else if (std::strcmp(reason, "republish") == 0) {
+      metrics_.invalidations_republish.inc();
+    } else {
+      metrics_.invalidations_unregister.inc();
+    }
   });
   if (config_.enable_agent_heartbeats) {
     sim_.schedule_daemon(config_.agent_heartbeat_interval,
@@ -302,6 +318,44 @@ void CrossBroker::observe(const char* name, double value, obs::LabelSet labels) 
   }
 }
 
+void CrossBroker::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  matchmaker_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
+  site_health_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
+  // Re-bind every pre-resolved handle against the new registry (or drop them
+  // all: default-constructed handles are inert no-ops).
+  metrics_ = BrokerMetrics{};
+  if (obs == nullptr) return;
+  obs::MetricsRegistry& m = obs->metrics;
+  metrics_.invalidations_republish = m.counter_handle(
+      "broker.match.cache_invalidations", obs::LabelSet{{"reason", "republish"}});
+  metrics_.invalidations_unregister = m.counter_handle(
+      "broker.match.cache_invalidations", obs::LabelSet{{"reason", "unregister"}});
+  metrics_.invalidations_lease = m.counter_handle(
+      "broker.match.cache_invalidations", obs::LabelSet{{"reason", "lease"}});
+  metrics_.leases_acquired = m.counter_handle("broker.leases_acquired");
+  metrics_.lease_revocations = m.counter_handle("broker.lease_revocations");
+  metrics_.liveness_probes = m.counter_handle("broker.liveness_probes");
+  for (std::size_t i = 0; i < metrics_.match_latency.size(); ++i) {
+    metrics_.match_latency[i] = m.histogram_handle(
+        "broker.match_latency_s",
+        obs::LabelSet{
+            {"placement", to_string(static_cast<PlacementKind>(i))}});
+  }
+}
+
+obs::CounterHandle& CrossBroker::per_site_counter(
+    std::map<SiteId, obs::CounterHandle>& cache, const char* name, SiteId site) {
+  const auto it = cache.find(site);
+  if (it != cache.end()) return it->second;
+  obs::CounterHandle handle;
+  if (obs_ != nullptr) {
+    handle = obs_->metrics.counter_handle(
+        name, obs::LabelSet{{"site", std::to_string(site.value())}});
+  }
+  return cache.emplace(site, std::move(handle)).first->second;
+}
+
 namespace {
 obs::TraceEventKind trace_kind_for(JobState state) {
   switch (state) {
@@ -403,7 +457,9 @@ void CrossBroker::begin_discovery(JobId id) {
     // what the full snapshot would yield after begin_selection's filters.
     infosys_.query_index_matching(
         needed_cpus_per_site(job->record.description),
-        [this, id](infosys::InformationSystem::IndexSnapshot records) {
+        [this, id](
+            std::shared_ptr<const infosys::InformationSystem::IndexSnapshot>
+                records) {
           ManagedJob* j = find_job(id);
           if (j == nullptr || is_terminal(j->record.state)) return;
           j->record.timestamps.discovery_done = sim_.now();
@@ -449,21 +505,26 @@ void CrossBroker::begin_selection(JobId id, std::vector<infosys::SiteRecord> sta
               CandidateSource{considered}, leases_, needed));
 }
 
-void CrossBroker::begin_selection(JobId id,
-                                  infosys::InformationSystem::IndexSnapshot stale) {
+void CrossBroker::begin_selection(
+    JobId id,
+    std::shared_ptr<const infosys::InformationSystem::IndexSnapshot> stale) {
   ManagedJob* job = find_job(id);
   if (job == nullptr || is_terminal(job->record.state)) return;
   set_state(*job, JobState::kSelection);
 
   const int needed = needed_cpus_per_site(job->record.description);
-  infosys::InformationSystem::IndexSnapshot considered;
-  for (auto& r : stale) {
+  // Screen by raw pointer: the shared snapshot (held alive by `stale` for
+  // the duration of this call) is the owner, so no shared_ptr refcount
+  // traffic per considered record.
+  std::vector<const infosys::SiteRecord*> considered;
+  considered.reserve(stale->size());
+  for (const auto& r : *stale) {
     const SiteId sid = r->static_info.id;
     if (std::find(job->excluded_sites.begin(), job->excluded_sites.end(), sid) !=
         job->excluded_sites.end()) {
       continue;
     }
-    if (sites_.contains(sid)) considered.push_back(std::move(r));
+    if (sites_.contains(sid)) considered.push_back(r.get());
   }
   if (job->compiled_match == nullptr) {
     job->compiled_match = matchmaker_.compile(job->record.description);
@@ -681,7 +742,7 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates,
                std::to_string(placement.processes) + " cpus at site " +
                    std::to_string(placement.site.value()),
                obs::LabelSet{{"site", std::to_string(placement.site.value())}});
-        count("broker.leases_acquired");
+        metrics_.leases_acquired.inc();
       }
     }
     for (const auto& placement : plan->placements) {
@@ -731,11 +792,11 @@ void CrossBroker::place_job(JobId id, std::vector<Candidate> candidates,
   setup_barrier_coordination(*job);
   // Match latency: submission to the end of resource selection, labelled by
   // how the job was placed (Table 1's scheduling-overhead breakdown).
-  observe("broker.match_latency_s",
-          (job->record.timestamps.selection_done.value_or(sim_.now()) -
-           job->record.timestamps.submitted)
-              .to_seconds(),
-          obs::LabelSet{{"placement", to_string(job->record.placement)}});
+  metrics_
+      .match_latency[static_cast<std::size_t>(job->record.placement)]
+      .observe((job->record.timestamps.selection_done.value_or(sim_.now()) -
+                job->record.timestamps.submitted)
+                   .to_seconds());
   for (const auto& sub : job->record.subjobs) {
     trace(id, "match",
           "rank " + std::to_string(sub.rank) + " -> site " +
@@ -1181,7 +1242,10 @@ CrossBroker::AgentInfo& CrossBroker::create_agent_with_carrier(
                             on_ready = std::move(on_ready)](glidein::AgentState state) {
     if (state == glidein::AgentState::kRunning) {
       const auto info_it = agent_info_.find(agent_id);
-      if (info_it != agent_info_.end()) on_ready(info_it->second);
+      if (info_it != agent_info_.end()) {
+        supervise_agent(info_it->second);
+        on_ready(info_it->second);
+      }
     } else if (state == glidein::AgentState::kDead) {
       handle_agent_death(agent_id);
     }
@@ -1202,7 +1266,11 @@ CrossBroker::AgentInfo& CrossBroker::create_agent_with_carrier(
   };
   request.on_complete = [this, agent_id] {
     // Manual finish: the agent left the machine voluntarily.
-    agent_info_.erase(agent_id);
+    const auto info_it = agent_info_.find(agent_id);
+    if (info_it != agent_info_.end()) {
+      unsupervise_agent(info_it->second);
+      agent_info_.erase(info_it);
+    }
     agents_.remove(agent_id);
   };
 
@@ -1262,8 +1330,67 @@ int CrossBroker::advertised_interactive_vms(SiteId site) {
 
 // ---------------------------------------------------------- heartbeats ----
 
+void CrossBroker::supervise_agent(AgentInfo& info) {
+  // Bucket at `now`: the agent becomes due at the next tick, exactly when
+  // the old full scan would first have visited it.
+  const SimTime now = sim_.now();
+  if (config_.enable_agent_heartbeats && !info.hb_due) {
+    info.hb_due = now;
+    hb_buckets_[now].insert(info.id);
+  }
+  if (config_.enable_liveness_probes && !info.lv_due) {
+    info.lv_due = now;
+    lv_buckets_[now].insert(info.id);
+  }
+}
+
+void CrossBroker::unsupervise_agent(AgentInfo& info) {
+  if (info.hb_due) {
+    const auto it = hb_buckets_.find(*info.hb_due);
+    if (it != hb_buckets_.end()) {
+      it->second.erase(info.id);
+      if (it->second.empty()) hb_buckets_.erase(it);
+    }
+    info.hb_due.reset();
+  }
+  if (info.lv_due) {
+    const auto it = lv_buckets_.find(*info.lv_due);
+    if (it != lv_buckets_.end()) {
+      it->second.erase(info.id);
+      if (it->second.empty()) lv_buckets_.erase(it);
+    }
+    info.lv_due.reset();
+  }
+}
+
+std::vector<AgentId> CrossBroker::extract_due_agents(
+    std::map<SimTime, std::set<AgentId>>& buckets) {
+  const SimTime now = sim_.now();
+  std::vector<AgentId> due;
+  std::size_t merged = 0;
+  while (!buckets.empty() && buckets.begin()->first <= now) {
+    const auto& ids = buckets.begin()->second;
+    due.insert(due.end(), ids.begin(), ids.end());
+    buckets.erase(buckets.begin());
+    ++merged;
+  }
+  // Each bucket is already in ascending AgentId order; only a multi-bucket
+  // merge needs a sort to restore the old full scan's visit order.
+  if (merged > 1) std::sort(due.begin(), due.end());
+  return due;
+}
+
 void CrossBroker::heartbeat_tick() {
-  for (auto& [agent_id, info] : agent_info_) {
+  const SimTime now = sim_.now();
+  for (const AgentId agent_id : extract_due_agents(hb_buckets_)) {
+    const auto it = agent_info_.find(agent_id);
+    if (it == agent_info_.end()) continue;
+    AgentInfo& info = it->second;
+    // Re-bucket first (the old scan revisited every agent each interval
+    // whatever the outcome); the visit body may unsupervise via dismissal.
+    const SimTime next = now + config_.agent_heartbeat_interval;
+    info.hb_due = next;
+    hb_buckets_[next].insert(agent_id);
     glidein::GlideinAgent* agent = agents_.find(agent_id);
     if (agent == nullptr || agent->state() != glidein::AgentState::kRunning) {
       continue;
@@ -1283,8 +1410,9 @@ void CrossBroker::heartbeat_tick() {
     } else {
       ++info.missed_heartbeats;
       site_health_.note_heartbeat_miss(info.site);
-      count("broker.heartbeat_misses",
-            obs::LabelSet{{"site", std::to_string(info.site.value())}});
+      per_site_counter(metrics_.heartbeat_misses, "broker.heartbeat_misses",
+                       info.site)
+          .inc();
       tracev(JobId::none(), obs::TraceEventKind::kHeartbeatMiss,
              "agent " + std::to_string(agent_id.value()) + " missed probe " +
                  std::to_string(info.missed_heartbeats),
@@ -1300,7 +1428,14 @@ void CrossBroker::heartbeat_tick() {
 }
 
 void CrossBroker::liveness_tick() {
-  for (auto& [agent_id, info] : agent_info_) {
+  const SimTime now = sim_.now();
+  for (const AgentId agent_id : extract_due_agents(lv_buckets_)) {
+    const auto it = agent_info_.find(agent_id);
+    if (it == agent_info_.end()) continue;
+    AgentInfo& info = it->second;
+    const SimTime next = now + config_.liveness_probe_interval;
+    info.lv_due = next;
+    lv_buckets_[next].insert(agent_id);
     glidein::GlideinAgent* agent = agents_.find(agent_id);
     if (agent == nullptr || agent->state() != glidein::AgentState::kRunning) {
       continue;
@@ -1313,8 +1448,9 @@ void CrossBroker::liveness_tick() {
       // liveness contract failed, whatever the link heartbeat says.
       ++info.missed_echoes;
       site_health_.note_liveness_miss(info.site);
-      count("broker.liveness_misses",
-            obs::LabelSet{{"site", std::to_string(info.site.value())}});
+      per_site_counter(metrics_.liveness_misses, "broker.liveness_misses",
+                       info.site)
+          .inc();
       tracev(JobId::none(), obs::TraceEventKind::kLivenessMiss,
              "agent " + std::to_string(agent_id.value()) + " missed echo " +
                  std::to_string(info.missed_echoes) + " (probe " +
@@ -1334,7 +1470,7 @@ void CrossBroker::liveness_tick() {
 void CrossBroker::send_liveness_probe(AgentId agent_id, AgentInfo& info,
                                       const lrms::Site& site) {
   const std::uint64_t seq = ++info.probe_seq;
-  count("broker.liveness_probes");
+  metrics_.liveness_probes.inc();
   // The probe rides the direct broker <-> agent channel; on a partitioned
   // link it is simply lost and counted missing at the next tick.
   if (!network_.link(endpoint_, site.endpoint()).is_up(sim_.now())) return;
@@ -1515,6 +1651,7 @@ void CrossBroker::evict_suspected_residents(AgentId agent_id,
 void CrossBroker::handle_agent_death(AgentId agent_id) {
   const auto it = agent_info_.find(agent_id);
   if (it == agent_info_.end()) return;
+  unsupervise_agent(it->second);
   const AgentInfo info = it->second;
   agent_info_.erase(it);
   agents_.remove(agent_id);

@@ -18,9 +18,11 @@
 //    a startup barrier.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -190,11 +192,7 @@ public:
   /// misses, matchmaking scan/cache counters, ...). Must outlive the broker
   /// (or be detached with nullptr). Agents created after this call inherit
   /// the registry.
-  void set_observability(obs::Observability* obs) {
-    obs_ = obs;
-    matchmaker_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
-    site_health_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
-  }
+  void set_observability(obs::Observability* obs);
 
   [[nodiscard]] const JobRecord* record(JobId id) const;
   [[nodiscard]] FairShare& fair_share() { return fair_share_; }
@@ -259,6 +257,11 @@ private:
     /// When the current suspicion began; guards the eviction timer against
     /// suspect -> restore -> suspect races.
     std::optional<SimTime> suspected_since;
+    /// Deadline-bucket membership for the supervision channels (absent:
+    /// not bucketed). Ticks visit only agents whose deadline elapsed
+    /// instead of scanning every known agent.
+    std::optional<SimTime> hb_due;
+    std::optional<SimTime> lv_due;
     /// Free slots minus reservations: what a new placement may still take.
     /// A suspected agent offers nothing until it re-registers.
     [[nodiscard]] int reservable_slots(const glidein::GlideinAgent& agent) const {
@@ -272,8 +275,11 @@ private:
   void schedule_job(JobId id);
   void begin_discovery(JobId id);
   void begin_selection(JobId id, std::vector<infosys::SiteRecord> stale_records);
-  /// Fast-path variant: the index snapshot is scanned in place, never copied.
-  void begin_selection(JobId id, infosys::InformationSystem::IndexSnapshot stale);
+  /// Fast-path variant: the shared index snapshot is scanned in place —
+  /// neither the records nor their shared_ptrs are copied.
+  void begin_selection(
+      JobId id,
+      std::shared_ptr<const infosys::InformationSystem::IndexSnapshot> stale);
   /// Common tail of both begin_selection overloads: fresh per-site queries
   /// over the coarse survivors, then the final filter + placement.
   void continue_selection(JobId id, std::vector<SiteId> coarse);
@@ -318,6 +324,15 @@ private:
   void on_site_job_killed(SiteId site, JobId job, NodeId node);
 
   // -- heartbeat + liveness supervision --------------------------------------
+  /// Enters the (running) agent into the supervision deadline buckets, due
+  /// at the next tick of each enabled channel.
+  void supervise_agent(AgentInfo& info);
+  /// Drops the agent from the supervision buckets (death / voluntary exit).
+  void unsupervise_agent(AgentInfo& info);
+  /// Pops every bucket due at or before now and returns the merged ids in
+  /// ascending order (the old full scan's visit order).
+  std::vector<AgentId> extract_due_agents(
+      std::map<SimTime, std::set<AgentId>>& buckets);
   void heartbeat_tick();
   void liveness_tick();
   void send_liveness_probe(AgentId agent_id, AgentInfo& info,
@@ -361,15 +376,42 @@ private:
   void count(const char* name, obs::LabelSet labels = {}, std::uint64_t by = 1);
   void observe(const char* name, double value, obs::LabelSet labels = {});
 
+  /// Pre-resolved handles for the per-event hot paths (bound in
+  /// set_observability; inert while no registry is attached). Everything
+  /// labeled per-site is cached per site on first use.
+  struct BrokerMetrics {
+    obs::CounterHandle invalidations_republish;
+    obs::CounterHandle invalidations_unregister;
+    obs::CounterHandle invalidations_lease;
+    obs::CounterHandle leases_acquired;
+    obs::CounterHandle lease_revocations;
+    obs::CounterHandle liveness_probes;
+    /// Indexed by PlacementKind (the histogram's "placement" label).
+    std::array<obs::HistogramHandle, 5> match_latency;
+    std::map<SiteId, obs::CounterHandle> heartbeat_misses;
+    std::map<SiteId, obs::CounterHandle> liveness_misses;
+  };
+  /// The cached per-site counter handle, binding it on first use.
+  obs::CounterHandle& per_site_counter(
+      std::map<SiteId, obs::CounterHandle>& cache, const char* name,
+      SiteId site);
+
   JobTrace* trace_ = nullptr;
   obs::Observability* obs_ = nullptr;
   const gsi::Certificate* trust_anchor_ = nullptr;
   std::vector<gsi::Credential> broker_credentials_;
   std::map<UserId, std::vector<gsi::Credential>> user_credentials_;
 
+  BrokerMetrics metrics_;
+
   std::map<SiteId, lrms::Site*> sites_;
   std::map<JobId, std::unique_ptr<ManagedJob>> jobs_;
   std::map<AgentId, AgentInfo> agent_info_;
+  /// Supervision deadline buckets: tick time -> agents due then. A std::set
+  /// per bucket keeps extraction in ascending AgentId order — the exact
+  /// order the old full scans visited agents in.
+  std::map<SimTime, std::set<AgentId>> hb_buckets_;
+  std::map<SimTime, std::set<AgentId>> lv_buckets_;
   std::deque<JobId> waiting_batch_;
   IdGenerator<JobId> job_ids_;
   IdGenerator<SubJobId> subjob_ids_;

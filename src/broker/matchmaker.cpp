@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "jdl/eval.hpp"
 
@@ -229,25 +230,43 @@ bool Matchmaker::is_tie(double best, double rank) const {
   return best - rank <= config_.rank_tie_margin * scale + 1e-12;
 }
 
+void Matchmaker::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    coarse_scan_ = ScanMetrics{};
+    fresh_scan_ = ScanMetrics{};
+    return;
+  }
+  const auto bind = [metrics](const char* pass) {
+    const obs::LabelSet labels{{"pass", pass}};
+    ScanMetrics m;
+    m.sites_scanned =
+        metrics->histogram_handle("broker.match.sites_scanned", labels);
+    m.cache_hits = metrics->counter_handle("broker.match.cache_hits", labels);
+    m.cache_misses =
+        metrics->counter_handle("broker.match.cache_misses", labels);
+    m.health_excluded =
+        metrics->counter_handle("broker.match.health_excluded", labels);
+    m.health_reroutes =
+        metrics->counter_handle("broker.match.health_reroutes", labels);
+    return m;
+  };
+  coarse_scan_ = bind("coarse");
+  fresh_scan_ = bind("fresh");
+}
+
 void Matchmaker::note_scan(const char* pass, std::size_t scanned,
                            std::size_t cache_hits, std::size_t cache_misses,
                            std::size_t health_excluded, bool rerouted) const {
   if (metrics_ == nullptr) return;
-  const obs::LabelSet labels{{"pass", pass}};
-  metrics_->histogram("broker.match.sites_scanned", labels)
-      .observe(static_cast<double>(scanned));
-  if (cache_hits > 0) {
-    metrics_->counter("broker.match.cache_hits", labels).inc(cache_hits);
-  }
-  if (cache_misses > 0) {
-    metrics_->counter("broker.match.cache_misses", labels).inc(cache_misses);
-  }
+  ScanMetrics& m =
+      std::strcmp(pass, "coarse") == 0 ? coarse_scan_ : fresh_scan_;
+  m.sites_scanned.observe(static_cast<double>(scanned));
+  if (cache_hits > 0) m.cache_hits.inc(cache_hits);
+  if (cache_misses > 0) m.cache_misses.inc(cache_misses);
   if (health_excluded > 0) {
-    metrics_->counter("broker.match.health_excluded", labels)
-        .inc(health_excluded);
-    if (rerouted) {
-      metrics_->counter("broker.match.health_reroutes", labels).inc();
-    }
+    m.health_excluded.inc(health_excluded);
+    if (rerouted) m.health_reroutes.inc();
   }
 }
 

@@ -141,8 +141,10 @@ public:
                                const jdl::ClassAd& machine) const;
 
   /// Attaches the metrics registry the scan/cache counters are written to
-  /// (nullptr detaches; observation is optional).
-  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  /// (nullptr detaches; observation is optional). Binds per-pass handle
+  /// bundles once, so scans update instruments without rebuilding the
+  /// {"pass": ...} label set per query.
+  void set_metrics(obs::MetricsRegistry* metrics);
 
   /// Attaches the per-site health scores every pass consults: hard-excluded
   /// sites are skipped, surviving candidates' ranks are penalized. nullptr
@@ -161,6 +163,18 @@ private:
   /// magnitude, so negated rank expressions see the same tie window
   /// (best - |best|*margin widened asymmetrically for negative ranks).
   [[nodiscard]] bool is_tie(double best, double rank) const;
+  /// Pre-resolved instruments for one scan pass ("coarse" or "fresh").
+  /// Counters materialize on first positive increment, so runs that never
+  /// hit the cache (or never exclude a site) keep snapshots identical to
+  /// the lazy create-on-first-use behavior.
+  struct ScanMetrics {
+    obs::HistogramHandle sites_scanned;
+    obs::CounterHandle cache_hits;
+    obs::CounterHandle cache_misses;
+    obs::CounterHandle health_excluded;
+    obs::CounterHandle health_reroutes;
+  };
+
   /// Records broker.match.sites_scanned / cache_hits / cache_misses, plus
   /// the health_excluded / health_reroutes counters when scoring vetoed
   /// sites (`rerouted`: the scan still produced a result elsewhere).
@@ -170,6 +184,8 @@ private:
 
   MatchmakerConfig config_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  mutable ScanMetrics coarse_scan_;
+  mutable ScanMetrics fresh_scan_;
   const SiteHealth* health_ = nullptr;
 };
 

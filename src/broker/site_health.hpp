@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 
 #include "obs/metrics.hpp"
@@ -102,6 +103,21 @@ public:
     return config_.rank_penalty_weight * suspicion(site);
   }
 
+  /// Bumped every time a site *crosses into* hard exclusion. Exits happen
+  /// only by decay (rewards are gated while excluded — see header), so a
+  /// cached "which sites are excluded" answer stays exact while the epoch is
+  /// unchanged and the earliest decay-only exit has not been reached. The
+  /// information-system snapshot cache keys on this.
+  [[nodiscard]] std::uint64_t exclusion_epoch() const {
+    return exclusion_epoch_;
+  }
+
+  /// Decay-only projection of when a site hard-excluded at `when` stops
+  /// being excluded: when + half_life * log2(suspicion / threshold),
+  /// rounded down (conservative — never later than the true exit). Returns
+  /// `when` itself for sites not excluded at `when`.
+  [[nodiscard]] SimTime exclusion_ends_after(SiteId site, SimTime when) const;
+
   /// Attaches the registry the broker.site.health gauge is published to
   /// (nullptr detaches; observation is optional).
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
@@ -125,6 +141,7 @@ private:
   SiteHealthConfig config_;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::map<SiteId, Entry> entries_;
+  std::uint64_t exclusion_epoch_ = 0;
 };
 
 }  // namespace cg::broker

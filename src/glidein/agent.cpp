@@ -63,27 +63,39 @@ void GlideinAgent::set_state_observer(StateObserver observer) {
 
 void GlideinAgent::set_metrics(obs::MetricsRegistry* metrics,
                                obs::LabelSet labels) {
-  metrics_ = metrics;
-  metric_labels_ = std::move(labels);
+  metrics_ = MetricHandles{};
+  if (metrics != nullptr) {
+    obs::LabelSet per_agent = labels;
+    per_agent.set("agent", std::to_string(id_.value()));
+    metrics_.interactive_vms_occupied =
+        metrics->gauge_handle("glidein.interactive_vms_occupied", per_agent);
+    metrics_.batch_vm_occupied =
+        metrics->gauge_handle("glidein.batch_vm_occupied", std::move(per_agent));
+    // The occupancy histogram feeds mean/peak utilisation of the interactive
+    // VMs per site without per-agent cardinality.
+    metrics_.interactive_occupancy =
+        metrics->histogram_handle("glidein.interactive_occupancy", labels);
+    obs::LabelSet batch = labels;
+    batch.set("slot", "batch");
+    metrics_.slot_starts_batch =
+        metrics->counter_handle("glidein.slot_starts", std::move(batch));
+    labels.set("slot", "interactive");
+    metrics_.slot_starts_interactive =
+        metrics->counter_handle("glidein.slot_starts", std::move(labels));
+    metrics_.attached = true;
+  }
   update_occupancy_metrics();
 }
 
 void GlideinAgent::update_occupancy_metrics() {
-  if (metrics_ == nullptr) return;
+  if (!metrics_.attached) return;
   int occupied = 0;
   for (const auto& slot : interactive_) {
     if (slot) ++occupied;
   }
-  obs::LabelSet labels = metric_labels_;
-  labels.set("agent", std::to_string(id_.value()));
-  metrics_->gauge("glidein.interactive_vms_occupied", labels)
-      .set(static_cast<double>(occupied));
-  metrics_->gauge("glidein.batch_vm_occupied", labels)
-      .set(batch_job_ ? 1.0 : 0.0);
-  // The occupancy histogram feeds mean/peak utilisation of the interactive
-  // VMs per site without per-agent cardinality.
-  metrics_->histogram("glidein.interactive_occupancy", metric_labels_)
-      .observe(static_cast<double>(occupied));
+  metrics_.interactive_vms_occupied.set(static_cast<double>(occupied));
+  metrics_.batch_vm_occupied.set(batch_job_ ? 1.0 : 0.0);
+  metrics_.interactive_occupancy.observe(static_cast<double>(occupied));
 }
 
 void GlideinAgent::set_state(AgentState state) {
@@ -193,11 +205,9 @@ Status GlideinAgent::start_on_slot(int slot_index, SlotJob job,
     res->runner->start();
     reapply_dilations();
   });
-  if (metrics_ != nullptr) {
-    obs::LabelSet labels = metric_labels_;
-    labels.set("slot", slot_index < 0 ? "batch" : "interactive");
-    metrics_->counter("glidein.slot_starts", labels).inc();
-  }
+  (slot_index < 0 ? metrics_.slot_starts_batch
+                  : metrics_.slot_starts_interactive)
+      .inc();
   update_occupancy_metrics();
   return Status::ok_status();
 }

@@ -180,8 +180,18 @@ private:
   std::vector<std::unique_ptr<Resident>> interactive_;  ///< fixed slot array
   std::uint64_t next_epoch_ = 1;
 
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::LabelSet metric_labels_;
+  /// Pre-resolved handles (bound once in set_metrics, inert when detached):
+  /// occupancy updates fire on every slot change, so the hot path must not
+  /// rebuild label sets or walk the registry maps.
+  struct MetricHandles {
+    obs::GaugeHandle interactive_vms_occupied;
+    obs::GaugeHandle batch_vm_occupied;
+    obs::HistogramHandle interactive_occupancy;
+    obs::CounterHandle slot_starts_batch;
+    obs::CounterHandle slot_starts_interactive;
+    bool attached = false;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace cg::glidein

@@ -27,6 +27,7 @@ void InformationSystem::register_site(const SiteStaticInfo& info,
       }
     }
     leased_sites_.erase(info.id);
+    if (old->second.published) ++publish_version_;
   }
   SiteEntry entry;
   entry.static_info = info;
@@ -48,7 +49,10 @@ void InformationSystem::unregister_site(SiteId id) {
   leased_sites_.erase(id);
   const bool had_published = it->second.published != nullptr;
   sites_.erase(it);
-  if (had_published) notify_invalidation(id, "unregister");
+  if (had_published) {
+    ++publish_version_;
+    notify_invalidation(id, "unregister");
+  }
 }
 
 void InformationSystem::publish(const SiteRecord& record) {
@@ -74,6 +78,7 @@ void InformationSystem::store_published(SiteId id, SiteEntry& entry,
   // shares the one machine view built here.
   record.prime_cache();
   entry.published = std::make_shared<const SiteRecord>(std::move(record));
+  ++publish_version_;
   reindex(id, entry);
 }
 
@@ -168,45 +173,71 @@ void InformationSystem::query_index_matching(int needed_cpus,
   // re-applies its health filter when the reply lands, and the provider
   // contract (decay-only lower bound) makes call-time pruning agree with it.
   const SimTime delivery = sim_.now() + config_.index_query_latency;
-  const auto health_pruned = [&](SiteId id) {
-    return health_provider_ && health_provider_(id, delivery);
-  };
-  IndexSnapshot survivors;
-  // Prefix of the effective-free ordering: every site whose published free
-  // CPUs minus leased CPUs already covers the request.
-  for (auto it = by_effective_.rbegin();
-       it != by_effective_.rend() && it->first >= needed_cpus; ++it) {
-    for (const auto& [id, entry] : it->second) {
-      if (health_pruned(id)) continue;
-      survivors.push_back(entry->published);
-    }
-  }
-  // Leased sites below the prefix whose published capacity still covers the
-  // request: a lease may be released while this reply is in flight and the
-  // broker subtracts live leases again at delivery time, so the pruning
-  // bound must ignore leases to return exactly the sites query_index's
-  // snapshot could have matched. Sites this rule excludes have
-  // published free < needed, hence effective < needed at any later time.
-  for (const auto& [id, site] : leased_sites_) {
-    const SiteEntry& entry = *site;
-    if (!entry.published || !entry.index_key) continue;
-    if (*entry.index_key >= needed_cpus) continue;  // already in the prefix
-    if (health_pruned(id)) continue;
-    if (entry.published->dynamic_info.free_cpus >= needed_cpus) {
-      survivors.push_back(entry.published);
-    }
-  }
-  // Ascending site-id order — the order query_index delivers records in —
-  // so downstream tie-breaking sees an identical candidate sequence.
-  std::sort(survivors.begin(), survivors.end(),
-            [](const std::shared_ptr<const SiteRecord>& a,
-               const std::shared_ptr<const SiteRecord>& b) {
-              return a->static_info.id < b->static_info.id;
-            });
   sim_.schedule(config_.index_query_latency,
-                [cb = std::move(callback), recs = std::move(survivors)]() mutable {
-                  cb(std::move(recs));
+                [cb = std::move(callback),
+                 snap = matching_snapshot(needed_cpus, delivery)]() mutable {
+                  cb(std::move(snap));
                 });
+}
+
+void InformationSystem::refresh_all_published() {
+  if (all_published_version_ == publish_version_) return;
+  all_published_.clear();
+  all_published_.reserve(sites_.size());
+  for (const auto& [id, entry] : sites_) {
+    if (entry.published) all_published_.push_back(entry.published);
+  }
+  all_published_version_ = publish_version_;
+}
+
+std::shared_ptr<const InformationSystem::IndexSnapshot>
+InformationSystem::matching_snapshot(int needed_cpus, SimTime delivery) {
+  // Without a health provider the reply depends only on the published set;
+  // with one, caching additionally needs the horizon + epoch feeds to prove
+  // the excluded-site set unchanged.
+  const bool cacheable =
+      !health_provider_ || (health_horizon_ && health_epoch_);
+  const std::uint64_t epoch = health_epoch_ ? health_epoch_() : 0;
+  if (cacheable) {
+    const auto it = matching_cache_.find(needed_cpus);
+    if (it != matching_cache_.end() &&
+        it->second.version == publish_version_ && it->second.epoch == epoch &&
+        delivery <= it->second.valid_until) {
+      return it->second.snapshot;
+    }
+  }
+  // Rebuild. The survivor set is exactly {published free_cpus >= needed}:
+  // the old prefix-walk (effective >= needed) is a subset of it whenever
+  // leases are nonnegative, and the leased-site pass admitted precisely the
+  // remainder. Pruning must stay lease-independent — a lease may be released
+  // while the reply is in flight and the broker re-checks live leases at
+  // delivery — which is also what makes lease deltas cache-neutral.
+  // Walking sites_ in map order yields ascending site ids: the delivery
+  // order query_index uses, with no per-query sort.
+  refresh_all_published();
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->reserve(all_published_.size());
+  // Horizon: the reply stays exact until the first pruned site could leave
+  // exclusion by decay (entering exclusion bumps the epoch instead).
+  SimTime valid_until = SimTime::max();
+  for (const auto& rec : all_published_) {
+    if (rec->dynamic_info.free_cpus < needed_cpus) continue;
+    const SiteId id = rec->static_info.id;
+    if (health_provider_ && health_provider_(id, delivery)) {
+      if (health_horizon_) {
+        const SimTime end = health_horizon_(id, delivery);
+        if (end < valid_until) valid_until = end;
+      }
+      continue;
+    }
+    snap->push_back(rec);
+  }
+  std::shared_ptr<const IndexSnapshot> result = std::move(snap);
+  if (cacheable) {
+    matching_cache_[needed_cpus] =
+        CachedMatching{publish_version_, epoch, valid_until, result};
+  }
+  return result;
 }
 
 void InformationSystem::query_site(SiteId id, SiteCallback callback) {

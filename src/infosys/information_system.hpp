@@ -8,6 +8,7 @@
 // reason the broker must re-contact candidate sites before committing.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,7 +37,12 @@ public:
   /// copies: publishing always creates a fresh record, so a snapshot taken
   /// at query time stays valid however the index changes afterwards.
   using IndexSnapshot = std::vector<std::shared_ptr<const SiteRecord>>;
-  using SnapshotCallback = std::function<void(IndexSnapshot)>;
+  /// The whole snapshot is itself shared and immutable: repeat queries for
+  /// the same `needed_cpus` between index changes hand out the *same*
+  /// vector, so delivering a reply costs one shared_ptr copy instead of a
+  /// per-query vector copy + sort (the 10^4-site scaling cliff).
+  using SnapshotCallback =
+      std::function<void(std::shared_ptr<const IndexSnapshot>)>;
   using SiteCallback = std::function<void(std::optional<SiteRecord>)>;
 
   InformationSystem(sim::Simulation& sim, InformationSystemConfig config = {});
@@ -93,8 +99,24 @@ public:
   /// SiteHealth::hard_excluded_at here, whose reward gating guarantees
   /// exactly this). Single provider; pass nullptr to detach.
   using HealthProvider = std::function<bool(SiteId, SimTime delivery_time)>;
-  void set_health_provider(HealthProvider provider) {
+  /// Decay-only projection of when a site pruned at `delivery_time` stops
+  /// being excluded (SiteHealth::exclusion_ends_after). Lets the reply cache
+  /// bound how long a pruned snapshot stays exact.
+  using HealthHorizon = std::function<SimTime(SiteId, SimTime delivery_time)>;
+  /// Monotone counter bumped whenever a site *enters* exclusion
+  /// (SiteHealth::exclusion_epoch). Unchanged epoch + unexpired horizon =>
+  /// the excluded-site set is exactly what it was when a reply was cached.
+  using HealthEpoch = std::function<std::uint64_t()>;
+  /// Attaches the health veto. `horizon` and `epoch` are optional but
+  /// enable reply caching under pruning: without them every matching query
+  /// rebuilds its snapshot (with no provider at all, caching needs neither).
+  void set_health_provider(HealthProvider provider,
+                           HealthHorizon horizon = nullptr,
+                           HealthEpoch epoch = nullptr) {
     health_provider_ = std::move(provider);
+    health_horizon_ = std::move(horizon);
+    health_epoch_ = std::move(epoch);
+    matching_cache_.clear();
   }
 
   /// Observer fired whenever a site's published machine ad is invalidated:
@@ -143,6 +165,22 @@ private:
   void reindex(SiteId id, SiteEntry& entry);
   void notify_invalidation(SiteId id, const char* reason);
 
+  /// Rebuilds the ascending-id roster of published records if the published
+  /// set changed since it was last built.
+  void refresh_all_published();
+  /// The (cached or rebuilt) reply snapshot for a matching query.
+  [[nodiscard]] std::shared_ptr<const IndexSnapshot> matching_snapshot(
+      int needed_cpus, SimTime delivery);
+
+  /// One cached matching reply: exact while the published set (version) and
+  /// the excluded-site set (epoch + horizon) are both unchanged.
+  struct CachedMatching {
+    std::uint64_t version = 0;
+    std::uint64_t epoch = 0;
+    SimTime valid_until;
+    std::shared_ptr<const IndexSnapshot> snapshot;
+  };
+
   sim::Simulation& sim_;
   InformationSystemConfig config_;
   std::map<SiteId, SiteEntry> sites_;
@@ -155,6 +193,18 @@ private:
   std::map<SiteId, const SiteEntry*> leased_sites_;
   InvalidationListener invalidation_listener_;
   HealthProvider health_provider_;
+  HealthHorizon health_horizon_;
+  HealthEpoch health_epoch_;
+  /// Bumped whenever the published-record set changes (publish, republish,
+  /// unregister of a published site). Lease deltas do not bump it: matching
+  /// replies prune on the lease-independent published bound.
+  std::uint64_t publish_version_ = 1;
+  /// Ascending-id roster of published records (sites_ iteration order — the
+  /// delivery order) + the version it was built at.
+  std::vector<std::shared_ptr<const SiteRecord>> all_published_;
+  std::uint64_t all_published_version_ = 0;
+  /// Per-needed_cpus cached replies.
+  std::map<int, CachedMatching> matching_cache_;
   std::size_t index_queries_ = 0;
   std::size_t site_queries_ = 0;
 };

@@ -21,24 +21,27 @@ LocalScheduler::LocalScheduler(sim::Simulation& sim,
 
 void LocalScheduler::set_metrics(obs::MetricsRegistry* metrics,
                                  obs::LabelSet labels) {
-  metrics_ = metrics;
-  metric_labels_ = std::move(labels);
+  metrics_ = MetricHandles{};
+  if (metrics != nullptr) {
+    metrics_.queue_depth = metrics->gauge_handle("lrms.queue_depth", labels);
+    metrics_.jobs_rejected = metrics->counter_handle("lrms.jobs_rejected", labels);
+    metrics_.dispatches = metrics->counter_handle("lrms.dispatches", labels);
+    metrics_.dispatch_latency =
+        metrics->histogram_handle("lrms.dispatch_latency_s", std::move(labels));
+    metrics_.attached = true;
+  }
   update_queue_metrics();
 }
 
 void LocalScheduler::update_queue_metrics() {
-  if (metrics_ == nullptr) return;
-  metrics_->gauge("lrms.queue_depth", metric_labels_)
-      .set(static_cast<double>(queue_.size()));
+  metrics_.queue_depth.set(static_cast<double>(queue_.size()));
 }
 
 bool LocalScheduler::submit(LocalJob job) {
   // A full queue only matters when no node can take the job right away.
   if (queue_.size() >= config_.max_queue_length && first_idle_node() == nullptr) {
     log_warn("lrms", "queue full, rejecting ", job.id);
-    if (metrics_ != nullptr) {
-      metrics_->counter("lrms.jobs_rejected", metric_labels_).inc();
-    }
+    metrics_.jobs_rejected.inc();
     return false;
   }
   // Wrap completion so a finishing job pulls the next one from the queue.
@@ -211,14 +214,13 @@ void LocalScheduler::try_dispatch() {
         try_dispatch();
         return;
       }
-      if (metrics_ != nullptr) {
+      if (metrics_.attached) {
         const auto enq = enqueued_at_.find(job.id);
         if (enq != enqueued_at_.end()) {
-          metrics_->histogram("lrms.dispatch_latency_s", metric_labels_)
-              .observe_duration(sim_.now() - enq->second);
+          metrics_.dispatch_latency.observe_duration(sim_.now() - enq->second);
           enqueued_at_.erase(enq);
         }
-        metrics_->counter("lrms.dispatches", metric_labels_).inc();
+        metrics_.dispatches.inc();
       } else {
         enqueued_at_.erase(job.id);
       }

@@ -110,8 +110,17 @@ private:
   JobKilledFn on_killed_;
   IdGenerator<NodeId> node_ids_;
 
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::LabelSet metric_labels_;
+  /// Pre-resolved handles, bound once in set_metrics (inert when detached).
+  /// Queue depth updates on every submit/cancel/dispatch, so the hot path
+  /// must not re-resolve name+labels against the registry maps.
+  struct MetricHandles {
+    obs::GaugeHandle queue_depth;
+    obs::CounterHandle jobs_rejected;
+    obs::CounterHandle dispatches;
+    obs::HistogramHandle dispatch_latency;
+    bool attached = false;
+  };
+  MetricHandles metrics_;
   /// Submission instants of jobs not yet started (drives dispatch latency).
   std::map<JobId, SimTime> enqueued_at_;
 };

@@ -214,6 +214,40 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+CounterHandle MetricsRegistry::counter_handle(std::string name,
+                                              LabelSet labels) {
+  handle_slots_.push_back(detail::HandleSlot{
+      this, std::move(name), std::move(labels), {}, nullptr});
+  return CounterHandle{&handle_slots_.back()};
+}
+
+GaugeHandle MetricsRegistry::gauge_handle(std::string name, LabelSet labels) {
+  handle_slots_.push_back(detail::HandleSlot{
+      this, std::move(name), std::move(labels), {}, nullptr});
+  return GaugeHandle{&handle_slots_.back()};
+}
+
+HistogramHandle MetricsRegistry::histogram_handle(std::string name,
+                                                  LabelSet labels,
+                                                  Histogram::Buckets buckets) {
+  handle_slots_.push_back(detail::HandleSlot{
+      this, std::move(name), std::move(labels), buckets, nullptr});
+  return HistogramHandle{&handle_slots_.back()};
+}
+
+void CounterHandle::materialize() {
+  slot_->instrument = &slot_->owner->counter(slot_->name, slot_->labels);
+}
+
+void GaugeHandle::materialize() {
+  slot_->instrument = &slot_->owner->gauge(slot_->name, slot_->labels);
+}
+
+void HistogramHandle::materialize() {
+  slot_->instrument =
+      &slot_->owner->histogram(slot_->name, slot_->labels, slot_->buckets);
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name,
                                              const LabelSet& labels) const {
   const auto it = counters_.find(Key{name, labels});

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <initializer_list>
 #include <map>
 #include <memory>
@@ -150,6 +151,86 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_jsonl() const;
 };
 
+class MetricsRegistry;
+
+namespace detail {
+/// Backing state for a pre-resolved metric handle. The instrument pointer is
+/// materialized lazily on first update: a handle merely *bound* to a name
+/// must not create the instrument, so snapshots keep listing exactly the
+/// instruments the run actually touched.
+struct HandleSlot {
+  MetricsRegistry* owner = nullptr;
+  std::string name;
+  LabelSet labels;
+  Histogram::Buckets buckets{};
+  void* instrument = nullptr;
+};
+}  // namespace detail
+
+/// Pre-resolved counter handle for hot paths. Binding (name, labels) happens
+/// once at wiring time; updates are a pointer chase instead of a map lookup
+/// keyed by freshly concatenated label strings. Default-constructed handles
+/// are inert: `inc()` on an unbound handle is a no-op, which lets components
+/// keep a handle member whether or not observability is attached.
+class CounterHandle {
+public:
+  CounterHandle() = default;
+  void inc(std::uint64_t by = 1) {
+    if (slot_ == nullptr) return;
+    if (slot_->instrument == nullptr) materialize();
+    static_cast<Counter*>(slot_->instrument)->inc(by);
+  }
+  [[nodiscard]] explicit operator bool() const { return slot_ != nullptr; }
+
+private:
+  friend class MetricsRegistry;
+  explicit CounterHandle(detail::HandleSlot* slot) : slot_{slot} {}
+  void materialize();
+  detail::HandleSlot* slot_ = nullptr;
+};
+
+/// Pre-resolved gauge handle; see CounterHandle.
+class GaugeHandle {
+public:
+  GaugeHandle() = default;
+  void set(double v) {
+    if (slot_ == nullptr) return;
+    if (slot_->instrument == nullptr) materialize();
+    static_cast<Gauge*>(slot_->instrument)->set(v);
+  }
+  void add(double delta) {
+    if (slot_ == nullptr) return;
+    if (slot_->instrument == nullptr) materialize();
+    static_cast<Gauge*>(slot_->instrument)->add(delta);
+  }
+  [[nodiscard]] explicit operator bool() const { return slot_ != nullptr; }
+
+private:
+  friend class MetricsRegistry;
+  explicit GaugeHandle(detail::HandleSlot* slot) : slot_{slot} {}
+  void materialize();
+  detail::HandleSlot* slot_ = nullptr;
+};
+
+/// Pre-resolved histogram handle; see CounterHandle.
+class HistogramHandle {
+public:
+  HistogramHandle() = default;
+  void observe(double value) {
+    if (slot_ == nullptr) return;
+    if (slot_->instrument == nullptr) materialize();
+    static_cast<Histogram*>(slot_->instrument)->observe(value);
+  }
+  void observe_duration(Duration d) { observe(d.to_seconds()); }
+  [[nodiscard]] explicit operator bool() const { return slot_ != nullptr; }
+
+private:
+  friend class MetricsRegistry;
+  explicit HistogramHandle(detail::HandleSlot* slot) : slot_{slot} {}
+  void materialize();
+  detail::HandleSlot* slot_ = nullptr;
+};
+
 /// The process-wide (per-Grid) registry. Instruments are created on first
 /// use and live for the registry's lifetime; returned references are stable.
 class MetricsRegistry {
@@ -162,6 +243,17 @@ public:
   Gauge& gauge(const std::string& name, const LabelSet& labels = {});
   Histogram& histogram(const std::string& name, const LabelSet& labels = {},
                        Histogram::Buckets buckets = {});
+
+  /// Pre-resolved handles for hot paths: bind (name, labels) once, update
+  /// through a stable slot thereafter. Handles stay valid for the registry's
+  /// lifetime and may be copied freely. The underlying instrument is created
+  /// on first update, not at bind time.
+  [[nodiscard]] CounterHandle counter_handle(std::string name,
+                                             LabelSet labels = {});
+  [[nodiscard]] GaugeHandle gauge_handle(std::string name, LabelSet labels = {});
+  [[nodiscard]] HistogramHandle histogram_handle(std::string name,
+                                                 LabelSet labels = {},
+                                                 Histogram::Buckets buckets = {});
 
   /// Instrument lookup without creation (tests); null when absent.
   [[nodiscard]] const Counter* find_counter(const std::string& name,
@@ -189,6 +281,8 @@ private:
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  /// Handle backing slots; deque for pointer stability under growth.
+  std::deque<detail::HandleSlot> handle_slots_;
 };
 
 }  // namespace cg::obs

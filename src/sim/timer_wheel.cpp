@@ -1,0 +1,67 @@
+#include "sim/timer_wheel.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace cg::sim {
+
+bool TimerWheel::remove(std::uint32_t idx) {
+  if (idx >= entries_.size() || !entries_[idx].linked) return false;
+  Entry& e = entries_[idx];
+  if (e.prev != kNil) {
+    entries_[e.prev].next = e.next;
+  } else {
+    heads_[e.level][e.slot] = e.next;
+    if (e.next == kNil) occupied_[e.level] &= ~(1ULL << e.slot);
+  }
+  if (e.next != kNil) entries_[e.next].prev = e.prev;
+  e.linked = false;
+  --size_;
+  recompute_next_start();  // removal can raise the bound; cancels are rare
+  return true;
+}
+
+void TimerWheel::earliest(int& level, std::int64_t& window_tick) const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  level = -1;
+  // Highest level first: on equal window starts, cascading before firing
+  // lets upper-level entries reach their exact level-0 window.
+  for (int l = kLevels - 1; l >= 0; --l) {
+    const std::uint64_t mask = occupied_[static_cast<std::size_t>(l)];
+    if (mask == 0) continue;
+    // All level-l entries live within 64 coarse ticks of the base cursor:
+    // rotating the mask to the cursor finds the first occupied slot ahead.
+    const std::int64_t coarse_base = base_tick_ >> (kSlotBits * l);
+    const int pos = static_cast<int>(coarse_base & (kSlotsPerLevel - 1));
+    const int off = std::countr_zero(std::rotr(mask, pos));
+    const std::int64_t coarse = coarse_base + off;
+    std::int64_t start = coarse << (kSlotBits * l);
+    if (start < base_tick_) start = base_tick_;  // window began before floor
+    // Strict <: levels are visited highest-first, so on equal window starts
+    // the higher level keeps the pick and cascades before level 0 fires.
+    if (start < best) {
+      best = start;
+      level = l;
+      window_tick = coarse << (kSlotBits * l);
+    }
+  }
+}
+
+void TimerWheel::recompute_next_start() {
+  if (size_ == 0) {
+    next_start_us_ = kNoWindow;
+    next_window_tick_ = 0;
+    next_level_ = 0;
+    return;
+  }
+  int level = 0;
+  std::int64_t window_tick = 0;
+  earliest(level, window_tick);
+  next_window_tick_ = window_tick;
+  next_level_ = level;
+  std::int64_t start = window_tick;
+  if (start < base_tick_) start = base_tick_;
+  next_start_us_ = start << kTickShift;
+}
+
+}  // namespace cg::sim

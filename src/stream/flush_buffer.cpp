@@ -23,8 +23,16 @@ FlushBuffer::FlushBuffer(sim::Simulation& sim, FlushBufferConfig config,
 
 void FlushBuffer::set_metrics(obs::MetricsRegistry* metrics,
                               obs::LabelSet labels) {
-  metrics_ = metrics;
-  metric_labels_ = std::move(labels);
+  for (std::size_t i = 0; i < flush_counters_.size(); ++i) {
+    if (metrics == nullptr) {
+      flush_counters_[i] = obs::CounterHandle{};
+      continue;
+    }
+    obs::LabelSet with_reason = labels;
+    with_reason.set("reason", to_string(static_cast<FlushReason>(i)));
+    flush_counters_[i] =
+        metrics->counter_handle("stream.flushes", std::move(with_reason));
+  }
 }
 
 void FlushBuffer::append(std::string_view data) {
@@ -70,11 +78,7 @@ void FlushBuffer::emit(FlushReason reason) {
   out.swap(buffer_);
   ++flushes_;
   ++reason_counts_[static_cast<std::size_t>(reason)];
-  if (metrics_ != nullptr) {
-    obs::LabelSet labels = metric_labels_;
-    labels.set("reason", to_string(reason));
-    metrics_->counter("stream.flushes", labels).inc();
-  }
+  flush_counters_[static_cast<std::size_t>(reason)].inc();
   on_flush_(std::move(out));
 }
 

@@ -67,8 +67,10 @@ private:
   std::size_t flushes_ = 0;
   std::array<std::size_t, 4> reason_counts_{};
   sim::ScopedTimer timer_;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::LabelSet metric_labels_;
+  /// One pre-resolved counter handle per FlushReason (inert when detached);
+  /// emit() runs on every interactive output line, so it must not rebuild
+  /// the reason label per flush.
+  std::array<obs::CounterHandle, 4> flush_counters_;
 };
 
 }  // namespace cg::stream

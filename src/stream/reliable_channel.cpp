@@ -28,8 +28,12 @@ ReliableChannel::~ReliableChannel() {
 
 void ReliableChannel::set_metrics(obs::MetricsRegistry* metrics,
                                   obs::LabelSet labels) {
-  metrics_ = metrics;
-  metric_labels_ = std::move(labels);
+  metrics_ = MetricHandles{};
+  if (metrics == nullptr) return;
+  metrics_.bytes_spooled = metrics->counter_handle("stream.bytes_spooled", labels);
+  metrics_.spool_rejects = metrics->counter_handle("stream.spool_rejects", labels);
+  metrics_.reconnects = metrics->counter_handle("stream.reconnects", labels);
+  metrics_.retries = metrics->counter_handle("stream.retries", std::move(labels));
 }
 
 void ReliableChannel::send(std::size_t bytes, DeliverFn on_deliver) {
@@ -50,9 +54,7 @@ void ReliableChannel::pump_appends() {
     }
     spool_failures_ = 0;
     entry.spooled = true;
-    if (metrics_ != nullptr) {
-      metrics_->counter("stream.bytes_spooled", metric_labels_).inc(entry.bytes);
-    }
+    metrics_.bytes_spooled.inc(entry.bytes);
     if (&entry == &queue_.front()) {
       head_cost = *cost;
       head_just_spooled = true;
@@ -66,9 +68,7 @@ void ReliableChannel::pump_appends() {
 
 void ReliableChannel::on_append_rejected(Entry& entry) {
   ++spool_failures_;
-  if (metrics_ != nullptr) {
-    metrics_->counter("stream.spool_rejects", metric_labels_).inc();
-  }
+  metrics_.spool_rejects.inc();
   if (!entry.reject_reported) {
     entry.reject_reported = true;
     if (on_spool_reject_) on_spool_reject_(entry.bytes);
@@ -111,9 +111,9 @@ void ReliableChannel::transmit_head(Duration extra_delay) {
 
 void ReliableChannel::on_head_delivered() {
   if (queue_.empty()) return;
-  if (failures_ > 0 && metrics_ != nullptr) {
+  if (failures_ > 0) {
     // First successful delivery after a failure streak: the link healed.
-    metrics_->counter("stream.reconnects", metric_labels_).inc();
+    metrics_.reconnects.inc();
   }
   failures_ = 0;
   Entry head = std::move(queue_.front());
@@ -154,9 +154,7 @@ void ReliableChannel::on_head_failed() {
     return;
   }
   ++retries_;
-  if (metrics_ != nullptr) {
-    metrics_->counter("stream.retries", metric_labels_).inc();
-  }
+  metrics_.retries.inc();
   queue_.front().recovered_from_disk = true;
   retry_timer_.rearm(sim_, sim_.schedule(policy_.retry_interval, [this] {
     if (gave_up_ || queue_.empty()) return;

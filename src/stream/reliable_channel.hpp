@@ -103,8 +103,15 @@ private:
   sim::ScopedTimer retry_timer_;
   sim::ScopedTimer spool_retry_timer_;
   std::uint64_t epoch_ = 0;  ///< invalidates in-flight callbacks on teardown
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::LabelSet metric_labels_;
+  /// Pre-resolved handles (bound once in set_metrics, inert when detached):
+  /// spooling and retry accounting sit on the per-chunk transmit path.
+  struct MetricHandles {
+    obs::CounterHandle bytes_spooled;
+    obs::CounterHandle spool_rejects;
+    obs::CounterHandle reconnects;
+    obs::CounterHandle retries;
+  };
+  MetricHandles metrics_;
 };
 
 }  // namespace cg::stream

@@ -1,0 +1,181 @@
+// InplaceFunction: a move-only callable wrapper with a fixed small-buffer
+// capacity. Callables whose state fits the buffer (and is nothrow-movable)
+// are stored inline — constructing, moving, and destroying them never touches
+// the heap. Larger or throwing-move callables fall back to a single heap
+// allocation, so the type stays a drop-in replacement for std::function in
+// APIs that accept arbitrary callables.
+//
+// Built for the simulation event engine: `Simulation::schedule` stores every
+// event callback in a slab slot, and the retry/flush/lease hot paths must be
+// able to schedule without allocating. 48 bytes of capacity covers the
+// engine's real captures (a `this` pointer plus a handful of ids/durations —
+// see docs/performance.md for the survey) while keeping a slab slot within
+// two cache lines.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cg::util {
+
+namespace detail {
+template <typename T>
+struct is_std_function : std::false_type {};
+template <typename R, typename... Args>
+struct is_std_function<std::function<R(Args...)>> : std::true_type {};
+}  // namespace detail
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    // Null function pointers and empty std::functions produce an empty
+    // wrapper (mirroring std::function), so callers' null checks keep
+    // working across the migration.
+    if constexpr (std::is_pointer_v<D> || std::is_member_pointer_v<D> ||
+                  detail::is_std_function<D>::value) {
+      if (!fn) return;
+    }
+    emplace<D>(std::forward<F>(fn));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    if (invoke_ == nullptr) throw std::bad_function_call{};
+    return invoke_(storage(), std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(storage(), nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  /// Replaces the held callable, constructing the new one directly in the
+  /// buffer. Lets callers that store InplaceFunctions in slabs (the event
+  /// engine) skip the construct-a-temporary-then-move step.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  void assign(F&& fn) {
+    reset();
+    if constexpr (std::is_pointer_v<D> || std::is_member_pointer_v<D> ||
+                  detail::is_std_function<D>::value) {
+      if (!fn) return;
+    }
+    emplace<D>(std::forward<F>(fn));
+  }
+
+  /// True when the held callable lives in the inline buffer (diagnostics).
+  [[nodiscard]] bool is_inline() const { return invoke_ != nullptr && inline_; }
+
+private:
+  using Invoke = R (*)(void*, Args&&...);
+  /// target == nullptr: destroy self. Otherwise: move self into target's
+  /// (raw) storage; self is left destroyed.
+  using Manage = void (*)(void* self, void* target);
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D, typename F>
+  void emplace(F&& fn) {
+    if constexpr (fits_inline<D>) {
+      ::new (storage()) D(std::forward<F>(fn));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(s)))(
+            std::forward<Args>(args)...);
+      };
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        // Trivially relocatable (the common case: `this` + a few ids): no
+        // manager at all — moves are a buffer memcpy, destruction is free.
+        manage_ = nullptr;
+      } else {
+        manage_ = [](void* self, void* target) {
+          D* held = std::launder(reinterpret_cast<D*>(self));
+          if (target != nullptr) ::new (target) D(std::move(*held));
+          held->~D();
+        };
+      }
+      inline_ = true;
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(fn)));
+      invoke_ = [](void* s, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<D**>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](void* self, void* target) {
+        D** held = std::launder(reinterpret_cast<D**>(self));
+        if (target != nullptr) {
+          ::new (target) D*(*held);
+        } else {
+          delete *held;
+        }
+      };
+      inline_ = false;
+    }
+  }
+
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    if (other.manage_ == nullptr) {
+      std::memcpy(buffer_, other.buffer_, Capacity);
+    } else {
+      other.manage_(other.storage(), storage());
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    inline_ = other.inline_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void* storage() { return static_cast<void*>(buffer_); }
+
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+  bool inline_ = false;
+};
+
+}  // namespace cg::util

@@ -194,8 +194,12 @@ protected:
   std::vector<std::uint64_t> matching_ids(int needed) {
     std::vector<std::uint64_t> ids;
     is.query_index_matching(
-        needed, [&ids](infosys::InformationSystem::IndexSnapshot records) {
-          for (const auto& r : records) ids.push_back(r->static_info.id.value());
+        needed,
+        [&ids](std::shared_ptr<const infosys::InformationSystem::IndexSnapshot>
+                   records) {
+          for (const auto& r : *records) {
+            ids.push_back(r->static_info.id.value());
+          }
         });
     sim.run_until(sim.now() + Duration::millis(2));
     return ids;
@@ -265,18 +269,25 @@ TEST_F(IndexFixture, InvalidationListenerReportsEveryReason) {
 
 TEST_F(IndexFixture, SnapshotsShareOnePrimedMachineView) {
   add_site(1, 8);
-  infosys::InformationSystem::IndexSnapshot first;
-  infosys::InformationSystem::IndexSnapshot second;
+  using Snapshot = infosys::InformationSystem::IndexSnapshot;
+  std::shared_ptr<const Snapshot> first;
+  std::shared_ptr<const Snapshot> second;
   is.query_index_matching(
-      1, [&first](infosys::InformationSystem::IndexSnapshot r) { first = r; });
-  is.query_index_matching(
-      1, [&second](infosys::InformationSystem::IndexSnapshot r) { second = r; });
+      1, [&first](std::shared_ptr<const Snapshot> r) { first = std::move(r); });
+  is.query_index_matching(1, [&second](std::shared_ptr<const Snapshot> r) {
+    second = std::move(r);
+  });
   sim.run_until(sim.now() + Duration::millis(2));
-  ASSERT_EQ(first.size(), 1u);
-  ASSERT_EQ(second.size(), 1u);
-  // Publication primed the cache once; every snapshot aliases that record.
-  EXPECT_TRUE(first[0]->cache_primed());
-  EXPECT_EQ(first[0].get(), second[0].get());
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  ASSERT_EQ(first->size(), 1u);
+  ASSERT_EQ(second->size(), 1u);
+  // Publication primed the cache once; every snapshot aliases that record —
+  // and with no index change in between, the queries share one cached
+  // snapshot vector outright.
+  EXPECT_TRUE((*first)[0]->cache_primed());
+  EXPECT_EQ((*first)[0].get(), (*second)[0].get());
+  EXPECT_EQ(first.get(), second.get());
 }
 
 // ------------------------------------------------- end-to-end A/B ----------
