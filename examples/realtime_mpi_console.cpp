@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   std::mutex mu;
   (*shadow)->set_output_handler(
       [&](std::uint32_t rank, interpose::FrameType stream,
-          const std::string& data) {
+          std::string_view data) {
         const std::lock_guard lock{mu};
         const char* tag =
             stream == interpose::FrameType::kStderr ? "!err" : "out ";

@@ -1,6 +1,8 @@
 #include "interpose/console_agent.hpp"
 
 #include <csignal>
+#include <cstdio>
+#include <cstring>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -87,11 +89,8 @@ void ConsoleAgent::reader_loop(int fd, FrameType type) {
 
   const auto flush = [&] {
     if (buffer.empty()) return;
-    Frame frame;
-    frame.type = type;
-    frame.rank = config_.rank;
-    frame.payload.swap(buffer);
-    send_frame(frame);
+    send_frame(type, buffer);
+    buffer.clear();  // keeps capacity: the reader reuses one buffer forever
     has_deadline = false;
   };
 
@@ -144,11 +143,7 @@ void ConsoleAgent::reader_loop(int fd, FrameType type) {
   }
   flush();
   // Announce the closed stream.
-  Frame eof;
-  eof.type = FrameType::kEof;
-  eof.rank = config_.rank;
-  eof.payload = to_string(type);
-  send_frame(eof);
+  send_frame(FrameType::kEof, to_string(type));
 }
 
 int ConsoleAgent::ensure_connected_locked() {
@@ -177,11 +172,10 @@ int ConsoleAgent::ensure_connected_locked() {
   ++connection_generation_;
   hello_sent_ = false;
 
-  // Identify ourselves.
-  Frame hello;
-  hello.type = FrameType::kHello;
-  hello.rank = config_.rank;
-  if (!write_all(connection_->get(), encode_frame(hello))) {
+  // Identify ourselves (header-only frame, encoded on the stack).
+  char hello[kFrameHeaderBytes];
+  encode_frame_header(hello, FrameType::kHello, config_.rank, 0);
+  if (!write_all(connection_->get(), hello, sizeof(hello))) {
     connection_.reset();
     return -1;
   }
@@ -208,9 +202,11 @@ void ConsoleAgent::disconnect_locked() {
 
 void ConsoleAgent::replay_spool_locked() {
   if (!spool_) return;
+  std::string scratch;  // one encode buffer reused across the whole replay
   while (auto frame = spool_->peek()) {
     if (!connection_ || !connection_->valid()) return;
-    if (!write_all(connection_->get(), encode_frame(*frame))) {
+    encode_frame_into(scratch, frame->type, frame->rank, frame->payload);
+    if (!write_all(connection_->get(), scratch)) {
       disconnect_locked();
       return;
     }
@@ -219,7 +215,7 @@ void ConsoleAgent::replay_spool_locked() {
   }
 }
 
-bool ConsoleAgent::send_frame(const Frame& frame) {
+bool ConsoleAgent::send_frame(FrameType type, std::string_view payload) {
   const std::lock_guard lock{send_mutex_};
   if (gave_up_.load()) return false;
 
@@ -228,7 +224,7 @@ bool ConsoleAgent::send_frame(const Frame& frame) {
     // disconnect. A failing spool (full or faulty disk) is retried on the
     // same schedule as a failing link before the agent gives up.
     int append_attempts = 0;
-    Status appended = spool_->append(frame);
+    Status appended = spool_->append(type, config_.rank, payload);
     while (!appended.ok() && !stopping_.load()) {
       ++append_attempts;
       if (append_attempts > config_.max_retries) {
@@ -242,7 +238,7 @@ bool ConsoleAgent::send_frame(const Frame& frame) {
                "): ", appended.error().to_string());
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config_.retry_interval_ms));
-      appended = spool_->append(frame);
+      appended = spool_->append(type, config_.rank, payload);
     }
     if (!appended.ok()) return false;
     // Transmission drains the spool so ordering survives reconnects.
@@ -270,12 +266,30 @@ bool ConsoleAgent::send_frame(const Frame& frame) {
     return false;
   }
 
-  // Fast mode: one attempt, drop on failure.
+  // Fast mode: one attempt, drop on failure. Small frames are combined with
+  // their header into one stack buffer (one syscall); large payloads are
+  // written straight from the caller's buffer after the header — the payload
+  // is never copied into an owned encode string.
   if (ensure_connected_locked() < 0) {
     frames_dropped_.fetch_add(1);
     return false;
   }
-  if (!write_all(connection_->get(), encode_frame(frame))) {
+  char scratch[4096];
+  bool ok;
+  if (kFrameHeaderBytes + payload.size() <= sizeof(scratch)) {
+    encode_frame_header(scratch, type, config_.rank, payload.size());
+    if (!payload.empty()) {
+      std::memcpy(scratch + kFrameHeaderBytes, payload.data(), payload.size());
+    }
+    ok = write_all(connection_->get(), scratch,
+                   kFrameHeaderBytes + payload.size());
+  } else {
+    char header[kFrameHeaderBytes];
+    encode_frame_header(header, type, config_.rank, payload.size());
+    ok = write_all(connection_->get(), header, sizeof(header)) &&
+         write_all(connection_->get(), payload);
+  }
+  if (!ok) {
     disconnect_locked();
     frames_dropped_.fetch_add(1);
     return false;
@@ -311,9 +325,10 @@ void ConsoleAgent::receive_loop(std::shared_ptr<Fd> conn, std::uint64_t generati
       mark_connection_dead();
       break;
     }
-    decoder.feed(chunk, static_cast<std::size_t>(n));
+    // Zero-copy decode session over this read's bytes.
+    decoder.begin(chunk, static_cast<std::size_t>(n));
     try {
-      while (auto frame = decoder.next()) {
+      while (auto frame = decoder.next_view()) {
         if (frame->type == FrameType::kStdin) {
           if (!write_all(child_->stdin_fd(), frame->payload)) {
             // Child stdin closed; nothing to do.
@@ -322,6 +337,7 @@ void ConsoleAgent::receive_loop(std::shared_ptr<Fd> conn, std::uint64_t generati
           child_->close_stdin();
         }
       }
+      decoder.end();
     } catch (const std::exception& e) {
       log_warn(kLog, "protocol error from shadow: ", e.what());
       break;
@@ -336,11 +352,11 @@ int ConsoleAgent::wait_for_exit() {
   if (stdout_thread_.joinable()) stdout_thread_.join();
   if (stderr_thread_.joinable()) stderr_thread_.join();
 
-  Frame exit_frame;
-  exit_frame.type = FrameType::kExit;
-  exit_frame.rank = config_.rank;
-  exit_frame.payload = std::to_string(status);
-  send_frame(exit_frame);
+  char status_buf[16];
+  const int len =
+      std::snprintf(status_buf, sizeof(status_buf), "%d", status);
+  send_frame(FrameType::kExit,
+             std::string_view{status_buf, static_cast<std::size_t>(len)});
   if (spool_ && !gave_up_.load() && spool_->pending() == 0) {
     spool_->remove_files();
   }

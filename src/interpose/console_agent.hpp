@@ -81,8 +81,10 @@ private:
   void start_threads();
   void reader_loop(int fd, FrameType type);
   void receive_loop(std::shared_ptr<Fd> conn, std::uint64_t generation);
-  /// Sends a frame according to the mode. Returns false if it was dropped.
-  bool send_frame(const Frame& frame);
+  /// Sends one frame (rank = config.rank) according to the mode, writing the
+  /// payload straight from the caller's buffer — no owned Frame is built on
+  /// the send path. Returns false if it was dropped.
+  bool send_frame(FrameType type, std::string_view payload);
   /// Ensures a live connection (under send_mutex_); returns fd or -1.
   int ensure_connected_locked();
   void replay_spool_locked();

@@ -1,6 +1,7 @@
 #include "interpose/console_shadow.hpp"
 
 #include <algorithm>
+#include <charconv>
 
 #include "util/log.hpp"
 
@@ -117,9 +118,11 @@ void ConsoleShadow::connection_loop(std::shared_ptr<Fd> conn) {
     if (ready == 0) continue;
     const long n = read_some(fd, chunk, sizeof(chunk));
     if (n <= 0) break;
-    decoder.feed(chunk, static_cast<std::size_t>(n));
+    // Zero-copy decode session: frames wholly inside this read are handled
+    // as views into `chunk`; only boundary-straddling frames are stashed.
+    decoder.begin(chunk, static_cast<std::size_t>(n));
     try {
-      while (auto frame = decoder.next()) {
+      while (auto frame = decoder.next_view()) {
         frames_.fetch_add(1);
         switch (frame->type) {
           case FrameType::kHello: {
@@ -151,12 +154,11 @@ void ConsoleShadow::connection_loop(std::shared_ptr<Fd> conn) {
               handler = exit_handler_;
             }
             if (handler) {
+              const std::string_view payload = frame->payload;
               int status = 0;
-              try {
-                status = std::stoi(frame->payload);
-              } catch (const std::exception&) {
-                status = -1;
-              }
+              const auto [_, ec] = std::from_chars(
+                  payload.data(), payload.data() + payload.size(), status);
+              if (ec != std::errc{}) status = -1;
               handler(frame->rank, status);
             }
             break;
@@ -166,6 +168,7 @@ void ConsoleShadow::connection_loop(std::shared_ptr<Fd> conn) {
             break;  // informational / not expected from agents
         }
       }
+      decoder.end();
     } catch (const std::exception& e) {
       log_warn(kLog, "protocol error from agent: ", e.what());
       break;
@@ -182,8 +185,10 @@ void ConsoleShadow::connection_loop(std::shared_ptr<Fd> conn) {
   }
 }
 
-std::size_t ConsoleShadow::broadcast(const Frame& frame) {
-  const std::string encoded = encode_frame(frame);
+std::size_t ConsoleShadow::broadcast(FrameType type, std::string_view payload) {
+  // Encode once, write to every agent.
+  std::string encoded;
+  encode_frame_into(encoded, type, /*rank=*/0, payload);
   std::vector<std::shared_ptr<Fd>> targets;
   {
     const std::lock_guard lock{mutex_};
@@ -203,17 +208,12 @@ std::size_t ConsoleShadow::send_line(std::string line) {
   return send_stdin(line);
 }
 
-std::size_t ConsoleShadow::send_stdin(const std::string& data) {
-  Frame frame;
-  frame.type = FrameType::kStdin;
-  frame.payload = data;
-  return broadcast(frame);
+std::size_t ConsoleShadow::send_stdin(std::string_view data) {
+  return broadcast(FrameType::kStdin, data);
 }
 
 std::size_t ConsoleShadow::send_eof() {
-  Frame frame;
-  frame.type = FrameType::kEof;
-  return broadcast(frame);
+  return broadcast(FrameType::kEof, {});
 }
 
 std::size_t ConsoleShadow::connected_agents() const {

@@ -41,9 +41,10 @@ struct ConsoleShadowConfig {
 class ConsoleShadow {
 public:
   /// (rank, stream, data) — called from reader threads; handlers must be
-  /// thread-safe.
+  /// thread-safe. The view borrows the connection's receive buffer: copy it
+  /// to retain past the call.
   using OutputHandler =
-      std::function<void(std::uint32_t rank, FrameType stream, const std::string&)>;
+      std::function<void(std::uint32_t rank, FrameType stream, std::string_view)>;
   using ExitHandler = std::function<void(std::uint32_t rank, int status)>;
   using HelloHandler = std::function<void(std::uint32_t rank)>;
 
@@ -72,7 +73,7 @@ public:
   /// received it.
   std::size_t send_line(std::string line);
   /// Sends raw stdin bytes without newline handling.
-  std::size_t send_stdin(const std::string& data);
+  std::size_t send_stdin(std::string_view data);
   /// Signals end-of-input to all agents.
   std::size_t send_eof();
 
@@ -88,7 +89,7 @@ private:
   void accept_loop();
   [[nodiscard]] Expected<Fd> accept_once(int timeout_ms);
   void connection_loop(std::shared_ptr<Fd> conn);
-  std::size_t broadcast(const Frame& frame);
+  std::size_t broadcast(FrameType type, std::string_view payload);
 
   std::optional<TcpListener> tcp_listener_;
   std::optional<UdsListener> uds_listener_;

@@ -19,7 +19,7 @@ Expected<std::unique_ptr<InteractiveSession>> InteractiveSession::start(
 
   InteractiveSession* raw = session.get();
   session->shadow_->set_output_handler(
-      [raw](std::uint32_t, FrameType, const std::string& data) {
+      [raw](std::uint32_t, FrameType, std::string_view data) {
         {
           const std::lock_guard lock{raw->mutex_};
           raw->output_ += data;

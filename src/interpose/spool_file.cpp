@@ -70,14 +70,20 @@ void SpoolFile::close() {
   }
 }
 
-Status SpoolFile::append(const Frame& frame) {
+Status SpoolFile::append(FrameType type, std::uint32_t rank,
+                         std::string_view payload) {
   const std::lock_guard lock{mutex_};
   if (file_ == nullptr) return make_error("spool.append", "spool closed");
   if (fail_appends_) {
     return make_error("spool.append", "injected I/O failure");
   }
-  const std::string encoded = encode_frame(frame);
-  if (std::fwrite(encoded.data(), 1, encoded.size(), file_) != encoded.size()) {
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, type, rank, payload.size());
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return make_error("spool.append", std::strerror(errno));
+  }
+  if (!payload.empty() &&
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
     return make_error("spool.append", std::strerror(errno));
   }
   if (std::fflush(file_) != 0) {

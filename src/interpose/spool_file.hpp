@@ -26,8 +26,13 @@ public:
   SpoolFile(const SpoolFile&) = delete;
   SpoolFile& operator=(const SpoolFile&) = delete;
 
-  /// Appends a frame and flushes it to the OS. Thread-safe.
-  [[nodiscard]] Status append(const Frame& frame);
+  /// Appends a frame (stack-encoded header + payload written straight from
+  /// the caller's buffer) and flushes it to the OS. Thread-safe.
+  [[nodiscard]] Status append(FrameType type, std::uint32_t rank,
+                              std::string_view payload);
+  [[nodiscard]] Status append(const Frame& frame) {
+    return append(frame.type, frame.rank, frame.payload);
+  }
 
   /// Reads the frame at the cursor without advancing. nullopt when drained.
   [[nodiscard]] std::optional<Frame> peek();

@@ -1,5 +1,7 @@
 #include "interpose/wire.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <stdexcept>
 
@@ -23,11 +25,11 @@ bool is_valid_frame_type(std::uint8_t raw) {
 
 namespace {
 
-void put_u32(std::string& out, std::uint32_t v) {
-  out.push_back(static_cast<char>((v >> 24) & 0xff));
-  out.push_back(static_cast<char>((v >> 16) & 0xff));
-  out.push_back(static_cast<char>((v >> 8) & 0xff));
-  out.push_back(static_cast<char>(v & 0xff));
+void put_u32(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>((v >> 24) & 0xff);
+  out[1] = static_cast<char>((v >> 16) & 0xff);
+  out[2] = static_cast<char>((v >> 8) & 0xff);
+  out[3] = static_cast<char>(v & 0xff);
 }
 
 std::uint32_t get_u32(const char* p) {
@@ -39,28 +41,33 @@ std::uint32_t get_u32(const char* p) {
 
 }  // namespace
 
-std::string encode_frame(const Frame& frame) {
-  if (frame.payload.size() > kMaxFramePayload) {
+void encode_frame_header(char* out, FrameType type, std::uint32_t rank,
+                         std::size_t payload_size) {
+  if (payload_size > kMaxFramePayload) {
     throw std::invalid_argument{"frame payload too large"};
   }
+  out[0] = static_cast<char>(type);
+  put_u32(out + 1, rank);
+  put_u32(out + 5, static_cast<std::uint32_t>(payload_size));
+}
+
+void encode_frame_into(std::string& out, FrameType type, std::uint32_t rank,
+                       std::string_view payload) {
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, type, rank, payload.size());
+  out.clear();
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(header, kFrameHeaderBytes);
+  out.append(payload);
+}
+
+std::string encode_frame(const Frame& frame) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + frame.payload.size());
-  out.push_back(static_cast<char>(frame.type));
-  put_u32(out, frame.rank);
-  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
-  out += frame.payload;
+  encode_frame_into(out, frame.type, frame.rank, frame.payload);
   return out;
 }
 
-void FrameDecoder::feed(const char* data, std::size_t size) {
-  buffer_.append(data, size);
-}
-
-std::optional<Frame> FrameDecoder::next() {
-  const std::size_t available = buffer_.size() - consumed_;
-  if (available < kFrameHeaderBytes) return std::nullopt;
-  const char* p = buffer_.data() + consumed_;
-
+FrameDecoder::Header FrameDecoder::parse_header(const char* p) {
   const auto raw_type = static_cast<std::uint8_t>(p[0]);
   if (!is_valid_frame_type(raw_type)) {
     throw std::runtime_error{"FrameDecoder: corrupt frame type " +
@@ -71,13 +78,83 @@ std::optional<Frame> FrameDecoder::next() {
   if (length > kMaxFramePayload) {
     throw std::runtime_error{"FrameDecoder: implausible frame length"};
   }
-  if (available < kFrameHeaderBytes + length) return std::nullopt;
+  return Header{static_cast<FrameType>(raw_type), rank, length};
+}
 
+void FrameDecoder::begin(const char* data, std::size_t size) {
+  assert(ext_ == nullptr && "FrameDecoder: previous session not ended");
+  ext_ = data;
+  ext_size_ = size;
+  ext_pos_ = 0;
+}
+
+void FrameDecoder::stash_from_session(std::size_t need) {
+  const std::size_t take = std::min(need, ext_size_ - ext_pos_);
+  if (take > 0) {
+    buffer_.append(ext_ + ext_pos_, take);
+    ext_pos_ += take;
+  }
+}
+
+std::optional<FrameView> FrameDecoder::next_view() {
+  std::size_t stashed = buffer_.size() - consumed_;
+  if (stashed == 0) {
+    // Fast path: parse directly out of the borrowed span, zero copies.
+    const std::size_t available = ext_size_ - ext_pos_;
+    if (available < kFrameHeaderBytes) return std::nullopt;
+    const char* p = ext_ + ext_pos_;
+    const Header header = parse_header(p);
+    if (available < kFrameHeaderBytes + header.length) return std::nullopt;
+    ext_pos_ += kFrameHeaderBytes + header.length;
+    return FrameView{header.type, header.rank,
+                     std::string_view{p + kFrameHeaderBytes, header.length}};
+  }
+  // A frame starts in the stash (it straddles a session boundary): top up
+  // the stash with exactly the bytes the frame still needs.
+  if (stashed < kFrameHeaderBytes) {
+    stash_from_session(kFrameHeaderBytes - stashed);
+    stashed = buffer_.size() - consumed_;
+    if (stashed < kFrameHeaderBytes) return std::nullopt;
+  }
+  const Header header = parse_header(buffer_.data() + consumed_);
+  const std::size_t frame_size = kFrameHeaderBytes + header.length;
+  if (stashed < frame_size) {
+    stash_from_session(frame_size - stashed);
+    stashed = buffer_.size() - consumed_;
+    if (stashed < frame_size) return std::nullopt;
+  }
+  const char* p = buffer_.data() + consumed_;
+  consumed_ += frame_size;
+  return FrameView{header.type, header.rank,
+                   std::string_view{p + kFrameHeaderBytes, header.length}};
+}
+
+void FrameDecoder::end() {
+  if (ext_ != nullptr && ext_pos_ < ext_size_) {
+    if (consumed_ == buffer_.size() && consumed_ > 0) {
+      buffer_.clear();
+      consumed_ = 0;
+    }
+    buffer_.append(ext_ + ext_pos_, ext_size_ - ext_pos_);
+  }
+  ext_ = nullptr;
+  ext_size_ = 0;
+  ext_pos_ = 0;
+  compact();
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  assert(ext_ == nullptr && "FrameDecoder: feed during a borrow session");
+  buffer_.append(data, size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::optional<FrameView> view = next_view();
+  if (!view) return std::nullopt;
   Frame frame;
-  frame.type = static_cast<FrameType>(raw_type);
-  frame.rank = rank;
-  frame.payload.assign(p + kFrameHeaderBytes, length);
-  consumed_ += kFrameHeaderBytes + length;
+  frame.type = view->type;
+  frame.rank = view->rank;
+  frame.payload.assign(view->payload.data(), view->payload.size());
   compact();
   return frame;
 }

@@ -27,13 +27,26 @@ public:
   [[nodiscard]] Duration write_duration(std::size_t bytes) const;
   [[nodiscard]] Duration read_duration(std::size_t bytes) const;
 
-  /// Cumulative bytes written/read (experiment bookkeeping).
-  void note_write(std::size_t bytes) { bytes_written_ += bytes; ++writes_; }
-  void note_read(std::size_t bytes) { bytes_read_ += bytes; ++reads_; }
+  /// Cumulative bytes written/read (experiment bookkeeping). `records` is
+  /// the number of logical messages carried by the operation: a coalesced
+  /// spool append is one op (one seek + syscall, one op_overhead charge)
+  /// covering several records — the disk-side win of send coalescing.
+  void note_write(std::size_t bytes, std::size_t records = 1) {
+    bytes_written_ += bytes;
+    ++writes_;
+    records_written_ += records;
+  }
+  void note_read(std::size_t bytes, std::size_t records = 1) {
+    bytes_read_ += bytes;
+    ++reads_;
+    records_read_ += records;
+  }
   [[nodiscard]] std::size_t bytes_written() const { return bytes_written_; }
   [[nodiscard]] std::size_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::size_t write_ops() const { return writes_; }
   [[nodiscard]] std::size_t read_ops() const { return reads_; }
+  [[nodiscard]] std::size_t records_written() const { return records_written_; }
+  [[nodiscard]] std::size_t records_read() const { return records_read_; }
 
   /// Fault injection (kSpoolFail): while unhealthy, every spool append
   /// against this disk fails as if the device returned EIO. Reads of data
@@ -48,6 +61,8 @@ private:
   std::size_t bytes_read_ = 0;
   std::size_t writes_ = 0;
   std::size_t reads_ = 0;
+  std::size_t records_written_ = 0;
+  std::size_t records_read_ = 0;
 };
 
 }  // namespace cg::sim

@@ -53,6 +53,28 @@ SimChannel::SimChannel(sim::Simulation& sim, sim::Link& link, ChannelSpec spec,
   }
 }
 
+SimChannel::SimChannel(SimChannel&& other)
+    : sim_{other.sim_},
+      link_{other.link_},
+      spec_{std::move(other.spec_)},
+      rng_{std::move(other.rng_)},
+      last_delivery_{other.last_delivery_},
+      messages_{other.messages_},
+      failures_{other.failures_},
+      bytes_{other.bytes_} {
+  if (!other.pending_.empty()) {
+    throw std::logic_error{"SimChannel: cannot move with deliveries in flight"};
+  }
+}
+
+SimChannel::~SimChannel() {
+  // Unfired deliveries would call into a destroyed channel; remove them.
+  while (!pending_.empty()) {
+    sim_.cancel(pending_.front().event);
+    pending_.pop_front();
+  }
+}
+
 Duration SimChannel::sample_duration(std::size_t bytes) {
   const std::size_t packets =
       bytes == 0 ? 1 : (bytes + spec_.packet_payload - 1) / spec_.packet_payload;
@@ -94,8 +116,17 @@ void SimChannel::send(std::size_t bytes, DeliverFn on_deliver, FailFn on_fail) {
   SimTime deliver_at = sim_.now() + duration;
   if (deliver_at < last_delivery_) deliver_at = last_delivery_;
   last_delivery_ = deliver_at;
-  sim_.schedule_at(deliver_at,
-                   [cb = std::move(on_deliver), bytes] { cb(bytes); });
+  Pending& pending = pending_.push_back(Pending{});
+  pending.bytes = bytes;
+  pending.deliver = std::move(on_deliver);
+  pending.event = sim_.schedule_at(deliver_at, [this] { deliver_front(); });
+}
+
+void SimChannel::deliver_front() {
+  // Pop before invoking: the callback may send again on this channel.
+  Pending pending = std::move(pending_.front());
+  pending_.pop_front();
+  pending.deliver(pending.bytes);
 }
 
 }  // namespace cg::stream

@@ -13,11 +13,12 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <string>
 
 #include "sim/network.hpp"
 #include "sim/simulation.hpp"
+#include "util/inplace_function.hpp"
+#include "util/ring.hpp"
 
 namespace cg::stream {
 
@@ -47,12 +48,22 @@ struct ChannelSpec {
 
 /// One-way message channel over a Link. Deliveries preserve FIFO order; the
 /// link is occupied while a message serializes, so back-to-back sends queue.
+///
+/// In-flight deliveries are held in an inline ring and each scheduled event
+/// captures only `this` (8 bytes, always inside the engine's slab slot), so
+/// the per-message send path performs no heap allocation however large the
+/// caller's delivery callback capture is (up to the InplaceFunction budget).
 class SimChannel {
 public:
-  using DeliverFn = std::function<void(std::size_t bytes)>;
-  using FailFn = std::function<void(std::size_t bytes)>;
+  using DeliverFn = util::InplaceFunction<void(std::size_t bytes), 48>;
+  using FailFn = util::InplaceFunction<void(std::size_t bytes), 48>;
 
   SimChannel(sim::Simulation& sim, sim::Link& link, ChannelSpec spec, Rng rng);
+  /// Movable only while idle (construction-time handoff); pending delivery
+  /// events reference the channel and would dangle across a move.
+  SimChannel(SimChannel&& other);
+  SimChannel& operator=(SimChannel&&) = delete;
+  ~SimChannel();
 
   /// Sends `bytes`. If the link is down now, on_fail fires immediately (fast
   /// mode loses the data; reliable mode spools it). Otherwise on_deliver
@@ -67,9 +78,17 @@ public:
   [[nodiscard]] std::size_t messages_sent() const { return messages_; }
   [[nodiscard]] std::size_t messages_failed() const { return failures_; }
   [[nodiscard]] std::size_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] std::size_t pending_deliveries() const { return pending_.size(); }
 
 private:
+  struct Pending {
+    std::size_t bytes = 0;
+    DeliverFn deliver;
+    sim::EventHandle event;
+  };
+
   [[nodiscard]] Duration sample_duration(std::size_t bytes);
+  void deliver_front();
 
   sim::Simulation& sim_;
   sim::Link& link_;
@@ -79,6 +98,9 @@ private:
   std::size_t messages_ = 0;
   std::size_t failures_ = 0;
   std::size_t bytes_ = 0;
+  /// FIFO of sends awaiting delivery: `last_delivery_` never decreases, so
+  /// events fire in ring order and deliver_front pops the matching entry.
+  util::Ring<Pending> pending_;
 };
 
 }  // namespace cg::stream

@@ -1,0 +1,115 @@
+#include "stream/chunk.hpp"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace cg::stream {
+
+namespace detail {
+
+void chunk_unref(ChunkHeader* chunk) {
+  if (chunk != nullptr && --chunk->refs == 0) chunk->pool->release(chunk);
+}
+
+}  // namespace detail
+
+ChunkPool::ChunkPool(std::size_t slab_bytes) : slab_bytes_{slab_bytes} {
+  if (slab_bytes_ == 0) {
+    throw std::invalid_argument{"ChunkPool: slab_bytes must be > 0"};
+  }
+  if (slab_bytes_ > UINT32_MAX) {
+    throw std::invalid_argument{"ChunkPool: slab_bytes exceeds chunk limit"};
+  }
+}
+
+ChunkPool::~ChunkPool() {
+  // Chunks reference the pool; by construction (FlushBuffers and in-flight
+  // ChunkRefs are torn down first) everything is back on the free list here.
+  for (detail::ChunkHeader* slab : slabs_) ::operator delete(slab);
+}
+
+ChunkPool& ChunkPool::shared() {
+  static ChunkPool pool;
+  return pool;
+}
+
+detail::ChunkHeader* ChunkPool::allocate(std::size_t payload_bytes) {
+  void* raw = ::operator new(sizeof(detail::ChunkHeader) + payload_bytes);
+  return ::new (raw) detail::ChunkHeader{
+      this, 1, 0, static_cast<std::uint32_t>(payload_bytes)};
+}
+
+detail::ChunkHeader* ChunkPool::acquire(std::size_t min_bytes) {
+  detail::ChunkHeader* chunk;
+  if (min_bytes <= slab_bytes_) {
+    if (!free_.empty()) {
+      chunk = free_.back();
+      free_.pop_back();
+      chunk->refs = 1;
+      chunk->write_pos = 0;
+    } else {
+      chunk = allocate(slab_bytes_);
+      slabs_.push_back(chunk);
+      // Every slab may be on the free list at once; reserving here keeps
+      // release() allocation-free however the in-use count fluctuates.
+      free_.reserve(slabs_.size());
+      metrics_.allocated.set(static_cast<double>(slabs_.size()));
+    }
+  } else {
+    if (min_bytes > UINT32_MAX) {
+      throw std::invalid_argument{"ChunkPool: chunk request too large"};
+    }
+    chunk = allocate(min_bytes);
+    ++oversize_;
+    metrics_.oversize_allocs.inc();
+  }
+  ++in_use_;
+  metrics_.in_use.set(static_cast<double>(in_use_));
+  if (in_use_ > high_water_) {
+    high_water_ = in_use_;
+    metrics_.high_water.set(static_cast<double>(high_water_));
+  }
+  return chunk;
+}
+
+void ChunkPool::release(detail::ChunkHeader* chunk) {
+  --in_use_;
+  metrics_.in_use.set(static_cast<double>(in_use_));
+  if (chunk->capacity == slab_bytes_) {
+    free_.push_back(chunk);
+  } else {
+    ::operator delete(chunk);  // oversize one-off (header is trivial)
+  }
+}
+
+void ChunkPool::set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels) {
+  metrics_ = MetricHandles{};
+  if (metrics == nullptr) return;
+  metrics_.in_use = metrics->gauge_handle("stream.chunk_pool.in_use", labels);
+  metrics_.allocated = metrics->gauge_handle("stream.chunk_pool.allocated", labels);
+  metrics_.high_water = metrics->gauge_handle("stream.chunk_pool.high_water", labels);
+  metrics_.oversize_allocs =
+      metrics->counter_handle("stream.chunk_pool.oversize_allocs", std::move(labels));
+  metrics_.in_use.set(static_cast<double>(in_use_));
+  metrics_.allocated.set(static_cast<double>(slabs_.size()));
+  metrics_.high_water.set(static_cast<double>(high_water_));
+}
+
+ChunkRef ChunkRef::copy_of(std::string_view data, ChunkPool& pool) {
+  ChunkRef ref;
+  if (data.size() <= kInlineCapacity) {
+    ref.inline_.len = static_cast<std::uint8_t>(data.size());
+    if (!data.empty()) std::memcpy(ref.inline_.bytes, data.data(), data.size());
+    return ref;
+  }
+  detail::ChunkHeader* chunk = pool.acquire(data.size());
+  std::memcpy(chunk->data(), data.data(), data.size());
+  chunk->write_pos = static_cast<std::uint32_t>(data.size());
+  ref.chunk_ = chunk;  // adopts the acquire() reference
+  ref.pooled_.offset = 0;
+  ref.pooled_.length = static_cast<std::uint32_t>(data.size());
+  return ref;
+}
+
+}  // namespace cg::stream

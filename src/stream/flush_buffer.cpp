@@ -16,9 +16,24 @@ const char* to_string(FlushReason reason) {
 
 FlushBuffer::FlushBuffer(sim::Simulation& sim, FlushBufferConfig config,
                          FlushFn on_flush)
-    : sim_{sim}, config_{config}, on_flush_{std::move(on_flush)} {
+    : sim_{sim},
+      config_{config},
+      pool_{config.pool != nullptr ? config.pool : &ChunkPool::shared()},
+      on_flush_{std::move(on_flush)} {
   if (config_.capacity == 0) throw std::invalid_argument{"capacity must be > 0"};
   if (!on_flush_) throw std::invalid_argument{"null flush callback"};
+}
+
+FlushBuffer::FlushBuffer(sim::Simulation& sim, FlushBufferConfig config,
+                         StringFlushFn on_flush)
+    : FlushBuffer{sim, config,
+                  on_flush ? FlushFn{[fn = std::move(on_flush)](ChunkRef data) {
+                    fn(data.to_string());
+                  }}
+                           : FlushFn{}} {}
+
+FlushBuffer::~FlushBuffer() {
+  if (chunk_ != nullptr) detail::chunk_unref(chunk_);
 }
 
 void FlushBuffer::set_metrics(obs::MetricsRegistry* metrics,
@@ -37,7 +52,7 @@ void FlushBuffer::set_metrics(obs::MetricsRegistry* metrics,
 
 void FlushBuffer::append(std::string_view data) {
   while (!data.empty()) {
-    const std::size_t room = config_.capacity - buffer_.size();
+    const std::size_t room = config_.capacity - buffered_;
     std::size_t take = std::min(room, data.size());
 
     // End-of-line trigger: cut the chunk at the first newline so the line
@@ -51,31 +66,60 @@ void FlushBuffer::append(std::string_view data) {
       }
     }
 
-    buffer_.append(data.substr(0, take));
+    ensure_segment_chunk();
+    std::memcpy(chunk_->data() + chunk_->write_pos, data.data(), take);
+    chunk_->write_pos += static_cast<std::uint32_t>(take);
+    buffered_ += take;
     data.remove_prefix(take);
 
-    if (buffer_.size() >= config_.capacity || newline_flush) {
+    if (buffered_ >= config_.capacity || newline_flush) {
       emit(newline_flush ? FlushReason::kNewline : FlushReason::kCapacity);
-    } else if (!buffer_.empty() && !timer_.armed()) {
+    } else if (buffered_ != 0 && !timer_.armed()) {
       arm_timeout();
     }
   }
 }
 
+void FlushBuffer::ensure_segment_chunk() {
+  // Mid-segment appends always fit: the segment reserved `capacity` bytes of
+  // room when it opened, and a segment flushes before exceeding capacity.
+  if (buffered_ > 0) return;
+  if (chunk_ != nullptr &&
+      chunk_->capacity - chunk_->write_pos >= config_.capacity) {
+    seg_start_ = chunk_->write_pos;
+    return;
+  }
+  detail::ChunkHeader* fresh =
+      pool_->acquire(std::max(config_.capacity, pool_->slab_bytes()));
+  if (chunk_ != nullptr) detail::chunk_unref(chunk_);
+  chunk_ = fresh;
+  seg_start_ = 0;
+}
+
 void FlushBuffer::flush() {
-  if (!buffer_.empty()) emit(FlushReason::kExplicit);
+  if (buffered_ > 0) emit(FlushReason::kExplicit);
 }
 
 void FlushBuffer::arm_timeout() {
   timer_.rearm(sim_, sim_.schedule(config_.timeout, [this] {
-    if (!buffer_.empty()) emit(FlushReason::kTimeout);
+    if (buffered_ > 0) emit(FlushReason::kTimeout);
   }));
 }
 
 void FlushBuffer::emit(FlushReason reason) {
   timer_.reset();
-  std::string out;
-  out.swap(buffer_);
+  ChunkRef out;
+  if (buffered_ <= ChunkRef::kInlineCapacity) {
+    // Tiny flushes (keystroke echoes, short lines) detach from the chunk so
+    // a long-lived consumer cannot pin a whole slab for a few bytes.
+    out = ChunkRef::copy_of(
+        std::string_view{chunk_->data() + seg_start_, buffered_}, *pool_);
+  } else {
+    out = ChunkRef{chunk_, static_cast<std::uint32_t>(seg_start_),
+                   static_cast<std::uint32_t>(buffered_)};
+  }
+  seg_start_ += buffered_;
+  buffered_ = 0;
   ++flushes_;
   ++reason_counts_[static_cast<std::size_t>(reason)];
   flush_counters_[static_cast<std::size_t>(reason)].inc();

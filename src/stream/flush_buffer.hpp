@@ -4,14 +4,23 @@
 //   3. an end-of-line arrives.
 // Used on each executing machine (per-subjob output buffer) and on the
 // submitting machine (Job Shadow buffer flushed to the screen).
+//
+// The buffer writes directly into pooled chunks (see chunk.hpp): append() is
+// a single pass over the input — each byte is copied exactly once into the
+// current chunk — and every flush hands out a ChunkRef view of the flushed
+// segment instead of a freshly allocated string, so the steady-state flush
+// path never touches the heap.
 #pragma once
 
 #include <array>
+#include <cstring>
 #include <functional>
 #include <string>
 
 #include "obs/metrics.hpp"
 #include "sim/simulation.hpp"
+#include "stream/chunk.hpp"
+#include "util/inplace_function.hpp"
 
 namespace cg::stream {
 
@@ -19,6 +28,9 @@ struct FlushBufferConfig {
   std::size_t capacity = 64 * 1024;
   Duration timeout = Duration::millis(200);
   bool flush_on_newline = true;
+  /// Chunk pool backing the buffer's segments (nullptr = ChunkPool::shared()).
+  /// Must outlive the buffer and every ChunkRef it flushes.
+  ChunkPool* pool = nullptr;
 };
 
 /// Which of the paper's triggers caused a flush (plus the explicit flush()
@@ -29,10 +41,15 @@ enum class FlushReason { kCapacity, kNewline, kTimeout, kExplicit };
 
 class FlushBuffer {
 public:
-  using FlushFn = std::function<void(std::string data)>;
+  using FlushFn = util::InplaceFunction<void(ChunkRef), 48>;
+  /// Compatibility shim: consumers that want an owned std::string per flush
+  /// (tests, example sinks). Each flush materializes one string copy.
+  using StringFlushFn = std::function<void(std::string data)>;
 
   FlushBuffer(sim::Simulation& sim, FlushBufferConfig config, FlushFn on_flush);
-  ~FlushBuffer() = default;
+  FlushBuffer(sim::Simulation& sim, FlushBufferConfig config,
+              StringFlushFn on_flush);
+  ~FlushBuffer();
   FlushBuffer(const FlushBuffer&) = delete;
   FlushBuffer& operator=(const FlushBuffer&) = delete;
 
@@ -43,7 +60,7 @@ public:
   /// Forces out any buffered data (job exit, explicit flush).
   void flush();
 
-  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t buffered() const { return buffered_; }
   [[nodiscard]] std::size_t flush_count() const { return flushes_; }
   /// Flushes attributable to one trigger.
   [[nodiscard]] std::size_t flush_count(FlushReason reason) const {
@@ -57,13 +74,21 @@ public:
   void set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels = {});
 
 private:
+  void ensure_segment_chunk();
   void arm_timeout();
   void emit(FlushReason reason);
 
   sim::Simulation& sim_;
   FlushBufferConfig config_;
+  ChunkPool* pool_;  ///< resolved (config_.pool or the shared pool)
   FlushFn on_flush_;
-  std::string buffer_;
+  /// Current write chunk (one writer reference held) and the open segment:
+  /// bytes [seg_start_, seg_start_ + buffered_) are appended-but-unflushed.
+  /// A segment never spans chunks — a fresh segment only opens in a chunk
+  /// with at least `capacity` bytes of room.
+  detail::ChunkHeader* chunk_ = nullptr;
+  std::size_t seg_start_ = 0;
+  std::size_t buffered_ = 0;
   std::size_t flushes_ = 0;
   std::array<std::size_t, 4> reason_counts_{};
   sim::ScopedTimer timer_;

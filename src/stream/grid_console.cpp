@@ -1,5 +1,6 @@
 #include "stream/grid_console.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -17,6 +18,15 @@ ConsoleAgent::ConsoleAgent(sim::Simulation& sim, int rank,
       wn_disk_{wn_disk},
       uplink_{std::move(uplink)},
       shadow_{shadow} {
+  if (config_.obs != nullptr) {
+    const obs::LabelSet rank_labels{{"rank", std::to_string(rank_)}};
+    metrics_.spool_full =
+        config_.obs->metrics.counter_handle("stream.spool_full", rank_labels);
+    metrics_.frames_dropped =
+        config_.obs->metrics.counter_handle("stream.frames_dropped", rank_labels);
+    metrics_.reconnects =
+        config_.obs->metrics.counter_handle("stream.reconnects", rank_labels);
+  }
   if (config_.mode == jdl::StreamingMode::kReliable) {
     if (wn_disk == nullptr) {
       throw std::invalid_argument{"reliable mode requires a worker-node disk"};
@@ -29,10 +39,7 @@ ConsoleAgent::ConsoleAgent(sim::Simulation& sim, int rank,
     });
     reliable_uplink_->set_spool_reject_handler([this](std::size_t bytes) {
       if (config_.obs == nullptr) return;
-      config_.obs->metrics
-          .counter("stream.spool_full",
-                   obs::LabelSet{{"rank", std::to_string(rank_)}})
-          .inc();
+      metrics_.spool_full.inc();
       config_.obs->tracer.record(
           sim_.now(), config_.job, obs::TraceEventKind::kSpoolFull,
           std::to_string(bytes) + " byte append rejected; retrying",
@@ -40,11 +47,13 @@ ConsoleAgent::ConsoleAgent(sim::Simulation& sim, int rank,
     });
   }
   out_buffer_ = std::make_unique<FlushBuffer>(
-      sim_, config_.agent_buffer,
-      [this](std::string data) { dispatch(StdStream::kStdout, std::move(data)); });
+      sim_, config_.agent_buffer, FlushBuffer::FlushFn{[this](ChunkRef data) {
+        dispatch(StdStream::kStdout, std::move(data));
+      }});
   err_buffer_ = std::make_unique<FlushBuffer>(
-      sim_, config_.agent_buffer,
-      [this](std::string data) { dispatch(StdStream::kStderr, std::move(data)); });
+      sim_, config_.agent_buffer, FlushBuffer::FlushFn{[this](ChunkRef data) {
+        dispatch(StdStream::kStderr, std::move(data));
+      }});
   if (config_.obs != nullptr) {
     const obs::LabelSet labels{{"rank", std::to_string(rank_)},
                                {"side", "agent"}};
@@ -79,7 +88,7 @@ void ConsoleAgent::deliver_input(std::string line) {
   if (input_handler_) input_handler_(std::move(line));
 }
 
-void ConsoleAgent::dispatch(StdStream stream, std::string data) {
+void ConsoleAgent::dispatch(StdStream stream, ChunkRef data) {
   const std::size_t bytes = data.size();
   if (wedged_ && !reliable_uplink_) {
     // A stalled relay loop loses fast-mode frames just like a down link —
@@ -87,6 +96,8 @@ void ConsoleAgent::dispatch(StdStream stream, std::string data) {
     on_fast_frame_lost(bytes);
     return;
   }
+  // 40-byte capture (this + stream + 24-byte ChunkRef): rides inline in the
+  // channel's delivery slot; the payload itself is never copied.
   auto deliver = [this, stream, data = std::move(data)](std::size_t) {
     // A delivery after drops means the link healed: tell the shadow how
     // much of the stream it missed.
@@ -110,10 +121,7 @@ void ConsoleAgent::on_fast_frame_lost(std::size_t lost) {
   ++pending_dropped_frames_;
   pending_dropped_bytes_ += lost;
   if (config_.obs != nullptr) {
-    config_.obs->metrics
-        .counter("stream.frames_dropped",
-                 obs::LabelSet{{"rank", std::to_string(rank_)}})
-        .inc();
+    metrics_.frames_dropped.inc();
     config_.obs->tracer.record(
         sim_.now(), config_.job, obs::TraceEventKind::kFrameDropped,
         std::to_string(lost) + " bytes lost on down link",
@@ -127,10 +135,7 @@ void ConsoleAgent::report_drops_on_reconnect() {
   pending_dropped_frames_ = 0;
   pending_dropped_bytes_ = 0;
   if (config_.obs != nullptr) {
-    config_.obs->metrics
-        .counter("stream.reconnects",
-                 obs::LabelSet{{"rank", std::to_string(rank_)}})
-        .inc();
+    metrics_.reconnects.inc();
     config_.obs->tracer.record(
         sim_.now(), config_.job, obs::TraceEventKind::kReconnected,
         "link healed after dropping " + std::to_string(frames) + " frames (" +
@@ -143,15 +148,31 @@ void ConsoleAgent::report_drops_on_reconnect() {
 // --------------------------------------------------------------- shadow ----
 
 ConsoleShadow::ConsoleShadow(sim::Simulation& sim, GridConsoleConfig config,
-                             sim::DiskModel* ui_disk, ScreenSink sink)
+                             sim::DiskModel* ui_disk, ChunkSink sink)
     : sim_{sim}, config_{std::move(config)}, ui_disk_{ui_disk}, sink_{std::move(sink)} {
+  init(ui_disk);
+}
+
+ConsoleShadow::ConsoleShadow(sim::Simulation& sim, GridConsoleConfig config,
+                             sim::DiskModel* ui_disk, ScreenSink sink)
+    : sim_{sim},
+      config_{std::move(config)},
+      ui_disk_{ui_disk},
+      sink_{sink ? ChunkSink{[fn = std::move(sink)](ChunkRef data) {
+              fn(data.to_string());
+            }}
+                 : ChunkSink{}} {
+  init(ui_disk);
+}
+
+void ConsoleShadow::init(sim::DiskModel* ui_disk) {
   if (!sink_) throw std::invalid_argument{"ConsoleShadow: null screen sink"};
-  if (config_.mode == jdl::StreamingMode::kReliable && ui_disk_ == nullptr) {
+  if (config_.mode == jdl::StreamingMode::kReliable && ui_disk == nullptr) {
     throw std::invalid_argument{"reliable mode requires a UI-machine disk"};
   }
   screen_buffer_ = std::make_unique<FlushBuffer>(
       sim_, config_.shadow_buffer,
-      [this](std::string data) { sink_(std::move(data)); });
+      FlushBuffer::FlushFn{[this](ChunkRef data) { sink_(std::move(data)); }});
   if (config_.obs != nullptr) {
     screen_buffer_->set_metrics(&config_.obs->metrics,
                                 obs::LabelSet{{"side", "shadow"}});
@@ -186,10 +207,11 @@ void ConsoleShadow::type_line(std::string line) {
   }
 }
 
-void ConsoleShadow::on_output_frame(int rank, StdStream stream, std::string data) {
+void ConsoleShadow::on_output_frame(int rank, StdStream stream,
+                                    const ChunkRef& data) {
   ++frames_;
-  if (frame_observer_) frame_observer_(rank, stream, data);
-  screen_buffer_->append(data);
+  if (frame_observer_) frame_observer_(rank, stream, data.view());
+  screen_buffer_->append(data.view());
 }
 
 void ConsoleShadow::agent_failed(int rank) {
@@ -215,11 +237,41 @@ GridConsole::GridConsole(sim::Simulation& sim, sim::Network& network,
       network_{network},
       config_{std::move(config)},
       ui_endpoint_{std::move(ui_endpoint)},
-      rng_{std::move(rng)} {
+      rng_{std::move(rng)},
+      pool_{std::max({ChunkPool::kDefaultSlabBytes, config_.agent_buffer.capacity,
+                      config_.shadow_buffer.capacity})} {
+  init_pool();
   shadow_ = std::make_unique<ConsoleShadow>(
       sim_, config_,
       config_.mode == jdl::StreamingMode::kReliable ? &ui_disk_ : nullptr,
       std::move(sink));
+}
+
+GridConsole::GridConsole(sim::Simulation& sim, sim::Network& network,
+                         GridConsoleConfig config, std::string ui_endpoint,
+                         ConsoleShadow::ChunkSink sink, Rng rng)
+    : sim_{sim},
+      network_{network},
+      config_{std::move(config)},
+      ui_endpoint_{std::move(ui_endpoint)},
+      rng_{std::move(rng)},
+      pool_{std::max({ChunkPool::kDefaultSlabBytes, config_.agent_buffer.capacity,
+                      config_.shadow_buffer.capacity})} {
+  init_pool();
+  shadow_ = std::make_unique<ConsoleShadow>(
+      sim_, config_,
+      config_.mode == jdl::StreamingMode::kReliable ? &ui_disk_ : nullptr,
+      std::move(sink));
+}
+
+void GridConsole::init_pool() {
+  // Every flush buffer in this console (agents + shadow) draws from one
+  // pool, so a console's slabs recycle across its sessions.
+  config_.agent_buffer.pool = &pool_;
+  config_.shadow_buffer.pool = &pool_;
+  if (config_.obs != nullptr) {
+    pool_.set_metrics(&config_.obs->metrics, obs::LabelSet{});
+  }
 }
 
 ConsoleAgent& GridConsole::add_agent(int rank, const std::string& wn_endpoint) {

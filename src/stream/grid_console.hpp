@@ -5,6 +5,10 @@
 // channels; the shadow merges subjob output through its own flush buffer and
 // fans typed input lines out to every subjob.
 //
+// Output payloads travel as pooled ChunkRefs end to end: the agent's flush
+// buffer hands the shadow a view of the same chunk it filled, so relaying a
+// frame performs no per-hop payload copy or heap allocation.
+//
 // This is the *simulated* console used by the grid-side experiments; the
 // real OS-level implementation lives in src/interpose.
 #pragma once
@@ -18,6 +22,7 @@
 #include "obs/observability.hpp"
 #include "sim/disk.hpp"
 #include "stream/channel_model.hpp"
+#include "stream/chunk.hpp"
 #include "stream/flush_buffer.hpp"
 #include "stream/reliable_channel.hpp"
 
@@ -83,7 +88,7 @@ public:
 
 private:
   friend class ConsoleShadow;
-  void dispatch(StdStream stream, std::string data);
+  void dispatch(StdStream stream, ChunkRef data);
   void on_fast_frame_lost(std::size_t lost);
   void report_drops_on_reconnect();
 
@@ -105,18 +110,32 @@ private:
   std::size_t pending_dropped_bytes_ = 0;
   bool failed_ = false;
   bool wedged_ = false;
+  /// Pre-resolved per-rank counters (inert without config.obs): these fire
+  /// on the frame relay path and must not pay a registry lookup per frame.
+  struct MetricHandles {
+    obs::CounterHandle spool_full;
+    obs::CounterHandle frames_dropped;
+    obs::CounterHandle reconnects;
+  };
+  MetricHandles metrics_;
 };
 
 /// The Console/Job Shadow on the submitting machine.
 class ConsoleShadow {
 public:
   /// Receives merged, flush-policy-shaped output ready for the screen.
+  /// Allocation-free flavour: the sink borrows the shadow buffer's chunk.
+  using ChunkSink = util::InplaceFunction<void(ChunkRef data), 48>;
+  /// String-copy convenience flavour (tests, examples).
   using ScreenSink = std::function<void(std::string data)>;
-  /// Observes raw per-subjob frames before merging (tests, logging).
-  using FrameObserver = std::function<void(int rank, StdStream, const std::string&)>;
+  /// Observes raw per-subjob frames before merging (tests, logging). The
+  /// view borrows the agent's chunk; copy it to retain past the call.
+  using FrameObserver = std::function<void(int rank, StdStream, std::string_view)>;
   /// Fired when a reliable channel exhausts retries (the job gets killed).
   using FatalHandler = std::function<void(int rank)>;
 
+  ConsoleShadow(sim::Simulation& sim, GridConsoleConfig config,
+                sim::DiskModel* ui_disk, ChunkSink sink);
   ConsoleShadow(sim::Simulation& sim, GridConsoleConfig config,
                 sim::DiskModel* ui_disk, ScreenSink sink);
   ~ConsoleShadow() = default;
@@ -130,8 +149,8 @@ public:
   /// (Section 4: "the input will be forwarded to every subjob").
   void type_line(std::string line);
 
-  /// Incoming output frame from an agent.
-  void on_output_frame(int rank, StdStream stream, std::string data);
+  /// Incoming output frame from an agent (borrows the agent's chunk).
+  void on_output_frame(int rank, StdStream stream, const ChunkRef& data);
 
   void set_frame_observer(FrameObserver observer) { frame_observer_ = std::move(observer); }
   void set_fatal_handler(FatalHandler handler) { fatal_handler_ = std::move(handler); }
@@ -147,6 +166,7 @@ public:
 
 private:
   friend class ConsoleAgent;
+  void init(sim::DiskModel* ui_disk);
   void agent_failed(int rank);
   /// An agent's uplink healed after dropping fast-mode frames.
   void on_agent_reconnected(int rank, std::size_t frames, std::size_t bytes);
@@ -160,7 +180,7 @@ private:
   sim::Simulation& sim_;
   GridConsoleConfig config_;
   sim::DiskModel* ui_disk_;
-  ScreenSink sink_;
+  ChunkSink sink_;
   std::unique_ptr<FlushBuffer> screen_buffer_;
   std::vector<AgentLink> agents_;
   FrameObserver frame_observer_;
@@ -172,11 +192,14 @@ private:
 };
 
 /// Convenience bundle: a shadow plus its agents for one (possibly parallel)
-/// interactive job. Owns all components.
+/// interactive job. Owns all components, including the chunk pool every
+/// flush buffer in the console draws from.
 class GridConsole {
 public:
   GridConsole(sim::Simulation& sim, sim::Network& network, GridConsoleConfig config,
               std::string ui_endpoint, ConsoleShadow::ScreenSink sink, Rng rng);
+  GridConsole(sim::Simulation& sim, sim::Network& network, GridConsoleConfig config,
+              std::string ui_endpoint, ConsoleShadow::ChunkSink sink, Rng rng);
 
   /// Adds a Console Agent on a worker-node endpoint; returns its reference.
   ConsoleAgent& add_agent(int rank, const std::string& wn_endpoint);
@@ -187,14 +210,18 @@ public:
   /// Disks used by the reliable mode (exposed for experiment bookkeeping).
   [[nodiscard]] sim::DiskModel& ui_disk() { return ui_disk_; }
   [[nodiscard]] sim::DiskModel& wn_disk(std::size_t i) { return *wn_disks_.at(i); }
+  [[nodiscard]] ChunkPool& chunk_pool() { return pool_; }
 
 private:
+  void init_pool();
+
   sim::Simulation& sim_;
   sim::Network& network_;
   GridConsoleConfig config_;
   std::string ui_endpoint_;
   Rng rng_;
   sim::DiskModel ui_disk_;
+  ChunkPool pool_;  ///< shared by every agent/shadow flush buffer
   std::unique_ptr<ConsoleShadow> shadow_;
   std::vector<std::unique_ptr<sim::DiskModel>> wn_disks_;
   std::vector<std::unique_ptr<ConsoleAgent>> agents_;

@@ -22,8 +22,19 @@ ReliableChannel::ReliableChannel(sim::Simulation& sim, SimChannel& channel,
 }
 
 ReliableChannel::~ReliableChannel() {
-  // Invalidate in-flight SimChannel callbacks (they check the epoch).
+  // Invalidate in-flight SimChannel callbacks (they check the epoch) and
+  // remove receiver-write completions outright.
   ++epoch_;
+  for (std::size_t i = 0; i < deliveries_.size(); ++i) {
+    sim_.cancel(deliveries_[i].event);
+  }
+}
+
+void ReliableChannel::reserve(std::size_t entries) {
+  queue_.reserve(entries);
+  delivered_.reserve(entries);
+  deliveries_.reserve(entries);
+  spool_.reserve(entries);
 }
 
 void ReliableChannel::set_metrics(obs::MetricsRegistry* metrics,
@@ -33,19 +44,31 @@ void ReliableChannel::set_metrics(obs::MetricsRegistry* metrics,
   metrics_.bytes_spooled = metrics->counter_handle("stream.bytes_spooled", labels);
   metrics_.spool_rejects = metrics->counter_handle("stream.spool_rejects", labels);
   metrics_.reconnects = metrics->counter_handle("stream.reconnects", labels);
-  metrics_.retries = metrics->counter_handle("stream.retries", std::move(labels));
+  metrics_.retries = metrics->counter_handle("stream.retries", labels);
+  metrics_.coalesced_batches =
+      metrics->counter_handle("stream.coalesced_batches", labels);
+  metrics_.coalesced_messages =
+      metrics->counter_handle("stream.coalesced_messages", std::move(labels));
 }
 
 void ReliableChannel::send(std::size_t bytes, DeliverFn on_deliver) {
   if (gave_up_) return;  // the process is being killed; drop silently
-  queue_.push_back(Entry{bytes, std::move(on_deliver)});
+  Entry& entry = queue_.push_back(Entry{});
+  entry.bytes = bytes;
+  entry.on_deliver = std::move(on_deliver);
+  entry.batch_bytes = bytes;
   pump_appends();
 }
 
 void ReliableChannel::pump_appends() {
+  if (coalescing()) {
+    pump_appends_coalesced();
+    return;
+  }
   Duration head_cost = Duration::zero();
   bool head_just_spooled = false;
-  for (Entry& entry : queue_) {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    Entry& entry = queue_[i];
     if (entry.spooled) continue;
     const std::optional<Duration> cost = spool_.try_push(entry.bytes);
     if (!cost) {
@@ -55,7 +78,7 @@ void ReliableChannel::pump_appends() {
     spool_failures_ = 0;
     entry.spooled = true;
     metrics_.bytes_spooled.inc(entry.bytes);
-    if (&entry == &queue_.front()) {
+    if (i == 0) {
       head_cost = *cost;
       head_just_spooled = true;
     }
@@ -64,6 +87,43 @@ void ReliableChannel::pump_appends() {
     transmitting_ = true;
     transmit_head(head_just_spooled ? head_cost : Duration::zero());
   }
+}
+
+void ReliableChannel::pump_appends_coalesced() {
+  // Messages that arrive behind an in-flight transmit stay unspooled; they
+  // are batched when the channel frees up (on_head_delivered re-pumps).
+  if (transmitting_ || queue_.empty()) return;
+  Duration head_cost = Duration::zero();
+  if (!queue_.front().spooled) {
+    // Greedy head-most run of unspooled entries under the byte cap; the head
+    // itself always fits (a batch is never empty).
+    std::size_t total = queue_.front().bytes;
+    std::size_t count = 1;
+    while (count < queue_.size() && !queue_[count].spooled &&
+           total + queue_[count].bytes <= policy_.max_coalesce_bytes) {
+      total += queue_[count].bytes;
+      ++count;
+    }
+    const std::optional<Duration> cost = spool_.try_push(total, count);
+    if (!cost) {
+      on_append_rejected(queue_.front());
+      return;
+    }
+    spool_failures_ = 0;
+    for (std::size_t i = 0; i < count; ++i) queue_[i].spooled = true;
+    queue_.front().batch_bytes = total;
+    queue_.front().batch_count = static_cast<std::uint32_t>(count);
+    metrics_.bytes_spooled.inc(total);
+    if (count > 1) {
+      ++coalesced_batches_;
+      coalesced_messages_ += count;
+      metrics_.coalesced_batches.inc();
+      metrics_.coalesced_messages.inc(count);
+    }
+    head_cost = *cost;
+  }
+  transmitting_ = true;
+  transmit_head(head_cost);
 }
 
 void ReliableChannel::on_append_rejected(Entry& entry) {
@@ -95,18 +155,18 @@ void ReliableChannel::transmit_head(Duration extra_delay) {
     return;
   }
   const std::uint64_t epoch = epoch_;
-  sim_.schedule(extra_delay, [this, epoch] {
+  transmit_timer_.rearm(sim_, sim_.schedule(extra_delay, [this, epoch] {
     if (epoch != epoch_ || gave_up_ || queue_.empty()) return;
     const Entry& head = queue_.front();
     channel_.send(
-        head.bytes,
+        head.batch_bytes,
         [this, epoch](std::size_t) {
           if (epoch == epoch_) on_head_delivered();
         },
         [this, epoch](std::size_t) {
           if (epoch == epoch_) on_head_failed();
         });
-  });
+  }));
 }
 
 void ReliableChannel::on_head_delivered() {
@@ -116,29 +176,72 @@ void ReliableChannel::on_head_delivered() {
     metrics_.reconnects.inc();
   }
   failures_ = 0;
-  Entry head = std::move(queue_.front());
-  queue_.pop_front();
+  const std::size_t batch_bytes = queue_.front().batch_bytes;
+  const std::uint32_t batch_count = queue_.front().batch_count;
   spool_.pop_acknowledged();
-  if (head.on_deliver) {
-    if (receiver_disk_ != nullptr) {
-      // Receive-side intermediate file: the application sees the data only
-      // after it has hit the other end's disk.
-      receiver_disk_->note_write(head.bytes);
-      const Duration cost = receiver_disk_->write_duration(head.bytes);
-      sim_.schedule(cost, [cb = std::move(head.on_deliver), bytes = head.bytes] {
-        cb(bytes);
-      });
-    } else {
-      head.on_deliver(head.bytes);
+  if (batch_count == 1 && !queue_.front().on_deliver) {
+    // No one is waiting on this message; skip the receiver-side write.
+    queue_.pop_front();
+  } else if (receiver_disk_ != nullptr) {
+    // Receive-side intermediate file: the application sees the data only
+    // after it has hit the other end's disk. One write covers the whole
+    // batch; the completion fires every callback it carried, in order.
+    receiver_disk_->note_write(batch_bytes, batch_count);
+    const Duration cost = receiver_disk_->write_duration(batch_bytes);
+    for (std::uint32_t i = 0; i < batch_count; ++i) {
+      DeliveredEntry& d = delivered_.push_back(DeliveredEntry{});
+      d.bytes = queue_.front().bytes;
+      d.on_deliver = std::move(queue_.front().on_deliver);
+      queue_.pop_front();
+    }
+    PendingDelivery& pending = deliveries_.push_back(PendingDelivery{});
+    const std::uint64_t seq = next_delivery_seq_++;
+    pending.seq = seq;
+    pending.entry_count = batch_count;
+    const std::uint64_t epoch = epoch_;
+    pending.event = sim_.schedule(cost, [this, epoch, seq] {
+      if (epoch == epoch_) fire_delivery(seq);
+    });
+  } else {
+    for (std::uint32_t i = 0; i < batch_count; ++i) {
+      Entry entry = std::move(queue_.front());
+      queue_.pop_front();
+      if (entry.on_deliver) entry.on_deliver(entry.bytes);
     }
   }
-  if (queue_.empty() || !queue_.front().spooled) {
+  if (coalescing()) {
+    transmitting_ = false;
+    pump_appends();  // batch whatever queued up behind this transmit
+  } else if (queue_.empty() || !queue_.front().spooled) {
     // Nothing ready: an unspooled head (rejected append) transmits only
     // after its retry succeeds, via pump_appends.
     transmitting_ = false;
   } else {
     // Subsequent messages were already spooled at send time; no extra cost.
     transmit_head(Duration::zero());
+  }
+}
+
+void ReliableChannel::fire_delivery(std::uint64_t seq) {
+  // Receiver writes can complete out of order (a small batch's write beats a
+  // large predecessor's), but the receive-side intermediate file is consumed
+  // front to back: a batch becomes visible to the application only once its
+  // own write AND every earlier batch's write have completed. Mark this
+  // batch's write done, then release callbacks from the front, in order.
+  for (std::size_t i = 0; i < deliveries_.size(); ++i) {
+    if (deliveries_[i].seq == seq) {
+      deliveries_[i].fired = true;
+      break;
+    }
+  }
+  while (!deliveries_.empty() && deliveries_.front().fired) {
+    std::size_t remaining = deliveries_.front().entry_count;
+    deliveries_.pop_front();
+    for (; remaining > 0; --remaining) {
+      DeliveredEntry entry = std::move(delivered_.front());
+      delivered_.pop_front();
+      if (entry.on_deliver) entry.on_deliver(entry.bytes);
+    }
   }
 }
 

@@ -2,14 +2,18 @@
 // disk before transmission; failed sends stay in the spool and are retried
 // at a fixed interval "for a certain number of times, after which they give
 // up and kill the process". Delivery order is preserved across failures.
+//
+// Hot-path design: queue bookkeeping lives in inline rings, callbacks are
+// InplaceFunctions (no per-message std::function heap allocation), and
+// optional Nagle-style coalescing batches messages that queue up behind an
+// in-flight transmit into one spool append and one channel send.
 #pragma once
-
-#include <deque>
-#include <functional>
 
 #include "obs/metrics.hpp"
 #include "stream/channel_model.hpp"
 #include "stream/spool.hpp"
+#include "util/inplace_function.hpp"
+#include "util/ring.hpp"
 
 namespace cg::stream {
 
@@ -20,17 +24,25 @@ struct RetryPolicy {
   /// rejects appends; they are retried on the same interval/budget as a
   /// failing link.
   std::size_t spool_capacity_bytes = 0;
+  /// Nagle-style send coalescing: while a transmit is in flight, newly sent
+  /// messages accumulate unspooled; when the channel frees up they are
+  /// batched — up to this many bytes — into ONE spool append and ONE
+  /// transmit, amortizing the per-operation disk and per-message channel
+  /// overheads when the link round-trip dominates. 0 (the default) disables
+  /// coalescing: every message is its own append and transmit, preserving
+  /// the historical event sequence exactly (existing goldens and digests).
+  std::size_t max_coalesce_bytes = 0;
 };
 
 class ReliableChannel {
 public:
-  using DeliverFn = std::function<void(std::size_t bytes)>;
+  using DeliverFn = util::InplaceFunction<void(std::size_t bytes), 48>;
   /// Fires once when the channel exhausts its retries (the paper's response:
   /// kill the process).
-  using GiveUpFn = std::function<void()>;
+  using GiveUpFn = util::InplaceFunction<void(), 48>;
   /// Fires once per message whose first spool append was rejected (disk
   /// fault or full spool); the message stays queued and keeps retrying.
-  using SpoolRejectFn = std::function<void(std::size_t bytes)>;
+  using SpoolRejectFn = util::InplaceFunction<void(std::size_t bytes), 48>;
 
   /// `sender_disk` spools outgoing messages before transmission;
   /// `receiver_disk` (optional) models the other end's intermediate file —
@@ -49,14 +61,19 @@ public:
   /// budget as a failing link — nothing transmits before it is spooled.
   void send(std::size_t bytes, DeliverFn on_deliver);
 
+  /// Capacity planning: pre-sizes the queue, in-flight delivery rings and
+  /// spool bookkeeping for `entries` concurrently outstanding messages, so
+  /// steady-state operation below that depth never grows a ring.
+  void reserve(std::size_t entries);
+
   void set_give_up_handler(GiveUpFn fn) { on_give_up_ = std::move(fn); }
   void set_spool_reject_handler(SpoolRejectFn fn) {
     on_spool_reject_ = std::move(fn);
   }
 
-  /// Attaches a metrics registry: bytes spooled, retry and reconnect
-  /// counters on top of `labels`. Must outlive the channel (or be detached
-  /// with nullptr).
+  /// Attaches a metrics registry: bytes spooled, retry/reconnect and
+  /// coalescing counters on top of `labels`. Must outlive the channel (or be
+  /// detached with nullptr).
   void set_metrics(obs::MetricsRegistry* metrics, obs::LabelSet labels = {});
 
   [[nodiscard]] bool gave_up() const { return gave_up_; }
@@ -68,23 +85,55 @@ public:
   [[nodiscard]] std::size_t spool_rejections() const {
     return spool_.rejected_appends();
   }
+  /// Batches that carried more than one message, and the messages they
+  /// carried (0 unless max_coalesce_bytes is set).
+  [[nodiscard]] std::size_t coalesced_batches() const { return coalesced_batches_; }
+  [[nodiscard]] std::size_t coalesced_messages() const {
+    return coalesced_messages_;
+  }
 
 private:
   struct Entry {
-    std::size_t bytes;
+    std::size_t bytes = 0;
     DeliverFn on_deliver;
+    /// Batch descriptor, meaningful on the head entry of a spooled batch:
+    /// total bytes and message count of the one spool append / transmit it
+    /// leads (equal to {bytes, 1} in the uncoalesced case).
+    std::size_t batch_bytes = 0;
+    std::uint32_t batch_count = 1;
     bool recovered_from_disk = false;
     bool spooled = false;          ///< on disk; only spooled entries transmit
     bool reject_reported = false;  ///< on_spool_reject fired for this entry
   };
+  /// A delivered entry whose callback waits on the receiver-disk write.
+  struct DeliveredEntry {
+    std::size_t bytes = 0;
+    DeliverFn on_deliver;
+  };
+  /// One receiver-disk write in flight. Completions can land out of order (a
+  /// small batch's write finishes before a big predecessor's), so each event
+  /// finds its batch by sequence number instead of assuming the ring head.
+  struct PendingDelivery {
+    std::uint64_t seq = 0;
+    std::size_t entry_count = 0;
+    sim::EventHandle event;
+    bool fired = false;
+  };
 
+  [[nodiscard]] bool coalescing() const {
+    return policy_.max_coalesce_bytes > 0;
+  }
   /// Appends every not-yet-spooled entry in FIFO order (the spool is one
   /// sequential file) and starts transmission when the head is on disk.
   void pump_appends();
+  /// Coalescing variant: forms at most one batch, only when the channel is
+  /// idle (messages queued behind an in-flight transmit wait to be batched).
+  void pump_appends_coalesced();
   void on_append_rejected(Entry& entry);
   void transmit_head(Duration extra_delay);
   void on_head_delivered();
   void on_head_failed();
+  void fire_delivery(std::uint64_t seq);
 
   sim::Simulation& sim_;
   SimChannel& channel_;
@@ -94,14 +143,22 @@ private:
   GiveUpFn on_give_up_;
   SpoolRejectFn on_spool_reject_;
 
-  std::deque<Entry> queue_;
+  util::Ring<Entry> queue_;
+  /// Delivered-but-not-yet-reported entries (receiver-disk write pending),
+  /// FIFO, grouped into batches by deliveries_.
+  util::Ring<DeliveredEntry> delivered_;
+  util::Ring<PendingDelivery> deliveries_;
+  std::uint64_t next_delivery_seq_ = 1;
   bool transmitting_ = false;
   bool gave_up_ = false;
   int failures_ = 0;
   int spool_failures_ = 0;  ///< consecutive rejected appends
   std::size_t retries_ = 0;
+  std::size_t coalesced_batches_ = 0;
+  std::size_t coalesced_messages_ = 0;
   sim::ScopedTimer retry_timer_;
   sim::ScopedTimer spool_retry_timer_;
+  sim::ScopedTimer transmit_timer_;
   std::uint64_t epoch_ = 0;  ///< invalidates in-flight callbacks on teardown
   /// Pre-resolved handles (bound once in set_metrics, inert when detached):
   /// spooling and retry accounting sit on the per-chunk transmit path.
@@ -110,6 +167,8 @@ private:
     obs::CounterHandle spool_rejects;
     obs::CounterHandle reconnects;
     obs::CounterHandle retries;
+    obs::CounterHandle coalesced_batches;
+    obs::CounterHandle coalesced_messages;
   };
   MetricHandles metrics_;
 };

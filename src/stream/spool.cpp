@@ -4,22 +4,23 @@
 
 namespace cg::stream {
 
-Duration Spool::push(std::size_t bytes) {
+Duration Spool::push(std::size_t bytes, std::size_t messages) {
   entries_.push_back(bytes);
   pending_bytes_ += bytes;
   total_spooled_ += bytes;
-  disk_.note_write(bytes);
+  total_messages_ += messages;
+  disk_.note_write(bytes, messages);
   return disk_.write_duration(bytes);
 }
 
-std::optional<Duration> Spool::try_push(std::size_t bytes) {
+std::optional<Duration> Spool::try_push(std::size_t bytes, std::size_t messages) {
   const bool over_capacity =
       capacity_bytes_ != 0 && pending_bytes_ + bytes > capacity_bytes_;
   if (!disk_.healthy() || over_capacity) {
     ++rejected_;
     return std::nullopt;
   }
-  return push(bytes);
+  return push(bytes, messages);
 }
 
 std::size_t Spool::front_bytes() const {

@@ -2,13 +2,18 @@
 // persisted to local disk. Writes are charged at enqueue; reads are charged
 // when a message is recovered after a network failure (the happy path
 // delivers from memory while the disk copy is just insurance).
+//
+// Entries live in an inline ring (util::Ring) rather than a std::deque, so
+// steady-state spooling never allocates; a coalesced append (several
+// messages batched into one sequential write) is one ring entry and pays the
+// disk's per-operation overhead once.
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
 
 #include "sim/disk.hpp"
+#include "util/ring.hpp"
 #include "util/time.hpp"
 
 namespace cg::stream {
@@ -17,14 +22,19 @@ class Spool {
 public:
   explicit Spool(sim::DiskModel& disk) : disk_{disk} {}
 
-  /// Persists a message; returns the disk-write cost to charge.
-  Duration push(std::size_t bytes);
+  /// Persists one append of `bytes` covering `messages` logical messages
+  /// (1 = the uncoalesced case); returns the disk-write cost to charge.
+  Duration push(std::size_t bytes, std::size_t messages = 1);
 
   /// Like push, but the append can fail: nullopt when the backing disk is
   /// unhealthy (injected kSpoolFail) or when the write would overflow the
   /// configured capacity. Failed appends are counted, cost nothing, and
   /// leave the spool unchanged.
-  [[nodiscard]] std::optional<Duration> try_push(std::size_t bytes);
+  [[nodiscard]] std::optional<Duration> try_push(std::size_t bytes,
+                                                 std::size_t messages = 1);
+
+  /// Pre-sizes the entry ring for `entries` un-acknowledged appends.
+  void reserve(std::size_t entries) { entries_.reserve(entries); }
 
   /// Caps the spool file at `bytes` of un-acknowledged data (0 = unlimited,
   /// the default). Acknowledged entries free their space.
@@ -47,12 +57,15 @@ public:
   Duration charge_recovery_read();
 
   [[nodiscard]] std::size_t total_spooled() const { return total_spooled_; }
+  /// Logical messages spooled (>= depth when appends were coalesced).
+  [[nodiscard]] std::size_t total_messages() const { return total_messages_; }
 
 private:
   sim::DiskModel& disk_;
-  std::deque<std::size_t> entries_;
+  util::Ring<std::size_t> entries_;
   std::size_t pending_bytes_ = 0;
   std::size_t total_spooled_ = 0;
+  std::size_t total_messages_ = 0;
   std::size_t capacity_bytes_ = 0;
   std::size_t rejected_ = 0;
 };

@@ -1,0 +1,101 @@
+// Ring: a growable power-of-two circular buffer used by the streaming hot
+// paths (reliable-channel queues, spool bookkeeping, in-flight channel
+// deliveries) in place of std::deque. Elements live in a contiguous vector
+// that is reused in steady state — push/pop never allocate once the ring has
+// grown to its working depth, and popped slots are reset to a default-
+// constructed T so held resources (callbacks, chunk references) are released
+// immediately rather than when the slot is overwritten.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cg::util {
+
+/// Requirements on T: default-constructible and move-assignable. Indexing is
+/// front-relative: ring[0] is the oldest element, ring[size() - 1] the
+/// newest.
+template <typename T>
+class Ring {
+public:
+  Ring() = default;
+  explicit Ring(std::size_t initial_capacity) { reserve(initial_capacity); }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  [[nodiscard]] T& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] T& back() {
+    assert(count_ > 0);
+    return buf_[(head_ + count_ - 1) & mask_];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+
+  T& push_back(T value) {
+    if (count_ == buf_.size()) grow(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+    T& slot = buf_[(head_ + count_) & mask_];
+    slot = std::move(value);
+    ++count_;
+    return slot;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    buf_[head_] = T{};  // release held resources now, not at overwrite
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    // Park an empty ring at slot zero: a shallow push/pop pattern then reuses
+    // the same few cache-hot slots instead of marching cold through the whole
+    // buffer one slot per message.
+    if (count_ == 0) head_ = 0;
+  }
+
+  void clear() {
+    while (count_ > 0) pop_front();
+    head_ = 0;
+  }
+
+  /// Pre-sizes the ring (rounded up to a power of two).
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) grow(n);
+  }
+
+private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  void grow(std::size_t at_least) {
+    std::size_t new_cap = kMinCapacity;
+    while (new_cap < at_least) new_cap *= 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace cg::util

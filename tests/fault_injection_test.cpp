@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <charconv>
 #include <chrono>
 #include <optional>
 #include <sstream>
@@ -28,12 +29,14 @@ using namespace cg::literals;
 // --------------------------------------------------- streaming scenarios ----
 
 /// Extracts every "tick <n>" id from a blob, in order of appearance.
-std::vector<int> tick_ids(const std::string& blob) {
+std::vector<int> tick_ids(std::string_view blob) {
   std::vector<int> ids;
   std::size_t pos = 0;
   while ((pos = blob.find("tick ", pos)) != std::string::npos) {
     pos += 5;
-    ids.push_back(std::atoi(blob.c_str() + pos));
+    int id = 0;
+    std::from_chars(blob.data() + pos, blob.data() + blob.size(), id);
+    ids.push_back(id);
   }
   return ids;
 }
@@ -69,7 +72,7 @@ StreamRun run_partitioned_stream(std::uint64_t seed, jdl::StreamingMode mode) {
                               [&](std::string d) { result.screen += d; },
                               Rng{seed ^ 0x5a5a}};
   console.shadow().set_frame_observer(
-      [&](int, stream::StdStream, const std::string& data) {
+      [&](int, stream::StdStream, std::string_view data) {
         for (const int id : tick_ids(data)) result.delivered.push_back(id);
       });
   auto& agent = console.add_agent(0, "wn");
@@ -321,7 +324,7 @@ TEST(FaultInjectionRealTest, SpoolWriteFailureRecoversWithoutLoss) {
   std::mutex mu;
   std::string received;
   (*shadow)->set_output_handler(
-      [&](std::uint32_t, interpose::FrameType, const std::string& data) {
+      [&](std::uint32_t, interpose::FrameType, std::string_view data) {
         const std::lock_guard lock{mu};
         received += data;
       });

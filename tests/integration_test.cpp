@@ -99,7 +99,7 @@ TEST(IntegrationTest, MpichG2JobGetsOneConsoleAgentPerSubjob) {
         broker::GridScenario::ui_endpoint(),
         [&](std::string data) { screen += data; }, Rng{7});
     console->shadow().set_frame_observer(
-        [&](int rank, stream::StdStream, const std::string&) {
+        [&](int rank, stream::StdStream, std::string_view) {
           ranks_heard.insert(rank);
         });
     for (const auto& sub : record.subjobs) {

@@ -212,7 +212,7 @@ TEST(ConsoleAgentTest, FlushPolicyTimeoutDeliversPartialLines) {
   std::string received;
   std::chrono::steady_clock::time_point arrival{};
   (*shadow)->set_output_handler(
-      [&](std::uint32_t, FrameType, const std::string& data) {
+      [&](std::uint32_t, FrameType, std::string_view data) {
         const std::lock_guard lock{mu};
         if (received.empty()) arrival = std::chrono::steady_clock::now();
         received += data;
@@ -248,7 +248,7 @@ TEST(ConsoleShadowTest, MultipleAgentsFanInAndOut) {
   std::mutex mu;
   std::map<std::uint32_t, std::string> outputs;
   (*shadow)->set_output_handler(
-      [&](std::uint32_t rank, FrameType, const std::string& data) {
+      [&](std::uint32_t rank, FrameType, std::string_view data) {
         const std::lock_guard lock{mu};
         outputs[rank] += data;
       });
@@ -352,7 +352,7 @@ TEST(ConsoleAgentTest, ReliableModeReconnectsAfterShadowRestart) {
   std::mutex mu;
   std::string received;
   (*shadow2)->set_output_handler(
-      [&](std::uint32_t, FrameType, const std::string& data) {
+      [&](std::uint32_t, FrameType, std::string_view data) {
         const std::lock_guard lock{mu};
         received += data;
       });
@@ -520,7 +520,7 @@ TEST(ConsoleShadowTest, UnixDomainSocketSessionWorks) {
   std::mutex mu;
   std::string received;
   (*shadow)->set_output_handler(
-      [&](std::uint32_t, FrameType, const std::string& data) {
+      [&](std::uint32_t, FrameType, std::string_view data) {
         const std::lock_guard lock{mu};
         received += data;
       });

@@ -2,8 +2,12 @@
 // handling, and the disk spool file.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "interpose/spool_file.hpp"
 #include "interpose/wire.hpp"
@@ -124,6 +128,143 @@ TEST(WireTest, CompactionKeepsDecoderCorrect) {
     EXPECT_EQ(out->payload, f.payload);
   }
   EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+// ----------------------------------------------------- zero-copy sessions ----
+
+TEST(WireViewTest, HeaderScratchMatchesOwningEncoder) {
+  Frame frame;
+  frame.type = FrameType::kStderr;
+  frame.rank = 42;
+  frame.payload = "zero copy";
+  const std::string owning = encode_frame(frame);
+  char header[kFrameHeaderBytes];
+  encode_frame_header(header, frame.type, frame.rank, frame.payload.size());
+  EXPECT_EQ(std::string_view(header, kFrameHeaderBytes),
+            std::string_view(owning).substr(0, kFrameHeaderBytes));
+  std::string scratch = "stale contents from a previous frame";
+  encode_frame_into(scratch, frame.type, frame.rank, frame.payload);
+  EXPECT_EQ(scratch, owning);
+  EXPECT_THROW(
+      encode_frame_header(header, frame.type, 0, kMaxFramePayload + 1),
+      std::invalid_argument);
+}
+
+TEST(WireViewTest, ViewsBorrowTheSessionSpan) {
+  Frame frame;
+  frame.type = FrameType::kStdout;
+  frame.rank = 3;
+  frame.payload = "borrowed bytes";
+  const std::string encoded = encode_frame(frame);
+  FrameDecoder decoder;
+  decoder.begin(encoded);
+  const auto view = decoder.next_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->rank, 3u);
+  EXPECT_EQ(view->payload, "borrowed bytes");
+  // Zero-copy: the payload view points into the caller's buffer.
+  EXPECT_EQ(view->payload.data(), encoded.data() + kFrameHeaderBytes);
+  EXPECT_EQ(view->to_frame(), frame);
+  EXPECT_FALSE(decoder.next_view().has_value());
+  decoder.end();
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);  // nothing straddled, no copy
+}
+
+// --------------------------------------------------------- property test ----
+
+/// A frame stream exercising the decoder's corners: empty payloads, 1-byte
+/// payloads, payloads longer than a read, every frame type, binary bytes.
+std::string corner_stream(std::vector<Frame>& out) {
+  out.clear();
+  const std::string payloads[] = {
+      "",
+      "x",
+      "ordinary line\n",
+      std::string(300, 'Q'),
+      std::string("\x00\x01\xff\n\x00", 5),
+      "tail",
+  };
+  std::uint32_t rank = 0;
+  for (const auto& payload : payloads) {
+    Frame f;
+    f.type = static_cast<FrameType>(rank % 6);
+    f.rank = rank++;
+    f.payload = payload;
+    out.push_back(f);
+  }
+  std::string stream;
+  for (const Frame& f : out) stream += encode_frame(f);
+  return stream;
+}
+
+/// Decodes `stream` delivered as the given consecutive pieces, one zero-copy
+/// session per piece.
+std::vector<Frame> decode_pieces(const std::string& stream,
+                                 const std::vector<std::size_t>& cuts) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  std::size_t pos = 0;
+  for (std::size_t cut : cuts) {
+    decoder.begin(stream.data() + pos, cut - pos);
+    while (const auto view = decoder.next_view()) frames.push_back(view->to_frame());
+    decoder.end();
+    pos = cut;
+  }
+  decoder.begin(stream.data() + pos, stream.size() - pos);
+  while (const auto view = decoder.next_view()) frames.push_back(view->to_frame());
+  decoder.end();
+  return frames;
+}
+
+TEST(WireViewTest, SplitAtEveryByteBoundaryMatchesOneShot) {
+  // Satellite property test: cut the stream at every byte offset — including
+  // mid-header and mid-payload — and the two-session decode must yield
+  // exactly the frames a one-shot decode yields.
+  std::vector<Frame> expected;
+  const std::string stream = corner_stream(expected);
+  ASSERT_EQ(decode_pieces(stream, {}), expected);  // one-shot reference
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    ASSERT_EQ(decode_pieces(stream, {cut}), expected) << "cut at byte " << cut;
+  }
+}
+
+TEST(WireViewTest, SeededRandomChunkingsMatchOneShot) {
+  // 100 seeded shuffles of the read boundaries: each iteration carves the
+  // stream into a different sequence of reads (many of them tiny, so frames
+  // straddle session after session), and every chunking must decode to the
+  // same frame sequence.
+  std::vector<Frame> expected;
+  const std::string stream = corner_stream(expected);
+  std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+  const auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    std::vector<std::size_t> cuts;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      // Mostly small reads (1..16 bytes), occasionally a big gulp.
+      const std::size_t step =
+          next() % 8 == 0 ? 1 + next() % 200 : 1 + next() % 16;
+      pos = std::min(stream.size(), pos + step);
+      if (pos < stream.size()) cuts.push_back(pos);
+    }
+    ASSERT_EQ(decode_pieces(stream, cuts), expected)
+        << "iteration " << iteration;
+    // The owning feed()/next() shim must agree with the session API.
+    FrameDecoder shim;
+    std::vector<Frame> shim_frames;
+    std::size_t prev = 0;
+    for (std::size_t cut : cuts) {
+      shim.feed(stream.data() + prev, cut - prev);
+      while (const auto f = shim.next()) shim_frames.push_back(*f);
+      prev = cut;
+    }
+    shim.feed(stream.data() + prev, stream.size() - prev);
+    while (const auto f = shim.next()) shim_frames.push_back(*f);
+    ASSERT_EQ(shim_frames, expected) << "shim iteration " << iteration;
+  }
 }
 
 // ------------------------------------------------------------ spool file ----

@@ -3,6 +3,8 @@
 // adversarial input, and time-arithmetic laws.
 #include <gtest/gtest.h>
 
+#include <charconv>
+
 #include <sstream>
 
 #include "broker/grid_scenario.hpp"
@@ -170,12 +172,14 @@ INSTANTIATE_TEST_SUITE_P(OutagePlacements, ReliableConservation,
                          ::testing::Values(0.0, 0.5, 5.0, 14.9, 25.0));
 
 /// Extracts every "tick <n>" id from a frame payload, in order.
-std::vector<int> extract_tick_ids(const std::string& blob) {
+std::vector<int> extract_tick_ids(std::string_view blob) {
   std::vector<int> ids;
   std::size_t pos = 0;
   while ((pos = blob.find("tick ", pos)) != std::string::npos) {
     pos += 5;
-    ids.push_back(std::atoi(blob.c_str() + pos));
+    int id = 0;
+    std::from_chars(blob.data() + pos, blob.data() + blob.size(), id);
+    ids.push_back(id);
   }
   return ids;
 }
@@ -212,7 +216,7 @@ TEST(RandomizedFaultProperty, StreamingContractsHoldUnderSeededOutages) {
                                   Rng{seed ^ 0xfa1u}};
       std::vector<int> delivered;
       console.shadow().set_frame_observer(
-          [&](int, stream::StdStream, const std::string& data) {
+          [&](int, stream::StdStream, std::string_view data) {
             for (const int id : extract_tick_ids(data)) delivered.push_back(id);
           });
       auto& agent = console.add_agent(0, "wn");

@@ -1,0 +1,242 @@
+// Pooled chunk buffer, inline ring, and spool-ring tests: the allocation-free
+// building blocks of the interactive streaming path (see docs/performance.md,
+// "The streaming path").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/disk.hpp"
+#include "stream/chunk.hpp"
+#include "stream/flush_buffer.hpp"
+#include "stream/spool.hpp"
+#include "util/ring.hpp"
+
+namespace cg::stream {
+namespace {
+
+using namespace cg::literals;
+
+// ------------------------------------------------------------- chunk refs ----
+
+TEST(ChunkRefTest, SmallPayloadsStayInline) {
+  ChunkPool pool{4096};
+  const ChunkRef ref = ChunkRef::copy_of("prompt> ", pool);
+  EXPECT_TRUE(ref.is_inline());
+  EXPECT_EQ(ref.view(), "prompt> ");
+  // Inline refs never touch the pool.
+  EXPECT_EQ(pool.allocated_chunks(), 0u);
+  EXPECT_EQ(pool.in_use_chunks(), 0u);
+}
+
+TEST(ChunkRefTest, InlineCapacityBoundary) {
+  ChunkPool pool{4096};
+  const std::string at_cap(ChunkRef::kInlineCapacity, 'a');
+  const std::string over_cap(ChunkRef::kInlineCapacity + 1, 'b');
+  const ChunkRef small = ChunkRef::copy_of(at_cap, pool);
+  const ChunkRef large = ChunkRef::copy_of(over_cap, pool);
+  EXPECT_TRUE(small.is_inline());
+  EXPECT_FALSE(large.is_inline());
+  EXPECT_EQ(small.view(), at_cap);
+  EXPECT_EQ(large.view(), over_cap);
+  EXPECT_EQ(pool.allocated_chunks(), 1u);
+}
+
+TEST(ChunkRefTest, CopySharesChunkAndLastReferenceRecycles) {
+  ChunkPool pool{4096};
+  const std::string payload(100, 'x');
+  {
+    ChunkRef a = ChunkRef::copy_of(payload, pool);
+    EXPECT_EQ(pool.in_use_chunks(), 1u);
+    {
+      const ChunkRef b = a;  // refcount bump, same chunk
+      ChunkRef c = std::move(a);
+      EXPECT_EQ(pool.in_use_chunks(), 1u);
+      EXPECT_EQ(b.view(), payload);
+      EXPECT_EQ(c.view(), payload);
+      EXPECT_EQ(b.data(), c.data());  // literally the same bytes
+    }
+    EXPECT_EQ(pool.in_use_chunks(), 0u);  // a was moved from, b/c released
+    EXPECT_EQ(pool.free_chunks(), 1u);
+  }
+  // A later acquisition reuses the recycled slab instead of allocating.
+  const ChunkRef d = ChunkRef::copy_of(payload, pool);
+  EXPECT_EQ(pool.allocated_chunks(), 1u);
+  EXPECT_EQ(pool.free_chunks(), 0u);
+}
+
+TEST(ChunkRefTest, MoveAssignmentReleasesOldTarget) {
+  ChunkPool pool{4096};
+  ChunkRef a = ChunkRef::copy_of(std::string(50, 'a'), pool);
+  ChunkRef b = ChunkRef::copy_of(std::string(60, 'b'), pool);
+  EXPECT_EQ(pool.in_use_chunks(), 2u);
+  a = std::move(b);  // a's original chunk must be released
+  EXPECT_EQ(pool.in_use_chunks(), 1u);
+  EXPECT_EQ(a.size(), 60u);
+}
+
+TEST(ChunkPoolTest, OversizeRequestsAreOneOff) {
+  ChunkPool pool{256};
+  EXPECT_EQ(pool.oversize_allocations(), 0u);
+  {
+    const ChunkRef big = ChunkRef::copy_of(std::string(1000, 'z'), pool);
+    EXPECT_EQ(big.size(), 1000u);
+    EXPECT_EQ(pool.oversize_allocations(), 1u);
+  }
+  // Oversize chunks are freed on release, not pooled.
+  EXPECT_EQ(pool.free_chunks(), 0u);
+  EXPECT_EQ(pool.allocated_chunks(), 0u);
+}
+
+TEST(ChunkPoolTest, HighWaterTracksPeakOccupancy) {
+  ChunkPool pool{128};
+  std::vector<ChunkRef> refs;
+  for (int i = 0; i < 5; ++i) {
+    refs.push_back(ChunkRef::copy_of(std::string(100, 'x'), pool));
+  }
+  refs.clear();
+  EXPECT_EQ(pool.in_use_chunks(), 0u);
+  EXPECT_EQ(pool.high_water_in_use(), 5u);
+  EXPECT_EQ(pool.free_chunks(), 5u);
+}
+
+// ----------------------------------------------------- flush buffer + pool ----
+
+TEST(ChunkFlushTest, FlushedSegmentsBorrowThePool) {
+  sim::Simulation sim;
+  ChunkPool pool{4096};
+  FlushBufferConfig config;
+  config.capacity = 32;
+  config.pool = &pool;
+  std::vector<ChunkRef> flushed;
+  FlushBuffer buf{sim, config,
+                  FlushBuffer::FlushFn{[&](ChunkRef data) {
+                    flushed.push_back(std::move(data));
+                  }}};
+  buf.append("first line\n");
+  buf.append("second line\n");
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0].view(), "first line\n");
+  EXPECT_EQ(flushed[1].view(), "second line\n");
+  // Both segments fit the same 4 KiB chunk: one slab serves many flushes.
+  EXPECT_EQ(pool.allocated_chunks(), 1u);
+}
+
+// ------------------------------------------------------------------- ring ----
+
+TEST(RingTest, FifoOrderAcrossGrowth) {
+  util::Ring<int> ring;
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 100; ++i) ring.push_back(i);
+  EXPECT_EQ(ring.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingTest, WraparoundKeepsIndicesStable) {
+  // Interleave pushes and pops so head/tail lap the backing buffer several
+  // times without triggering growth (capacity stays at the minimum of 8).
+  util::Ring<int> ring;
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) ring.push_back(next_push++);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_EQ(ring.front(), next_pop);
+      // Front-relative indexing must agree with front()/pop order.
+      for (std::size_t j = 0; j < ring.size(); ++j) {
+        ASSERT_EQ(ring[j], next_pop + static_cast<int>(j));
+      }
+      ring.pop_front();
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 8u);  // never grew
+}
+
+TEST(RingTest, GrowthMidWrapPreservesOrder) {
+  util::Ring<int> ring;
+  for (int i = 0; i < 8; ++i) ring.push_back(i);   // full at min capacity
+  for (int i = 0; i < 4; ++i) ring.pop_front();    // head mid-buffer
+  for (int i = 8; i < 20; ++i) ring.push_back(i);  // forces wrap, then growth
+  EXPECT_EQ(ring.size(), 16u);
+  for (int i = 4; i < 20; ++i) {
+    ASSERT_EQ(ring.front(), i);
+    ring.pop_front();
+  }
+}
+
+TEST(RingTest, PopResetsSlotToDefault) {
+  // Popped slots must release held resources immediately: a ChunkRef left in
+  // a ring slot would pin its chunk until the slot is overwritten.
+  ChunkPool pool{4096};
+  util::Ring<ChunkRef> ring;
+  ring.push_back(ChunkRef::copy_of(std::string(100, 'x'), pool));
+  EXPECT_EQ(pool.in_use_chunks(), 1u);
+  ring.pop_front();
+  EXPECT_EQ(pool.in_use_chunks(), 0u);
+}
+
+// ------------------------------------------------------------- spool ring ----
+
+TEST(SpoolTest, OverflowWraparoundFillAckRefill) {
+  // Satellite regression: the spool's per-entry bookkeeping lives in an
+  // inline ring. Fill past capacity, ack from the head, refill — many times
+  // over, so ring indices wrap the backing buffer repeatedly and capacity
+  // accounting stays exact throughout.
+  sim::DiskModel disk;
+  Spool spool{disk};
+  spool.set_capacity(1000);
+  std::size_t next_push = 0;
+  std::size_t next_ack = 0;
+  // Distinct sizes (300 + seq % 7) let front_bytes() prove FIFO identity.
+  const auto size_of = [](std::size_t seq) { return 300 + seq % 7; };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(spool.try_push(size_of(next_push)).has_value());
+    ++next_push;
+  }
+  for (int round = 0; round < 20; ++round) {
+    // Full: a fourth ~300-byte entry would exceed the 1000-byte cap.
+    EXPECT_FALSE(spool.try_push(size_of(next_push)).has_value());
+    EXPECT_EQ(spool.depth(), 3u);
+    // Ack the head; the freed space admits exactly one more append.
+    EXPECT_EQ(spool.front_bytes(), size_of(next_ack));
+    spool.pop_acknowledged();
+    ++next_ack;
+    ASSERT_TRUE(spool.try_push(size_of(next_push)).has_value());
+    ++next_push;
+  }
+  EXPECT_EQ(spool.rejected_appends(), 20u);
+  // Drain completely; FIFO identity held across every wraparound.
+  while (!spool.empty()) {
+    EXPECT_EQ(spool.front_bytes(), size_of(next_ack));
+    spool.pop_acknowledged();
+    ++next_ack;
+  }
+  EXPECT_EQ(next_ack, next_push);
+  EXPECT_EQ(spool.pending_bytes(), 0u);
+}
+
+TEST(SpoolTest, CoalescedAppendIsOneEntry) {
+  sim::DiskModel disk;
+  Spool spool{disk};
+  const Duration batched = spool.push(3000, 3);
+  EXPECT_EQ(spool.depth(), 1u);  // one ring entry, one disk op
+  EXPECT_EQ(disk.write_ops(), 1u);
+  EXPECT_EQ(spool.total_messages(), 3u);
+  EXPECT_EQ(spool.total_spooled(), 3000u);
+  // One 3000-byte sequential write beats three 1000-byte writes: the
+  // per-operation overhead is paid once.
+  sim::DiskModel fresh;
+  Spool single{fresh};
+  const Duration three = single.push(1000) + single.push(1000) + single.push(1000);
+  EXPECT_LT(batched.count_micros(), three.count_micros());
+}
+
+}  // namespace
+}  // namespace cg::stream

@@ -199,6 +199,76 @@ TEST_F(ReliableFixture, OrderSurvivesMidStreamOutage) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST_F(ReliableFixture, CoalescingIsOffByDefault) {
+  sim::Link link{spec, Rng{1}};
+  SimChannel ch{sim, link, ChannelSpec::interposition_fast(), Rng{2}};
+  ReliableChannel rc{sim, ch, sender_disk, &receiver_disk};
+  for (int i = 0; i < 8; ++i) rc.send(100, [](std::size_t) {});
+  sim.run();
+  // Every message was its own spool append and transmit — the historical
+  // event sequence, which the goldens and stream_scale digests pin.
+  EXPECT_EQ(rc.coalesced_batches(), 0u);
+  EXPECT_EQ(sender_disk.write_ops(), 8u);
+  EXPECT_EQ(receiver_disk.write_ops(), 8u);
+}
+
+TEST_F(ReliableFixture, CoalescingBatchesMessagesQueuedBehindTransmit) {
+  sim::Link link{spec, Rng{1}};
+  SimChannel ch{sim, link, ChannelSpec::interposition_fast(), Rng{2}};
+  RetryPolicy policy;
+  policy.max_coalesce_bytes = 64 * 1024;
+  ReliableChannel rc{sim, ch, sender_disk, &receiver_disk, policy};
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    rc.send(100, [&order, i](std::size_t) { order.push_back(i); });
+  }
+  sim.run();
+  // The head transmits alone; the nine messages that queued up behind it
+  // form one batch: two spool appends and two receiver writes total, with
+  // per-message delivery order intact.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(rc.coalesced_batches(), 1u);
+  EXPECT_EQ(rc.coalesced_messages(), 9u);
+  EXPECT_EQ(sender_disk.write_ops(), 2u);
+  EXPECT_EQ(receiver_disk.write_ops(), 2u);
+}
+
+TEST_F(ReliableFixture, CoalescingRespectsByteCap) {
+  sim::Link link{spec, Rng{1}};
+  SimChannel ch{sim, link, ChannelSpec::interposition_fast(), Rng{2}};
+  RetryPolicy policy;
+  policy.max_coalesce_bytes = 250;  // two 100-byte messages per batch, max
+  ReliableChannel rc{sim, ch, sender_disk, &receiver_disk, policy};
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    rc.send(100, [&order, i](std::size_t) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  // Head alone, then four batches of two and a final single: six appends.
+  EXPECT_EQ(sender_disk.write_ops(), 6u);
+  EXPECT_EQ(rc.coalesced_batches(), 4u);
+  EXPECT_EQ(rc.coalesced_messages(), 8u);
+}
+
+TEST_F(ReliableFixture, ReceiverWritesCompletingOutOfOrderDeliverInOrder) {
+  // A large batch's receiver write takes much longer than a small
+  // successor's, so the small one's write completes first. The intermediate
+  // file is still consumed front to back: callbacks must fire in send order,
+  // with the small batch waiting for its predecessor's write.
+  sim::Link link{spec, Rng{1}};
+  SimChannel ch{sim, link, ChannelSpec::interposition_fast(), Rng{2}};
+  RetryPolicy policy;
+  policy.max_coalesce_bytes = 64 * 1024;
+  ReliableChannel rc{sim, ch, sender_disk, &receiver_disk, policy};
+  std::vector<char> order;
+  rc.send(200'000, [&order](std::size_t) { order.push_back('A'); });
+  rc.send(100, [&order](std::size_t) { order.push_back('B'); });
+  rc.send(100, [&order](std::size_t) { order.push_back('C'); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'C'}));
+}
+
 TEST(ReliablePolicyTest, Validation) {
   sim::Simulation sim;
   sim::Link link{sim::LinkSpec::campus(), Rng{1}};
@@ -278,11 +348,59 @@ TEST_F(FlushBufferFixture, ManualFlushAndEmptyFlushNoop) {
   EXPECT_EQ(flushes.size(), 1u);
 }
 
+TEST_F(FlushBufferFixture, OversizeAppendFlushesOncePerCapacityInOnePass) {
+  // Satellite regression: an append of 10x the capacity used to re-copy the
+  // unflushed tail once per emitted flush. The rewrite walks the input in a
+  // single pass; behaviorally that must mean exactly ten capacity flushes
+  // whose concatenation reassembles the input byte for byte.
+  FlushBufferConfig config = small_config();  // capacity 16
+  std::string input(config.capacity * 10, '\0');
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<char>('a' + i % 26);  // position-dependent bytes
+  }
+  FlushBuffer buf{sim, config, [&](std::string d) { flushes.push_back(d); }};
+  buf.append(input);
+  ASSERT_EQ(flushes.size(), 10u);
+  EXPECT_EQ(buf.flush_count(FlushReason::kCapacity), 10u);
+  EXPECT_EQ(buf.flush_count(FlushReason::kNewline), 0u);
+  EXPECT_EQ(buf.flush_count(FlushReason::kTimeout), 0u);
+  EXPECT_EQ(buf.flush_count(FlushReason::kExplicit), 0u);
+  std::string reassembled;
+  for (const std::string& f : flushes) {
+    EXPECT_EQ(f.size(), config.capacity);
+    reassembled += f;
+  }
+  EXPECT_EQ(reassembled, input);
+  EXPECT_EQ(buf.buffered(), 0u);
+  sim.run();  // nothing buffered: no timeout flush follows
+  EXPECT_EQ(flushes.size(), 10u);
+}
+
+TEST_F(FlushBufferFixture, OversizeAppendWithNewlinesReassembles) {
+  // Mixed triggers in one oversized append: newline flushes interleave with
+  // capacity flushes and the byte stream still reassembles exactly.
+  FlushBufferConfig config = small_config();
+  std::string input;
+  for (int i = 0; i < 8; ++i) {
+    input += "line " + std::to_string(i) + "\n";  // 7-8 bytes, newline flush
+    input += std::string(20, static_cast<char>('A' + i));  // capacity flush
+  }
+  FlushBuffer buf{sim, config, [&](std::string d) { flushes.push_back(d); }};
+  buf.append(input);
+  buf.flush();
+  std::string reassembled;
+  for (const std::string& f : flushes) reassembled += f;
+  EXPECT_EQ(reassembled, input);
+  EXPECT_EQ(buf.flush_count(FlushReason::kNewline), 8u);
+  EXPECT_GT(buf.flush_count(FlushReason::kCapacity), 0u);
+}
+
 TEST_F(FlushBufferFixture, Validation) {
   FlushBufferConfig zero;
   zero.capacity = 0;
   EXPECT_THROW(FlushBuffer(sim, zero, [](std::string) {}), std::invalid_argument);
-  EXPECT_THROW(FlushBuffer(sim, small_config(), nullptr), std::invalid_argument);
+  EXPECT_THROW(FlushBuffer(sim, small_config(), FlushBuffer::FlushFn{}),
+               std::invalid_argument);
 }
 
 // ------------------------------------------------------------ grid console ----
@@ -341,7 +459,7 @@ TEST_F(GridConsoleFixture, MultiRankOutputInterleavesThroughOneScreenBuffer) {
   ConsoleAgent& a1 = console.add_agent(1, "wn1");
   std::vector<int> ranks_seen;
   console.shadow().set_frame_observer(
-      [&](int rank, StdStream, const std::string&) { ranks_seen.push_back(rank); });
+      [&](int rank, StdStream, std::string_view) { ranks_seen.push_back(rank); });
   a0.write_stdout("from rank 0\n");
   a1.write_stdout("from rank 1\n");
   sim.run();
@@ -414,7 +532,7 @@ TEST_F(GridConsoleFixture, StderrTravelsTheSamePath) {
   ConsoleAgent& agent = console.add_agent(0, "wn0");
   std::vector<StdStream> streams;
   console.shadow().set_frame_observer(
-      [&](int, StdStream s, const std::string&) { streams.push_back(s); });
+      [&](int, StdStream s, std::string_view) { streams.push_back(s); });
   agent.write_stderr("warning!\n");
   sim.run();
   ASSERT_EQ(streams.size(), 1u);

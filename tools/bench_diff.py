@@ -20,6 +20,14 @@ import sys
 # correctness gate, not a measurement.
 GATE_KEYWORDS = ("digest", "zero_alloc")
 
+# Fields every result row of a given file must carry. The keyword walk above
+# only checks fields that exist; this schema makes their absence a failure,
+# so a regressed benchmark cannot pass the gate by silently dropping its
+# correctness fields.
+REQUIRED_ROW_FIELDS = {
+    "BENCH_stream_scale.json": ("digest_match", "zero_alloc_steady_state"),
+}
+
 
 def gate_fields(obj, path=""):
     """Yields (json_path, value) for every gate field in a nested object."""
@@ -54,6 +62,27 @@ def main():
             checked += 1
             if not value:
                 failures.append((f.name, where))
+        required = REQUIRED_ROW_FIELDS.get(f.name)
+        if required:
+            rows = data.get("results", [])
+            if not rows:
+                failures.append((f.name, "results (empty)"))
+            for i, row in enumerate(rows):
+                for field in required:
+                    checked += 1
+                    if field not in row:
+                        failures.append((f.name, f"results[{i}].{field} (missing)"))
+        if f.name == "BENCH_stream_scale.json":
+            # The streaming rewrite's headline claim: at >= 1000 concurrent
+            # sessions some row must hold >= 2x messages/sec over the legacy
+            # path (the coalescing configuration; lockstep rows pin digests).
+            checked += 1
+            rows = data.get("results", [])
+            if not any(
+                row.get("sessions", 0) >= 1000 and row.get("speedup", 0.0) >= 2.0
+                for row in rows
+            ):
+                failures.append((f.name, "no row with sessions>=1000 and speedup>=2"))
 
     if failures:
         print("bench_diff: committed benchmark results record failures:")
