@@ -153,7 +153,8 @@ RunResult run_path(std::size_t n_sites, std::size_t jobs, bool fast) {
           [&, compiled = mm.compile(desc)](
               std::shared_ptr<const infosys::InformationSystem::IndexSnapshot>
                   records) {
-            picked = mm.match_one(*compiled, *records, leases, needed, rng);
+            picked = mm.match_one(*compiled, CandidateSource{*records}, leases,
+                                  needed, rng);
             delivered = true;
           });
     } else {

@@ -6,19 +6,33 @@
 #include <string_view>
 #include <utility>
 
+#include "gsi/auth.hpp"
+#include "lrms/site.hpp"
+#include "mpijob/mpi_job.hpp"
+#include "net/control_bus.hpp"
 #include "util/log.hpp"
 
 namespace cg::broker {
 
 namespace {
 constexpr const char* kLog = "broker";
-}
 
-CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
+/// Control-plane exchanges that today happen as direct calls: zero-latency
+/// sends delivered synchronously so the event schedule (and the pinned chaos
+/// goldens) is unchanged, while the exchange still flows through the bus for
+/// sequencing, fault injection, and per-type observability.
+net::SendOptions inline_send() {
+  net::SendOptions options;
+  options.inline_when_immediate = true;
+  return options;
+}
+}  // namespace
+
+CrossBroker::CrossBroker(sim::Simulation& sim, net::ControlBus& bus,
                          infosys::InformationSystem& infosys,
                          CrossBrokerConfig config, std::string endpoint)
     : sim_{sim},
-      network_{network},
+      bus_{bus},
       infosys_{infosys},
       config_{config},
       endpoint_{std::move(endpoint)},
@@ -64,6 +78,8 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
       metrics_.invalidations_unregister.inc();
     }
   });
+  bus_.bind(endpoint_,
+            [this](const net::Envelope& envelope) { handle_bus_message(envelope); });
   if (config_.enable_agent_heartbeats) {
     sim_.schedule_daemon(config_.agent_heartbeat_interval,
                          [this] { heartbeat_tick(); });
@@ -75,10 +91,32 @@ CrossBroker::CrossBroker(sim::Simulation& sim, sim::Network& network,
 }
 
 CrossBroker::~CrossBroker() {
-  // The information system outlives the broker; drop the callbacks that
-  // capture `this`.
+  // The bus and information system outlive the broker; drop the callbacks
+  // that capture `this`.
+  bus_.unbind(endpoint_);
   infosys_.set_invalidation_listener(nullptr);
   infosys_.set_health_provider(nullptr);
+}
+
+void CrossBroker::handle_bus_message(const net::Envelope& envelope) {
+  if (const auto* reg = std::get_if<net::AgentRegister>(&envelope.payload)) {
+    handle_agent_register(reg->agent);
+  } else if (const auto* echo = std::get_if<net::LivenessEcho>(&envelope.payload)) {
+    on_liveness_echo(echo->agent, echo->seq);
+  }
+  // Every other type is outbound-only from the broker's perspective.
+}
+
+void CrossBroker::handle_agent_register(AgentId agent_id) {
+  auto it = agent_info_.find(agent_id);
+  if (it == agent_info_.end()) return;
+  AgentInfo& info = it->second;
+  supervise_agent(info);
+  if (info.on_ready) {
+    auto ready = std::move(info.on_ready);
+    info.on_ready = nullptr;
+    ready(info);
+  }
 }
 
 void CrossBroker::enable_security(const gsi::Certificate* trust_anchor,
@@ -210,12 +248,22 @@ bool CrossBroker::cancel(JobId id) {
       glidein::GlideinAgent* agent = agents_.find(*sub.agent);
       if (info_it != agent_info_.end() && agent != nullptr) {
         AgentInfo& info = info_it->second;
+        lrms::Site* agent_site = find_site(info.site);
+        const std::string site_dst =
+            agent_site != nullptr ? agent_site->endpoint() : std::string{};
+        const AgentId agent_id = *sub.agent;
+        const JobId lrms_id = sub.lrms_job_id;
         std::erase(info.pending_interactive, id);
         if (info.pending_batch == id) info.pending_batch.reset();
         if (std::find(info.interactive_residents.begin(),
                       info.interactive_residents.end(),
                       id) != info.interactive_residents.end()) {
-          agent->cancel_interactive_job(sub.lrms_job_id);
+          bus_.send(endpoint_, site_dst, net::KillJob{lrms_id}, inline_send(),
+                    [this, agent_id, lrms_id](const net::Envelope&) {
+                      if (auto* a = agents_.find(agent_id)) {
+                        a->cancel_interactive_job(lrms_id);
+                      }
+                    });
           std::erase(info.interactive_residents, id);
           // The batch job gets its machine (and application factor) back
           // once the last interactive resident is gone.
@@ -226,7 +274,12 @@ bool CrossBroker::cancel(JobId id) {
           handled = true;
         }
         if (info.batch_resident == id) {
-          agent->cancel_slot(glidein::SlotType::kBatch);
+          bus_.send(endpoint_, site_dst, net::KillJob{lrms_id}, inline_send(),
+                    [this, agent_id](const net::Envelope&) {
+                      if (auto* a = agents_.find(agent_id)) {
+                        a->cancel_slot(glidein::SlotType::kBatch);
+                      }
+                    });
           info.batch_resident.reset();
           handled = true;
         }
@@ -238,9 +291,15 @@ bool CrossBroker::cancel(JobId id) {
       // Direct placement: remove from the site's queue or kill on the node.
       lrms::Site* site = find_site(sub.site);
       if (site != nullptr) {
-        if (!site->scheduler().cancel_queued(sub.lrms_job_id)) {
-          site->scheduler().kill_running(sub.lrms_job_id);
-        }
+        const SiteId site_id = sub.site;
+        const JobId lrms_id = sub.lrms_job_id;
+        bus_.send(endpoint_, site->endpoint(),
+                  net::CancelJob{lrms_id, /*queued_only=*/false}, inline_send(),
+                  [this, site_id, lrms_id](const net::Envelope&) {
+                    if (lrms::Site* s = find_site(site_id)) {
+                      s->gatekeeper().cancel(lrms_id, /*queued_only=*/false);
+                    }
+                  });
       }
     }
   }
@@ -320,6 +379,7 @@ void CrossBroker::observe(const char* name, double value, obs::LabelSet labels) 
 
 void CrossBroker::set_observability(obs::Observability* obs) {
   obs_ = obs;
+  bus_.set_observability(obs);
   matchmaker_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
   site_health_.set_metrics(obs != nullptr ? &obs->metrics : nullptr);
   // Re-bind every pre-resolved handle against the new registry (or drop them
@@ -963,12 +1023,17 @@ void CrossBroker::dispatch_subjob_to_vm(JobId id, std::size_t subjob_index,
     fail_job(id, make_error("broker.no_site", "agent site unknown"));
     return;
   }
-  sim::Link& link = network_.link(job->record.submitter_endpoint, site->endpoint());
-  const Duration staging = link.transfer_duration(config_.executable_bytes);
   const AgentId agent_id = agent.id();
   const SubJobId expected_sub = job->record.subjobs[subjob_index].id;
-  sim_.schedule(config_.agent_channel_latency + staging,
-                [this, id, subjob_index, agent_id, expected_sub] {
+  net::SendOptions options;
+  options.channel_latency = config_.agent_channel_latency;
+  options.payload_bytes = config_.executable_bytes;
+  options.transfer_src = job->record.submitter_endpoint;
+  bus_.send(endpoint_, site->endpoint(),
+            net::DispatchJob{job->record.subjobs[subjob_index].lrms_job_id,
+                             job->record.subjobs[subjob_index].rank},
+            options,
+            [this, id, subjob_index, agent_id, expected_sub](const net::Envelope&) {
     ManagedJob* j = find_job(id);
     if (j == nullptr || is_terminal(j->record.state)) return;
     // Stale dispatch: the job was resubmitted (e.g. its lease was revoked
@@ -999,6 +1064,9 @@ void CrossBroker::start_job_on_agent(JobId id, std::size_t subjob_index,
     return;
   }
   const AgentId agent_id = info.id;
+  lrms::Site* agent_site = find_site(info.site);
+  const std::string site_endpoint =
+      agent_site != nullptr ? agent_site->endpoint() : std::string{};
 
   // GSI delegation: the agent acts on the user's behalf, so the broker
   // issues a further-restricted proxy from the user's credentials. An
@@ -1029,27 +1097,39 @@ void CrossBroker::start_job_on_agent(JobId id, std::size_t subjob_index,
     slot_job.barrier_handler =
         barrier_handler_for(id, job->record.subjobs[subjob_index].rank);
   }
-  slot_job.on_start = [this, id, subjob_index] { subjob_started(id, subjob_index); };
-  slot_job.on_complete = [this, id, subjob_index, agent_id, interactive_slot] {
-    const auto it = agent_info_.find(agent_id);
-    if (it != agent_info_.end()) {
-      it->second.ran_any_job = true;
-      if (interactive_slot) {
-        auto& residents = it->second.interactive_residents;
-        const auto res = std::find(residents.begin(), residents.end(), id);
-        if (res != residents.end()) residents.erase(res);
-        // The last interactive job finished: the batch job's original
-        // priority (and application factor) are restored.
-        if (it->second.batch_resident && residents.empty()) {
-          fair_share_.set_application_factor(*it->second.batch_resident,
-                                             application_factor_batch());
+  slot_job.on_start = [this, id, subjob_index, site_endpoint] {
+    bus_.send(site_endpoint, endpoint_,
+              net::JobStatus{id, net::StatusPhase::kStarted}, inline_send(),
+              [this, id, subjob_index](const net::Envelope&) {
+                subjob_started(id, subjob_index);
+              });
+  };
+  slot_job.on_complete = [this, id, subjob_index, agent_id, interactive_slot,
+                          site_endpoint] {
+    bus_.send(site_endpoint, endpoint_,
+              net::JobStatus{id, net::StatusPhase::kCompleted}, inline_send(),
+              [this, id, subjob_index, agent_id,
+               interactive_slot](const net::Envelope&) {
+      const auto it = agent_info_.find(agent_id);
+      if (it != agent_info_.end()) {
+        it->second.ran_any_job = true;
+        if (interactive_slot) {
+          auto& residents = it->second.interactive_residents;
+          const auto res = std::find(residents.begin(), residents.end(), id);
+          if (res != residents.end()) residents.erase(res);
+          // The last interactive job finished: the batch job's original
+          // priority (and application factor) are restored.
+          if (it->second.batch_resident && residents.empty()) {
+            fair_share_.set_application_factor(*it->second.batch_resident,
+                                               application_factor_batch());
+          }
+        } else {
+          it->second.batch_resident.reset();
         }
-      } else {
-        it->second.batch_resident.reset();
       }
-    }
-    subjob_completed(id, subjob_index);
-    maybe_dismiss_agent(agent_id);
+      subjob_completed(id, subjob_index);
+      maybe_dismiss_agent(agent_id);
+    });
   };
 
   Status status = Status::ok_status();
@@ -1114,41 +1194,67 @@ void CrossBroker::dispatch_subjob_exclusive(JobId id, std::size_t subjob_index,
     request.barrier_handler =
         barrier_handler_for(id, job->record.subjobs[subjob_index].rank);
   }
-  request.on_start = [this, id, subjob_index](NodeId) {
-    subjob_started(id, subjob_index);
+  const std::string site_endpoint = site->endpoint();
+  request.on_start = [this, id, subjob_index, site_endpoint](NodeId) {
+    bus_.send(site_endpoint, endpoint_,
+              net::JobStatus{id, net::StatusPhase::kStarted}, inline_send(),
+              [this, id, subjob_index](const net::Envelope&) {
+                subjob_started(id, subjob_index);
+              });
   };
-  request.on_complete = [this, id, subjob_index] {
-    subjob_completed(id, subjob_index);
+  request.on_complete = [this, id, subjob_index, site_endpoint] {
+    bus_.send(site_endpoint, endpoint_,
+              net::JobStatus{id, net::StatusPhase::kCompleted}, inline_send(),
+              [this, id, subjob_index](const net::Envelope&) {
+                subjob_completed(id, subjob_index);
+              });
   };
 
   // Two-phase commit: prepare detects error conditions (full site, auth
-  // failure) before any state is moved.
-  site->gatekeeper().prepare(request, [this, id, subjob_index, site_id,
-                                       request](Status prepared) mutable {
-    ManagedJob* j = find_job(id);
-    if (j == nullptr || is_terminal(j->record.state)) return;
-    if (!prepared.ok()) {
-      j->excluded_sites.push_back(site_id);
-      resubmit_job(id);
-      return;
-    }
-    lrms::Site* s = find_site(site_id);
-    if (s == nullptr) return;
-    s->gatekeeper().commit(std::move(request),
-                           [this, id, subjob_index, site_id](Status accepted) {
-      ManagedJob* jj = find_job(id);
-      if (jj == nullptr || is_terminal(jj->record.state)) return;
-      if (!accepted.ok()) {
-        jj->excluded_sites.push_back(site_id);
+  // failure) before any state is moved. Both legs ride the bus as SubmitJob
+  // messages (prepare, then commit).
+  const JobId lrms_id = request.id;
+  bus_.send(endpoint_, site_endpoint,
+            net::SubmitJob{lrms_id, net::SubmitPhase::kPrepare}, inline_send(),
+            [this, id, subjob_index, site_id,
+             request = std::move(request)](const net::Envelope&) mutable {
+    lrms::Site* prepare_site = find_site(site_id);
+    if (prepare_site == nullptr) return;
+    prepare_site->gatekeeper().prepare(request, [this, id, subjob_index, site_id,
+                                                 request](Status prepared) mutable {
+      ManagedJob* j = find_job(id);
+      if (j == nullptr || is_terminal(j->record.state)) return;
+      if (!prepared.ok()) {
+        j->excluded_sites.push_back(site_id);
         resubmit_job(id);
         return;
       }
-      // On-line scheduling: an interactive job must start immediately; if it
-      // landed in the queue, cancel and resubmit elsewhere.
-      if (jj->record.description.is_interactive() &&
-          jj->record.subjobs.size() == 1) {
-        arm_queue_detection(id, subjob_index, site_id);
-      }
+      lrms::Site* s = find_site(site_id);
+      if (s == nullptr) return;
+      bus_.send(endpoint_, s->endpoint(),
+                net::SubmitJob{request.id, net::SubmitPhase::kCommit},
+                inline_send(),
+                [this, id, subjob_index, site_id,
+                 request = std::move(request)](const net::Envelope&) mutable {
+        lrms::Site* commit_site = find_site(site_id);
+        if (commit_site == nullptr) return;
+        commit_site->gatekeeper().commit(std::move(request),
+                               [this, id, subjob_index, site_id](Status accepted) {
+          ManagedJob* jj = find_job(id);
+          if (jj == nullptr || is_terminal(jj->record.state)) return;
+          if (!accepted.ok()) {
+            jj->excluded_sites.push_back(site_id);
+            resubmit_job(id);
+            return;
+          }
+          // On-line scheduling: an interactive job must start immediately; if it
+          // landed in the queue, cancel and resubmit elsewhere.
+          if (jj->record.description.is_interactive() &&
+              jj->record.subjobs.size() == 1) {
+            arm_queue_detection(id, subjob_index, site_id);
+          }
+        });
+      });
     });
   });
 }
@@ -1172,7 +1278,14 @@ void CrossBroker::arm_queue_detection(JobId id, std::size_t subjob_index,
     if (j->record.subjobs[subjob_index].started) return;  // it did start
     lrms::Site* site = find_site(site_id);
     if (site != nullptr) {
-      site->scheduler().cancel_queued(j->record.subjobs[subjob_index].lrms_job_id);
+      const JobId lrms_id = j->record.subjobs[subjob_index].lrms_job_id;
+      bus_.send(endpoint_, site->endpoint(),
+                net::CancelJob{lrms_id, /*queued_only=*/true}, inline_send(),
+                [this, site_id, lrms_id](const net::Envelope&) {
+                  if (lrms::Site* s = find_site(site_id)) {
+                    s->gatekeeper().cancel(lrms_id, /*queued_only=*/true);
+                  }
+                });
     }
     log_info(kLog, id, " was queued at site ", site_id.value(),
              "; resubmitting (on-line scheduling)");
@@ -1236,17 +1349,17 @@ CrossBroker::AgentInfo& CrossBroker::create_agent_with_carrier(
   info.id = agent_id;
   info.site = site_id;
   info.carrier_job = carrier;
+  info.on_ready = std::move(on_ready);
   auto [it, inserted] = agent_info_.emplace(agent_id, std::move(info));
 
-  agent.set_state_observer([this, agent_id,
-                            on_ready = std::move(on_ready)](glidein::AgentState state) {
-    if (state == glidein::AgentState::kRunning) {
-      const auto info_it = agent_info_.find(agent_id);
-      if (info_it != agent_info_.end()) {
-        supervise_agent(info_it->second);
-        on_ready(info_it->second);
-      }
-    } else if (state == glidein::AgentState::kDead) {
+  // Registration rides the bus: when the agent reaches kRunning it announces
+  // itself with an AgentRegister message, whose delivery starts supervision
+  // and fires on_ready (handle_agent_register). The observer only needs the
+  // death path.
+  agent.connect_control_plane(&bus_, site->endpoint(), endpoint_,
+                              config_.agent_channel_latency);
+  agent.set_state_observer([this, agent_id](glidein::AgentState state) {
+    if (state == glidein::AgentState::kDead) {
       handle_agent_death(agent_id);
     }
   });
@@ -1274,23 +1387,46 @@ CrossBroker::AgentInfo& CrossBroker::create_agent_with_carrier(
     agents_.remove(agent_id);
   };
 
-  site->gatekeeper().prepare(request, [this, site_id, request,
-                                       on_carrier_failed =
-                                           std::move(on_carrier_failed)](
-                                          Status prepared) mutable {
-    if (!prepared.ok()) {
+  bus_.send(endpoint_, site->endpoint(),
+            net::SubmitJob{carrier, net::SubmitPhase::kPrepare}, inline_send(),
+            [this, site_id, request = std::move(request),
+             on_carrier_failed =
+                 std::move(on_carrier_failed)](const net::Envelope&) mutable {
+    lrms::Site* prepare_site = find_site(site_id);
+    if (prepare_site == nullptr) {
       on_carrier_failed();
       return;
     }
-    lrms::Site* s = find_site(site_id);
-    if (s == nullptr) {
-      on_carrier_failed();
-      return;
-    }
-    s->gatekeeper().commit(std::move(request),
-                           [on_carrier_failed = std::move(on_carrier_failed)](
-                               Status accepted) {
-      if (!accepted.ok()) on_carrier_failed();
+    prepare_site->gatekeeper().prepare(request, [this, site_id, request,
+                                                 on_carrier_failed =
+                                                     std::move(on_carrier_failed)](
+                                                    Status prepared) mutable {
+      if (!prepared.ok()) {
+        on_carrier_failed();
+        return;
+      }
+      lrms::Site* s = find_site(site_id);
+      if (s == nullptr) {
+        on_carrier_failed();
+        return;
+      }
+      bus_.send(endpoint_, s->endpoint(),
+                net::SubmitJob{request.id, net::SubmitPhase::kCommit},
+                inline_send(),
+                [this, site_id, request = std::move(request),
+                 on_carrier_failed =
+                     std::move(on_carrier_failed)](const net::Envelope&) mutable {
+        lrms::Site* commit_site = find_site(site_id);
+        if (commit_site == nullptr) {
+          on_carrier_failed();
+          return;
+        }
+        commit_site->gatekeeper().commit(
+            std::move(request),
+            [on_carrier_failed = std::move(on_carrier_failed)](Status accepted) {
+              if (!accepted.ok()) on_carrier_failed();
+            });
+      });
     });
   });
 
@@ -1400,7 +1536,7 @@ void CrossBroker::heartbeat_tick() {
     // The probe travels the broker <-> site link; a partitioned link means a
     // missed heartbeat whether or not the agent is actually alive.
     const bool reachable =
-        network_.link(endpoint_, site->endpoint()).is_up(sim_.now());
+        bus_.probe(endpoint_, site->endpoint(), net::Heartbeat{agent_id});
     if (reachable) {
       info.missed_heartbeats = 0;
       // A passing link heartbeat alone is not proof of life: a wedged agent
@@ -1472,20 +1608,17 @@ void CrossBroker::send_liveness_probe(AgentId agent_id, AgentInfo& info,
   const std::uint64_t seq = ++info.probe_seq;
   metrics_.liveness_probes.inc();
   // The probe rides the direct broker <-> agent channel; on a partitioned
-  // link it is simply lost and counted missing at the next tick.
-  if (!network_.link(endpoint_, site.endpoint()).is_up(sim_.now())) return;
-  const std::string site_endpoint = site.endpoint();
-  sim_.schedule(
-      config_.agent_channel_latency, [this, agent_id, seq, site_endpoint] {
-        glidein::GlideinAgent* agent = agents_.find(agent_id);
-        // The echo must come out of the agent's event loop: a wedged (or
-        // dead) agent never answers even though the probe arrived.
-        if (agent == nullptr || !agent->echo_liveness_probe(seq)) return;
-        if (!network_.link(endpoint_, site_endpoint).is_up(sim_.now())) return;
-        sim_.schedule(config_.agent_channel_latency, [this, agent_id, seq] {
-          on_liveness_echo(agent_id, seq);
-        });
-      });
+  // link it is simply lost and counted missing at the next tick. The echo
+  // leg is the agent's (deliver_liveness_probe sends LivenessEcho back to
+  // this broker's bus endpoint — a wedged or dead agent never answers).
+  net::SendOptions options;
+  options.channel_latency = config_.agent_channel_latency;
+  options.drop_when_down = true;
+  bus_.send(endpoint_, site.endpoint(), net::LivenessProbe{agent_id, seq},
+            options, [this, agent_id, seq](const net::Envelope&) {
+              glidein::GlideinAgent* agent = agents_.find(agent_id);
+              if (agent != nullptr) agent->deliver_liveness_probe(seq);
+            });
 }
 
 void CrossBroker::on_liveness_echo(AgentId agent_id, std::uint64_t seq) {
@@ -1604,14 +1737,29 @@ void CrossBroker::evict_suspected_residents(AgentId agent_id,
     // Best-effort local kill: behind a real partition the command may never
     // arrive, but the broker stops accounting for the resident either way.
     if (agent != nullptr && job != nullptr) {
+      lrms::Site* agent_site = find_site(info.site);
+      const std::string site_dst =
+          agent_site != nullptr ? agent_site->endpoint() : std::string{};
       if (interactive) {
         for (const auto& sub : job->record.subjobs) {
           if (sub.agent == agent_id) {
-            agent->cancel_interactive_job(sub.lrms_job_id);
+            const JobId lrms_id = sub.lrms_job_id;
+            bus_.send(endpoint_, site_dst, net::EvictNotice{job_id, agent_id},
+                      inline_send(),
+                      [this, agent_id, lrms_id](const net::Envelope&) {
+                        if (auto* a = agents_.find(agent_id)) {
+                          a->cancel_interactive_job(lrms_id);
+                        }
+                      });
           }
         }
       } else {
-        agent->cancel_slot(glidein::SlotType::kBatch);
+        bus_.send(endpoint_, site_dst, net::EvictNotice{job_id, agent_id},
+                  inline_send(), [this, agent_id](const net::Envelope&) {
+                    if (auto* a = agents_.find(agent_id)) {
+                      a->cancel_slot(glidein::SlotType::kBatch);
+                    }
+                  });
       }
     }
     if (job == nullptr || is_terminal(job->record.state)) continue;
@@ -1774,15 +1922,16 @@ void CrossBroker::complete_job(JobId id) {
   const auto& outputs = job->record.description.output_sandbox();
   if (!outputs.empty() && !job->staging_out) {
     job->staging_out = true;
-    Duration total = Duration::zero();
     const std::optional<SiteId> site_id = job->record.site();
     lrms::Site* site = site_id ? find_site(*site_id) : nullptr;
-    if (site != nullptr) {
-      sim::Link& link =
-          network_.link(job->record.submitter_endpoint, site->endpoint());
-      total = link.transfer_duration(outputs.size() * config_.output_file_bytes);
-    }
-    sim_.schedule(total, [this, id] { complete_job(id); });
+    const std::size_t bytes =
+        site != nullptr ? outputs.size() * config_.output_file_bytes : 0;
+    net::SendOptions options;
+    options.payload_bytes = bytes;
+    bus_.send(site != nullptr ? site->endpoint() : job->record.submitter_endpoint,
+              job->record.submitter_endpoint,
+              net::StageSandbox{id, bytes, /*inbound=*/false}, options,
+              [this, id](const net::Envelope&) { complete_job(id); });
     return;
   }
 

@@ -30,16 +30,24 @@
 #include "broker/job_record.hpp"
 #include "broker/job_trace.hpp"
 #include "broker/submit_error.hpp"
-#include "gsi/auth.hpp"
+#include "gsi/credential.hpp"
 #include "broker/lease_manager.hpp"
 #include "broker/matchmaker.hpp"
 #include "broker/site_health.hpp"
 #include "glidein/agent_registry.hpp"
 #include "infosys/information_system.hpp"
-#include "lrms/site.hpp"
-#include "mpijob/mpi_job.hpp"
 #include "obs/observability.hpp"
-#include "sim/network.hpp"
+
+namespace cg::lrms {
+class Site;
+}
+namespace cg::mpijob {
+class RuntimeBarrierCoordinator;
+}
+namespace cg::net {
+class ControlBus;
+struct Envelope;
+}  // namespace cg::net
 
 namespace cg::broker {
 
@@ -139,7 +147,7 @@ struct CrossBrokerConfig {
 
 class CrossBroker {
 public:
-  CrossBroker(sim::Simulation& sim, sim::Network& network,
+  CrossBroker(sim::Simulation& sim, net::ControlBus& bus,
               infosys::InformationSystem& infosys, CrossBrokerConfig config = {},
               std::string endpoint = "broker");
   ~CrossBroker();
@@ -262,6 +270,8 @@ private:
     /// instead of scanning every known agent.
     std::optional<SimTime> hb_due;
     std::optional<SimTime> lv_due;
+    /// Fired (once) when the agent's AgentRegister message arrives.
+    std::function<void(AgentInfo&)> on_ready;
     /// Free slots minus reservations: what a new placement may still take.
     /// A suspected agent offers nothing until it re-registers.
     [[nodiscard]] int reservable_slots(const glidein::GlideinAgent& agent) const {
@@ -323,6 +333,12 @@ private:
   void handle_agent_death(AgentId agent_id);
   void on_site_job_killed(SiteId site, JobId job, NodeId node);
 
+  // -- control plane ---------------------------------------------------------
+  /// Dispatcher for messages arriving at the broker's bus endpoint
+  /// (AgentRegister announcements, LivenessEcho replies).
+  void handle_bus_message(const net::Envelope& envelope);
+  void handle_agent_register(AgentId agent_id);
+
   // -- heartbeat + liveness supervision --------------------------------------
   /// Enters the (running) agent into the supervision deadline buckets, due
   /// at the next tick of each enabled channel.
@@ -356,7 +372,7 @@ private:
   [[nodiscard]] int needed_cpus_per_site(const jdl::JobDescription& desc) const;
 
   sim::Simulation& sim_;
-  sim::Network& network_;
+  net::ControlBus& bus_;
   infosys::InformationSystem& infosys_;
   CrossBrokerConfig config_;
   std::string endpoint_;

@@ -9,8 +9,9 @@ using namespace cg::literals;
 GridScenario::GridScenario(GridScenarioConfig config) : config_{config} {
   Rng rng{config_.seed};
   network_ = std::make_unique<sim::Network>(rng.fork());
+  bus_ = std::make_unique<net::ControlBus>(sim_, *network_);
   infosys_ = std::make_unique<infosys::InformationSystem>(sim_, config_.infosys);
-  broker_ = std::make_unique<CrossBroker>(sim_, *network_, *infosys_,
+  broker_ = std::make_unique<CrossBroker>(sim_, *bus_, *infosys_,
                                           config_.broker, "broker");
 
   if (config_.enable_gsi) {
@@ -33,7 +34,7 @@ GridScenario::GridScenario(GridScenarioConfig config) : config_{config} {
     site_config.info_query_latency = config_.site_info_latency;
     if (config_.customize_site) config_.customize_site(i, site_config);
 
-    auto site = std::make_unique<lrms::Site>(sim_, *network_, site_ids_.next(),
+    auto site = std::make_unique<lrms::Site>(sim_, *bus_, site_ids_.next(),
                                              site_config);
     // One shared profile for UI <-> site and broker <-> site paths.
     network_->add_link(ui_endpoint(), site->endpoint(), config_.site_link);

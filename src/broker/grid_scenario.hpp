@@ -15,6 +15,7 @@
 #include "gsi/credential.hpp"
 #include "infosys/information_system.hpp"
 #include "lrms/site.hpp"
+#include "net/control_bus.hpp"
 #include "sim/network.hpp"
 #include "sim/simulation.hpp"
 
@@ -53,6 +54,9 @@ public:
 
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] sim::Network& network() { return *network_; }
+  /// The typed control-plane bus every broker <-> agent <-> site exchange
+  /// rides (fault-injection harnesses register it as a message-fault sink).
+  [[nodiscard]] net::ControlBus& bus() { return *bus_; }
   [[nodiscard]] infosys::InformationSystem& infosys() { return *infosys_; }
   [[nodiscard]] CrossBroker& broker() { return *broker_; }
   [[nodiscard]] lrms::Site& site(std::size_t index) { return *sites_.at(index); }
@@ -86,6 +90,7 @@ private:
   GridScenarioConfig config_;
   sim::Simulation sim_;
   std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<net::ControlBus> bus_;
   std::unique_ptr<infosys::InformationSystem> infosys_;
   std::vector<std::unique_ptr<lrms::Site>> sites_;
   std::unique_ptr<CrossBroker> broker_;

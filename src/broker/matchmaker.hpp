@@ -97,39 +97,6 @@ public:
       const jdl::CompiledMatch& compiled, CandidateSource records,
       const LeaseManager& leases, int needed_cpus, Rng& rng) const;
 
-  // -- deprecated shims ------------------------------------------------------
-  // The record-vs-snapshot overload pairs below predate CandidateSource.
-  // Deprecated: call the CandidateSource signatures above instead (both
-  // containers convert implicitly); these forwarders go away next release.
-  [[nodiscard]] std::vector<SiteId> filter_sites(
-      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
-      int needed_cpus) const {
-    return filter_sites(job, compiled, CandidateSource{records}, leases,
-                        needed_cpus);
-  }
-  [[nodiscard]] std::vector<SiteId> filter_sites(
-      const jdl::JobDescription& job, const jdl::CompiledMatch* compiled,
-      const infosys::InformationSystem::IndexSnapshot& records,
-      const LeaseManager& leases, int needed_cpus) const {
-    return filter_sites(job, compiled, CandidateSource{records}, leases,
-                        needed_cpus);
-  }
-  [[nodiscard]] std::optional<Candidate> match_one(
-      const jdl::CompiledMatch& compiled,
-      const std::vector<infosys::SiteRecord>& records, const LeaseManager& leases,
-      int needed_cpus, Rng& rng) const {
-    return match_one(compiled, CandidateSource{records}, leases, needed_cpus,
-                     rng);
-  }
-  [[nodiscard]] std::optional<Candidate> match_one(
-      const jdl::CompiledMatch& compiled,
-      const infosys::InformationSystem::IndexSnapshot& records,
-      const LeaseManager& leases, int needed_cpus, Rng& rng) const {
-    return match_one(compiled, CandidateSource{records}, leases, needed_cpus,
-                     rng);
-  }
-
   /// Picks one site from non-empty candidates: best rank, random among ties.
   [[nodiscard]] std::optional<SiteId> select(const std::vector<Candidate>& candidates,
                                              Rng& rng) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "net/control_bus.hpp"
 #include "util/log.hpp"
 
 namespace cg::glidein {
@@ -61,6 +62,30 @@ void GlideinAgent::set_state_observer(StateObserver observer) {
   observer_ = std::move(observer);
 }
 
+void GlideinAgent::connect_control_plane(net::ControlBus* bus,
+                                         std::string site_endpoint,
+                                         std::string broker_endpoint,
+                                         Duration channel_latency) {
+  bus_ = bus;
+  site_endpoint_ = std::move(site_endpoint);
+  broker_endpoint_ = std::move(broker_endpoint);
+  channel_latency_ = channel_latency;
+}
+
+bool GlideinAgent::deliver_liveness_probe(std::uint64_t seq) {
+  // The echo must come out of the agent's event loop: a wedged (or dead)
+  // agent never answers even though the probe arrived.
+  if (!echo_liveness_probe(seq)) return false;
+  if (bus_ != nullptr) {
+    net::SendOptions options;
+    options.channel_latency = channel_latency_;
+    options.drop_when_down = true;  // a partitioned link swallows the echo
+    bus_->send(site_endpoint_, broker_endpoint_, net::LivenessEcho{id_, seq},
+               options);
+  }
+  return true;
+}
+
 void GlideinAgent::set_metrics(obs::MetricsRegistry* metrics,
                                obs::LabelSet labels) {
   metrics_ = MetricHandles{};
@@ -101,6 +126,15 @@ void GlideinAgent::update_occupancy_metrics() {
 void GlideinAgent::set_state(AgentState state) {
   state_ = state;
   if (observer_) observer_(state_);
+  // Bootstrapped: announce the agent (and its fresh VMs) to the broker. The
+  // registration is a local rendezvous on the already-open channel, so it is
+  // delivered inline — same instant the state observer used to fire.
+  if (state == AgentState::kRunning && bus_ != nullptr) {
+    net::SendOptions options;
+    options.inline_when_immediate = true;
+    bus_->send(site_endpoint_, broker_endpoint_, net::AgentRegister{id_},
+               options);
+  }
 }
 
 bool GlideinAgent::interactive_vm_busy() const {

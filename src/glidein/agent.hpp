@@ -20,6 +20,10 @@
 #include "util/ids.hpp"
 #include "util/rng.hpp"
 
+namespace cg::net {
+class ControlBus;
+}
+
 namespace cg::glidein {
 
 enum class SlotType { kBatch, kInteractive };
@@ -84,6 +88,21 @@ public:
 
   /// Installed by the registry/broker to track availability.
   void set_state_observer(StateObserver observer);
+
+  /// Wires the agent onto the control-plane bus. Once connected, the agent
+  /// announces itself with an AgentRegister message when it reaches
+  /// kRunning, and answers LivenessProbe deliveries with LivenessEcho
+  /// messages over the broker <-> agent channel. The bus must outlive the
+  /// agent (or be disconnected with nullptr).
+  void connect_control_plane(net::ControlBus* bus, std::string site_endpoint,
+                             std::string broker_endpoint,
+                             Duration channel_latency);
+
+  /// Delivery of a broker LivenessProbe message: processes it on the event
+  /// loop (echo_liveness_probe) and, when connected, sends the LivenessEcho
+  /// back over the bus. Returns false when the loop is wedged or not running
+  /// — the probe dies unanswered, exactly the supervision signal.
+  bool deliver_liveness_probe(std::uint64_t seq);
 
   /// Fault injection (kAgentWedge): a wedged agent's event loop is stalled —
   /// it stops echoing liveness probes and refuses new slot starts — while
@@ -167,6 +186,10 @@ private:
   AgentId id_;
   SiteId site_;
   GlideinAgentConfig config_;
+  net::ControlBus* bus_ = nullptr;
+  std::string site_endpoint_;
+  std::string broker_endpoint_;
+  Duration channel_latency_ = Duration::zero();
   mutable Rng noise_rng_;  ///< execution-noise stream (dilation_for is const)
   AgentState state_ = AgentState::kPending;
   bool wedged_ = false;

@@ -3,15 +3,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/control_bus.hpp"
 #include "util/log.hpp"
 
 namespace cg::lrms {
 
-Gatekeeper::Gatekeeper(sim::Simulation& sim, sim::Network& network,
+Gatekeeper::Gatekeeper(sim::Simulation& sim, net::ControlBus& bus,
                        std::string endpoint, LocalScheduler& scheduler,
                        GatekeeperConfig config)
     : sim_{sim},
-      network_{network},
+      bus_{bus},
       endpoint_{std::move(endpoint)},
       scheduler_{scheduler},
       config_{config} {}
@@ -72,28 +73,38 @@ void Gatekeeper::submit_direct(GridJobRequest request, StatusCallback callback) 
 
 void Gatekeeper::stage_and_submit(GridJobRequest request, StatusCallback callback) {
   if (!callback) throw std::invalid_argument{"commit: null callback"};
-  sim::Link& link = network_.link(request.submitter_endpoint, endpoint_);
-  const Duration staging = request.stage_bytes > 0
-                               ? link.transfer_duration(request.stage_bytes)
-                               : Duration::zero();
-  const Duration total = staging + config_.jobmanager_latency;
-  sim_.schedule(total, [this, request = std::move(request),
-                        callback = std::move(callback)]() mutable {
-    LocalJob job;
-    job.id = request.id;
-    job.owner = request.owner;
-    job.workload = std::move(request.workload);
-    job.on_start = std::move(request.on_start);
-    job.on_complete = std::move(request.on_complete);
-    job.phase_observer = std::move(request.phase_observer);
-    job.dilation = std::move(request.dilation);
-    job.barrier_handler = std::move(request.barrier_handler);
-    if (scheduler_.submit(std::move(job))) {
-      callback(Status::ok_status());
-    } else {
-      callback(make_error("gatekeeper.rejected", "LRMS queue rejected the job"));
-    }
-  });
+  // The sandbox transfer rides the submitter's link; the jobmanager
+  // processing is paid on arrival. Both travel as one StageSandbox message.
+  net::SendOptions options;
+  options.processing_latency = config_.jobmanager_latency;
+  options.payload_bytes = request.stage_bytes;
+  const std::string submitter = request.submitter_endpoint;
+  const net::StageSandbox msg{request.id, request.stage_bytes, /*inbound=*/true};
+  bus_.send(submitter, endpoint_, msg, options,
+            [this, request = std::move(request),
+             callback = std::move(callback)](const net::Envelope&) mutable {
+              LocalJob job;
+              job.id = request.id;
+              job.owner = request.owner;
+              job.workload = std::move(request.workload);
+              job.on_start = std::move(request.on_start);
+              job.on_complete = std::move(request.on_complete);
+              job.phase_observer = std::move(request.phase_observer);
+              job.dilation = std::move(request.dilation);
+              job.barrier_handler = std::move(request.barrier_handler);
+              if (scheduler_.submit(std::move(job))) {
+                callback(Status::ok_status());
+              } else {
+                callback(make_error("gatekeeper.rejected",
+                                    "LRMS queue rejected the job"));
+              }
+            });
+}
+
+bool Gatekeeper::cancel(JobId id, bool queued_only) {
+  if (scheduler_.cancel_queued(id)) return true;
+  if (queued_only) return false;
+  return scheduler_.kill_running(id);
 }
 
 }  // namespace cg::lrms

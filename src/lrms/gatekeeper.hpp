@@ -12,9 +12,12 @@
 
 #include "gsi/credential.hpp"
 #include "lrms/local_scheduler.hpp"
-#include "sim/network.hpp"
 #include "sim/simulation.hpp"
 #include "util/expected.hpp"
+
+namespace cg::net {
+class ControlBus;
+}
 
 namespace cg::lrms {
 
@@ -52,7 +55,7 @@ class Gatekeeper {
 public:
   using StatusCallback = std::function<void(Status)>;
 
-  Gatekeeper(sim::Simulation& sim, sim::Network& network, std::string endpoint,
+  Gatekeeper(sim::Simulation& sim, net::ControlBus& bus, std::string endpoint,
              LocalScheduler& scheduler, GatekeeperConfig config = {});
 
   /// Enables GSI verification: every prepare/submit must present a proxy
@@ -71,6 +74,11 @@ public:
   /// One-shot submission without the 2PC prepare (the Glogin-style path).
   void submit_direct(GridJobRequest request, StatusCallback callback);
 
+  /// Serves a CancelJob message: removes the job from the local queue, or —
+  /// unless `queued_only` — kills it wherever it runs. Returns true when the
+  /// job was found in either state.
+  bool cancel(JobId id, bool queued_only);
+
   [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
   [[nodiscard]] const GatekeeperConfig& config() const { return config_; }
   [[nodiscard]] LocalScheduler& scheduler() { return scheduler_; }
@@ -81,7 +89,7 @@ private:
 
   const gsi::Certificate* trust_anchor_ = nullptr;
   sim::Simulation& sim_;
-  sim::Network& network_;
+  net::ControlBus& bus_;
   std::string endpoint_;
   LocalScheduler& scheduler_;
   GatekeeperConfig config_;

@@ -4,7 +4,7 @@
 
 namespace cg::lrms {
 
-Site::Site(sim::Simulation& sim, sim::Network& network, SiteId id, SiteConfig config)
+Site::Site(sim::Simulation& sim, net::ControlBus& bus, SiteId id, SiteConfig config)
     : sim_{sim}, id_{id}, config_{std::move(config)} {
   if (config_.name.empty()) throw std::invalid_argument{"Site: empty name"};
   if (config_.worker_nodes < 1) throw std::invalid_argument{"Site: needs >= 1 node"};
@@ -15,7 +15,7 @@ Site::Site(sim::Simulation& sim, sim::Network& network, SiteId id, SiteConfig co
   std::vector<WorkerNodeSpec> nodes(
       static_cast<std::size_t>(config_.worker_nodes), node_spec);
   scheduler_ = std::make_unique<LocalScheduler>(sim_, std::move(nodes), config_.lrms);
-  gatekeeper_ = std::make_unique<Gatekeeper>(sim_, network, endpoint_, *scheduler_,
+  gatekeeper_ = std::make_unique<Gatekeeper>(sim_, bus, endpoint_, *scheduler_,
                                              config_.gatekeeper);
 }
 

@@ -10,7 +10,10 @@
 #include "infosys/site_record.hpp"
 #include "lrms/gatekeeper.hpp"
 #include "lrms/local_scheduler.hpp"
-#include "sim/network.hpp"
+
+namespace cg::net {
+class ControlBus;
+}
 
 namespace cg::lrms {
 
@@ -30,7 +33,7 @@ struct SiteConfig {
 
 class Site {
 public:
-  Site(sim::Simulation& sim, sim::Network& network, SiteId id, SiteConfig config);
+  Site(sim::Simulation& sim, net::ControlBus& bus, SiteId id, SiteConfig config);
 
   [[nodiscard]] SiteId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return config_.name; }

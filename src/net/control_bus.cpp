@@ -1,0 +1,240 @@
+#include "net/control_bus.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/observability.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::net {
+
+ControlBus::ControlBus(sim::Simulation& sim, sim::Network& network)
+    : sim_{sim}, network_{network} {}
+
+ControlBus::~ControlBus() = default;
+
+void ControlBus::bind(std::string endpoint, DeliverFn handler) {
+  handlers_[std::move(endpoint)] = std::move(handler);
+}
+
+void ControlBus::unbind(const std::string& endpoint) {
+  handlers_.erase(endpoint);
+}
+
+void ControlBus::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    sent_ = {};
+    delivered_ = {};
+    dropped_ = {};
+    duplicated_ = {};
+    latency_ = {};
+    return;
+  }
+  for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+    const obs::LabelSet labels{
+        {"type", std::string{to_string(static_cast<MsgType>(i))}}};
+    sent_[i] = obs->metrics.counter_handle("net.msg.sent", labels);
+    delivered_[i] = obs->metrics.counter_handle("net.msg.delivered", labels);
+    dropped_[i] = obs->metrics.counter_handle("net.msg.dropped", labels);
+    duplicated_[i] = obs->metrics.counter_handle("net.msg.duplicated", labels);
+    latency_[i] = obs->metrics.histogram_handle("net.msg.latency_s", labels);
+  }
+}
+
+bool ControlBus::fault_matches(const ActiveFault& fault, MsgType type,
+                               const std::string& src,
+                               const std::string& dst) const {
+  if (fault.type && *fault.type != type) return false;
+  // Endpoint filters are unordered (like the network's link keys): a named
+  // endpoint must be one of the two ends, and a fully named pair must be
+  // exactly {src, dst}.
+  const auto matches_pair = [&](const std::string& a, const std::string& b) {
+    if (a.empty() && b.empty()) return true;
+    if (b.empty()) return a == src || a == dst;
+    if (a.empty()) return b == src || b == dst;
+    return (a == src && b == dst) || (a == dst && b == src);
+  };
+  return matches_pair(fault.endpoint_a, fault.endpoint_b);
+}
+
+bool ControlBus::drop_fault_active(MsgType type, const std::string& src,
+                                   const std::string& dst) const {
+  return std::any_of(faults_.begin(), faults_.end(), [&](const ActiveFault& f) {
+    return f.kind == sim::FaultKind::kMsgDrop && fault_matches(f, type, src, dst);
+  });
+}
+
+bool ControlBus::dup_fault_active(MsgType type, const std::string& src,
+                                  const std::string& dst) const {
+  return std::any_of(faults_.begin(), faults_.end(), [&](const ActiveFault& f) {
+    return f.kind == sim::FaultKind::kMsgDup && fault_matches(f, type, src, dst);
+  });
+}
+
+Duration ControlBus::reorder_delay(MsgType type, const std::string& src,
+                                   const std::string& dst) const {
+  Duration delay = Duration::zero();
+  for (const ActiveFault& f : faults_) {
+    if (f.kind == sim::FaultKind::kMsgReorder && fault_matches(f, type, src, dst))
+      delay = delay + f.extra_latency;
+  }
+  return delay;
+}
+
+void ControlBus::count_drop(const Envelope& envelope, const char* reason) {
+  const auto index = envelope.payload.index();
+  dropped_[index].inc();
+  if (obs_ != nullptr) {
+    obs_->tracer.record(sim_.now(), job_of(envelope.payload),
+                        obs::TraceEventKind::kMsgDropped, reason,
+                        obs::LabelSet{
+                            {"type", std::string{to_string(
+                                         type_of(envelope.payload))}},
+                            {"src", envelope.src_endpoint},
+                            {"dst", envelope.dst_endpoint},
+                        });
+  }
+}
+
+std::uint64_t ControlBus::last_seq(const std::string& src,
+                                   const std::string& dst) const {
+  const auto it = seq_.find({src, dst});
+  return it == seq_.end() ? 0 : it->second;
+}
+
+bool ControlBus::send(const std::string& src, const std::string& dst,
+                      Message msg, const SendOptions& options,
+                      DeliverFn on_delivered) {
+  const MsgType type = type_of(msg);
+  const auto index = msg.index();
+  sent_[index].inc();
+
+  Envelope envelope{++seq_[{src, dst}], src, dst, sim_.now(), std::move(msg)};
+
+  if (options.drop_when_down &&
+      !network_.link(src, dst).is_up(sim_.now())) {
+    count_drop(envelope, "partition");
+    return false;
+  }
+  if (drop_fault_active(type, src, dst)) {
+    count_drop(envelope, "fault");
+    return false;
+  }
+
+  Duration delay = options.channel_latency + options.processing_latency;
+  if (options.payload_bytes > 0) {
+    // The transfer rides the same link (and consumes the same jitter RNG
+    // draw) the pre-bus call sites used, in send order.
+    const std::string& from =
+        options.transfer_src.empty() ? src : options.transfer_src;
+    delay = delay +
+            network_.link(from, dst).transfer_duration(options.payload_bytes);
+  }
+  delay = delay + reorder_delay(type, src, dst);
+
+  const bool duplicate = dup_fault_active(type, src, dst);
+
+  if (options.inline_when_immediate && delay.count_micros() == 0 &&
+      !duplicate) {
+    delivered_[index].inc();
+    latency_[index].observe(0.0);
+    deliver_envelope(envelope, on_delivered);
+    return true;
+  }
+
+  if (duplicate) {
+    duplicated_[index].inc();
+    if (obs_ != nullptr) {
+      obs_->tracer.record(sim_.now(), job_of(envelope.payload),
+                          obs::TraceEventKind::kMsgDuplicated, "fault",
+                          obs::LabelSet{
+                              {"type", std::string{to_string(type)}},
+                              {"src", src},
+                              {"dst", dst},
+                          });
+    }
+    schedule_delivery(envelope, on_delivered, delay);  // the copy
+  }
+  schedule_delivery(std::move(envelope), std::move(on_delivered), delay);
+  return true;
+}
+
+void ControlBus::schedule_delivery(Envelope envelope, DeliverFn on_delivered,
+                                   Duration delay) {
+  const std::uint64_t id = ++next_delivery_;
+  pending_.emplace(id, Pending{std::move(envelope), std::move(on_delivered)});
+  sim_.schedule(delay, [this, id] { deliver(id); });
+}
+
+void ControlBus::deliver(std::uint64_t id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);  // before the handler runs: handlers send more messages
+  const auto index = pending.envelope.payload.index();
+  delivered_[index].inc();
+  latency_[index].observe_duration(sim_.now() - pending.envelope.send_time);
+  deliver_envelope(pending.envelope, pending.on_delivered);
+}
+
+void ControlBus::deliver_envelope(const Envelope& envelope,
+                                  const DeliverFn& handler) {
+  if (handler) {
+    handler(envelope);
+    return;
+  }
+  const auto it = handlers_.find(envelope.dst_endpoint);
+  if (it != handlers_.end() && it->second) it->second(envelope);
+}
+
+bool ControlBus::probe(const std::string& src, const std::string& dst,
+                       const Message& msg) {
+  const MsgType type = type_of(msg);
+  const auto index = msg.index();
+  sent_[index].inc();
+  const bool up = network_.link(src, dst).is_up(sim_.now()) &&
+                  !drop_fault_active(type, src, dst);
+  if (up) {
+    delivered_[index].inc();
+  } else {
+    const Envelope envelope{0, src, dst, sim_.now(), msg};
+    count_drop(envelope, "probe");
+  }
+  return up;
+}
+
+void ControlBus::apply_message_fault(const sim::FaultSpec& spec) {
+  if (!sim::is_message_fault(spec.kind)) return;
+  ActiveFault fault;
+  fault.kind = spec.kind;
+  if (!is_wildcard_type(spec.target)) {
+    const auto type = type_from_name(spec.target);
+    if (!type) return;  // unknown type name: the fault can match nothing
+    fault.type = *type;
+  }
+  fault.endpoint_a = spec.endpoint_a;
+  fault.endpoint_b = spec.endpoint_b;
+  fault.extra_latency = spec.extra_latency;
+  faults_.push_back(std::move(fault));
+}
+
+void ControlBus::clear_message_fault(const sim::FaultSpec& spec) {
+  if (!sim::is_message_fault(spec.kind)) return;
+  std::optional<MsgType> type;
+  if (!is_wildcard_type(spec.target)) {
+    type = type_from_name(spec.target);
+    if (!type) return;
+  }
+  const auto it = std::find_if(
+      faults_.begin(), faults_.end(), [&](const ActiveFault& f) {
+        return f.kind == spec.kind && f.type == type &&
+               f.endpoint_a == spec.endpoint_a &&
+               f.endpoint_b == spec.endpoint_b &&
+               f.extra_latency == spec.extra_latency;
+      });
+  if (it != faults_.end()) faults_.erase(it);
+}
+
+}  // namespace cg::net

@@ -1,0 +1,174 @@
+// The control-plane message bus: the single delivery path for every typed
+// broker <-> agent <-> site exchange. Exactly one implementation applies
+//   * link latency (fixed control-channel delay + optional bulk transfer
+//     riding the link's bandwidth/jitter model + receiver processing time),
+//   * partition windows (a send may be dropped when its link is down, the
+//     way the broker's raw is_up() checks used to behave),
+//   * per-directed-link sequencing (monotonic seq per (src, dst) pair), and
+//   * message-level fault injection (kMsgDrop / kMsgDup / kMsgReorder from
+//     the FaultPlan DSL, filtered by message type and endpoint pair),
+// with per-message-type metrics (net.msg.sent / delivered / dropped /
+// duplicated counters, net.msg.latency_s histogram) and JobTracer hooks.
+//
+// Determinism contract: the bus schedules exactly one simulation event per
+// (non-inline) delivery and consumes link RNG only for sends that carry
+// payload bytes — a refactor from direct schedule() calls onto the bus is
+// event-for-event identical, which is what keeps the pinned chaos-scenario
+// golden digests unchanged.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+#include "obs/metrics.hpp"
+#include "sim/fault.hpp"
+#include "util/time.hpp"
+
+namespace cg::obs {
+struct Observability;
+}
+namespace cg::sim {
+class Network;
+class Simulation;
+}  // namespace cg::sim
+
+namespace cg::net {
+
+/// One message in flight: the typed payload plus its addressing and timing.
+struct Envelope {
+  std::uint64_t seq = 0;  ///< per directed (src, dst) pair, starting at 1
+  std::string src_endpoint;
+  std::string dst_endpoint;
+  SimTime send_time;
+  Message payload;
+};
+
+/// Per-send latency model and failure semantics. The defaults model an
+/// instantaneous, never-dropped exchange; callers opt into each cost.
+struct SendOptions {
+  /// Fixed control-channel delay (e.g. the broker <-> agent channel).
+  Duration channel_latency = Duration::zero();
+  /// Receiver-side processing time added after the wire (GSI auth,
+  /// jobmanager overhead, prepare bookkeeping).
+  Duration processing_latency = Duration::zero();
+  /// Bulk bytes riding the link's bandwidth + jitter model (sandbox and
+  /// executable staging). Zero bytes never touches the link RNG.
+  std::size_t payload_bytes = 0;
+  /// Endpoint whose link to `dst` carries the transfer when it is not the
+  /// message source (executable staged from the submitter, not the broker).
+  std::string transfer_src;
+  /// Consult the link's partition schedule at send time and drop the
+  /// message if the link is down (today's is_up() semantics). Sends that
+  /// historically ignored partitions leave this false.
+  bool drop_when_down = false;
+  /// Deliver synchronously (no scheduled event) when the modelled latency
+  /// is zero — the bus equivalent of a direct method call. Paths that
+  /// historically scheduled a zero-delay event leave this false.
+  bool inline_when_immediate = false;
+};
+
+/// The bus. One instance per simulated grid; every control-plane component
+/// holds a reference and sends through it. Implements MessageFaultSink so a
+/// FaultInjector can arm message-level faults onto it.
+class ControlBus final : public sim::MessageFaultSink {
+public:
+  using DeliverFn = std::function<void(const Envelope&)>;
+
+  ControlBus(sim::Simulation& sim, sim::Network& network);
+  ControlBus(const ControlBus&) = delete;
+  ControlBus& operator=(const ControlBus&) = delete;
+  ~ControlBus() override;
+
+  /// Installs (or replaces) the delivery handler for messages addressed to
+  /// `endpoint` that were sent without a continuation. The broker binds its
+  /// endpoint for agent-originated traffic (AgentRegister, LivenessEcho).
+  void bind(std::string endpoint, DeliverFn handler);
+  void unbind(const std::string& endpoint);
+
+  /// Sends a message. Returns false when the message was dropped at send
+  /// time (partition with drop_when_down, or an active kMsgDrop fault);
+  /// a dropped message's continuation never runs. `on_delivered`, when
+  /// given, receives the envelope instead of the destination's bound
+  /// handler — the caller-holds-the-continuation style the broker uses.
+  bool send(const std::string& src, const std::string& dst, Message msg,
+            const SendOptions& options = {}, DeliverFn on_delivered = {});
+
+  /// Synchronous reachability probe: would a message of this type survive
+  /// the partition schedule and active drop faults right now? Counts into
+  /// the same per-type sent/delivered/dropped metrics but delivers nothing.
+  /// This is the bus form of the heartbeat's raw is_up() check.
+  [[nodiscard]] bool probe(const std::string& src, const std::string& dst,
+                           const Message& msg);
+
+  /// Attaches (or detaches, with nullptr) metrics + tracing. Safe to call
+  /// mid-run; handles re-bind.
+  void set_observability(obs::Observability* obs);
+
+  // MessageFaultSink: armed/healed by the FaultInjector.
+  void apply_message_fault(const sim::FaultSpec& spec) override;
+  void clear_message_fault(const sim::FaultSpec& spec) override;
+
+  [[nodiscard]] std::size_t in_flight() const { return pending_.size(); }
+  [[nodiscard]] std::size_t active_message_faults() const {
+    return faults_.size();
+  }
+  /// Last sequence number issued on a directed pair (0 if none yet).
+  [[nodiscard]] std::uint64_t last_seq(const std::string& src,
+                                       const std::string& dst) const;
+
+private:
+  struct Pending {
+    Envelope envelope;
+    DeliverFn on_delivered;  ///< empty: deliver to the bound handler
+  };
+  struct ActiveFault {
+    sim::FaultKind kind = sim::FaultKind::kMsgDrop;
+    std::optional<MsgType> type;  ///< nullopt: every type
+    std::string endpoint_a;       ///< empty: any endpoint
+    std::string endpoint_b;
+    Duration extra_latency;  ///< kMsgReorder delay
+  };
+
+  [[nodiscard]] bool fault_matches(const ActiveFault& fault, MsgType type,
+                                   const std::string& src,
+                                   const std::string& dst) const;
+  [[nodiscard]] bool drop_fault_active(MsgType type, const std::string& src,
+                                       const std::string& dst) const;
+  [[nodiscard]] Duration reorder_delay(MsgType type, const std::string& src,
+                                       const std::string& dst) const;
+  [[nodiscard]] bool dup_fault_active(MsgType type, const std::string& src,
+                                      const std::string& dst) const;
+
+  void count_drop(const Envelope& envelope, const char* reason);
+  void deliver(std::uint64_t id);
+  void deliver_envelope(const Envelope& envelope, const DeliverFn& handler);
+  void schedule_delivery(Envelope envelope, DeliverFn on_delivered,
+                         Duration delay);
+
+  sim::Simulation& sim_;
+  sim::Network& network_;
+  obs::Observability* obs_ = nullptr;
+
+  std::map<std::pair<std::string, std::string>, std::uint64_t> seq_;
+  std::map<std::string, DeliverFn> handlers_;
+  /// In-flight deliveries, keyed by id: scheduled events capture only
+  /// [this, id] so they fit the simulation's inline-callback budget.
+  std::map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_delivery_ = 0;
+  std::vector<ActiveFault> faults_;
+
+  std::array<obs::CounterHandle, kMessageTypeCount> sent_{};
+  std::array<obs::CounterHandle, kMessageTypeCount> delivered_{};
+  std::array<obs::CounterHandle, kMessageTypeCount> dropped_{};
+  std::array<obs::CounterHandle, kMessageTypeCount> duplicated_{};
+  std::array<obs::HistogramHandle, kMessageTypeCount> latency_{};
+};
+
+}  // namespace cg::net

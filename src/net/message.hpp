@@ -1,0 +1,156 @@
+// The closed catalog of control-plane messages. Every broker <-> agent <->
+// site exchange travels as exactly one of these typed payloads inside an
+// Envelope, so the whole control plane shares one delivery implementation
+// (ControlBus) — one place that applies link latency, partition windows,
+// per-link sequencing, per-type metrics, and message-level fault injection.
+//
+// The catalog is deliberately closed (a std::variant, not an interface):
+// adding a message type is an explicit, reviewable act, and the per-type
+// observability handles and fault filters index by the variant alternative.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <variant>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace cg::net {
+
+/// Two-phase-commit phase carried by a SubmitJob message.
+enum class SubmitPhase { kPrepare, kCommit };
+
+/// Lifecycle edge reported by a JobStatus message.
+enum class StatusPhase { kStarted, kCompleted };
+
+/// Broker -> gatekeeper: one phase of the two-phase-commit submission of a
+/// grid job (or a glide-in carrier). `job` is the LRMS-visible job id.
+struct SubmitJob {
+  JobId job;
+  SubmitPhase phase = SubmitPhase::kPrepare;
+};
+
+/// Broker -> agent: start a subjob on a glide-in VM. Rides the direct
+/// broker <-> agent channel plus the executable staging transfer.
+struct DispatchJob {
+  JobId job;
+  int rank = 0;
+};
+
+/// Broker -> gatekeeper: remove a job from the local queue (queued_only) or
+/// kill it wherever it is.
+struct CancelJob {
+  JobId job;
+  bool queued_only = false;
+};
+
+/// Broker -> agent: kill a resident job on a VM (user cancellation).
+struct KillJob {
+  JobId job;
+};
+
+/// Site/agent -> broker: a subjob crossed a lifecycle edge.
+struct JobStatus {
+  JobId job;
+  StatusPhase phase = StatusPhase::kStarted;
+};
+
+/// Agent -> broker: the glide-in bootstrapped and its VMs exist.
+struct AgentRegister {
+  AgentId agent;
+};
+
+/// Broker -> site: link-level reachability probe (synchronous round trip).
+struct Heartbeat {
+  AgentId agent;
+};
+
+/// Broker -> agent: sequenced application-level liveness probe; must be
+/// answered from the agent's event loop.
+struct LivenessProbe {
+  AgentId agent;
+  std::uint64_t seq = 0;
+};
+
+/// Agent -> broker: the echo of a LivenessProbe.
+struct LivenessEcho {
+  AgentId agent;
+  std::uint64_t seq = 0;
+};
+
+/// Broker -> agent: a running resident timed out behind a suspected agent
+/// and is being evicted (best-effort kill on the agent side).
+struct EvictNotice {
+  JobId job;
+  AgentId agent;
+};
+
+/// Bulk sandbox transfer riding a link's bandwidth: input staging toward a
+/// site (inbound) or OutputSandbox return toward the submitter.
+struct StageSandbox {
+  JobId job;
+  std::uint64_t bytes = 0;
+  bool inbound = true;
+};
+
+using Message =
+    std::variant<SubmitJob, DispatchJob, CancelJob, KillJob, JobStatus,
+                 AgentRegister, Heartbeat, LivenessProbe, LivenessEcho,
+                 EvictNotice, StageSandbox>;
+
+/// Mirror of the variant's alternative order (used to index per-type
+/// observability handles and to name types in fault filters).
+enum class MsgType : std::size_t {
+  kSubmitJob,
+  kDispatchJob,
+  kCancelJob,
+  kKillJob,
+  kJobStatus,
+  kAgentRegister,
+  kHeartbeat,
+  kLivenessProbe,
+  kLivenessEcho,
+  kEvictNotice,
+  kStageSandbox,
+};
+
+inline constexpr std::size_t kMessageTypeCount =
+    std::variant_size_v<Message>;
+
+[[nodiscard]] constexpr MsgType type_of(const Message& msg) {
+  return static_cast<MsgType>(msg.index());
+}
+
+[[nodiscard]] constexpr std::string_view to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kSubmitJob: return "SubmitJob";
+    case MsgType::kDispatchJob: return "DispatchJob";
+    case MsgType::kCancelJob: return "CancelJob";
+    case MsgType::kKillJob: return "KillJob";
+    case MsgType::kJobStatus: return "JobStatus";
+    case MsgType::kAgentRegister: return "AgentRegister";
+    case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kLivenessProbe: return "LivenessProbe";
+    case MsgType::kLivenessEcho: return "LivenessEcho";
+    case MsgType::kEvictNotice: return "EvictNotice";
+    case MsgType::kStageSandbox: return "StageSandbox";
+  }
+  return "unknown";
+}
+
+/// Parses a type name as written in fault plans ("LivenessEcho"). "*" and ""
+/// mean every type and return nullopt from here; unknown names also return
+/// nullopt (callers distinguish via is_wildcard_type).
+[[nodiscard]] std::optional<MsgType> type_from_name(std::string_view name);
+
+[[nodiscard]] constexpr bool is_wildcard_type(std::string_view name) {
+  return name.empty() || name == "*";
+}
+
+/// The job a message concerns, for trace attribution (JobId::none() for
+/// agent-level messages).
+[[nodiscard]] JobId job_of(const Message& msg);
+
+}  // namespace cg::net

@@ -38,6 +38,8 @@ std::string_view to_string(TraceEventKind kind) {
     case TraceEventKind::kFrameDropped: return "frame_dropped";
     case TraceEventKind::kReconnected: return "reconnected";
     case TraceEventKind::kSpoolFull: return "spool_full";
+    case TraceEventKind::kMsgDropped: return "msg_dropped";
+    case TraceEventKind::kMsgDuplicated: return "msg_duplicated";
     case TraceEventKind::kInfo: return "info";
   }
   return "?";

@@ -53,6 +53,8 @@ enum class TraceEventKind {
   kFrameDropped,
   kReconnected,
   kSpoolFull,     ///< reliable-mode append rejected (capacity or disk fault)
+  kMsgDropped,    ///< control-plane message lost (partition or kMsgDrop fault)
+  kMsgDuplicated, ///< control-plane message delivered twice (kMsgDup fault)
   kInfo,
 };
 

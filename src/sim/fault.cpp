@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/log.hpp"
@@ -18,6 +19,9 @@ std::string_view to_string(FaultKind kind) {
     case FaultKind::kAgentCrash: return "agent-crash";
     case FaultKind::kAgentWedge: return "agent-wedge";
     case FaultKind::kSpoolFail: return "spool-fail";
+    case FaultKind::kMsgDrop: return "msg-drop";
+    case FaultKind::kMsgDup: return "msg-dup";
+    case FaultKind::kMsgReorder: return "msg-reorder";
   }
   return "unknown";
 }
@@ -139,6 +143,54 @@ FaultPlan& FaultPlan::fail_spool(std::string target, SimTime at,
   return *this;
 }
 
+namespace {
+FaultSpec make_message_fault(FaultKind kind, std::string type, std::string a,
+                             std::string b, SimTime at, Duration duration) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument{"FaultPlan: message fault needs a positive duration"};
+  }
+  FaultSpec spec;
+  spec.kind = kind;
+  spec.at = at;
+  spec.duration = duration;
+  spec.endpoint_a = std::move(a);
+  spec.endpoint_b = std::move(b);
+  spec.target = std::move(type);
+  return spec;
+}
+}  // namespace
+
+FaultPlan& FaultPlan::drop_messages(std::string type, std::string a,
+                                    std::string b, SimTime at,
+                                    Duration duration) {
+  events_.push_back(make_message_fault(FaultKind::kMsgDrop, std::move(type),
+                                       std::move(a), std::move(b), at,
+                                       duration));
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate_messages(std::string type, std::string a,
+                                         std::string b, SimTime at,
+                                         Duration duration) {
+  events_.push_back(make_message_fault(FaultKind::kMsgDup, std::move(type),
+                                       std::move(a), std::move(b), at,
+                                       duration));
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder_messages(std::string type, std::string a,
+                                       std::string b, SimTime at,
+                                       Duration duration, Duration delay) {
+  if (delay <= Duration::zero()) {
+    throw std::invalid_argument{"FaultPlan: reorder needs a positive delay"};
+  }
+  FaultSpec spec = make_message_fault(FaultKind::kMsgReorder, std::move(type),
+                                      std::move(a), std::move(b), at, duration);
+  spec.extra_latency = delay;
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
 FaultPlan FaultPlan::random_link_outages(std::uint64_t seed,
                                          const RandomLinkFaultOptions& options) {
   if (options.outages < 0) {
@@ -179,6 +231,20 @@ void FaultInjector::register_disk(std::string name, DiskModel* disk) {
   }
 }
 
+void FaultInjector::register_message_sink(MessageFaultSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(message_sinks_.begin(), message_sinks_.end(), sink) ==
+      message_sinks_.end()) {
+    message_sinks_.push_back(sink);
+  }
+}
+
+void FaultInjector::unregister_message_sink(MessageFaultSink* sink) {
+  message_sinks_.erase(
+      std::remove(message_sinks_.begin(), message_sinks_.end(), sink),
+      message_sinks_.end());
+}
+
 Link* FaultInjector::link_for(const FaultSpec& spec) {
   if (network_ == nullptr) {
     throw std::logic_error{"FaultInjector: link fault armed without a network"};
@@ -202,9 +268,12 @@ void FaultInjector::arm(const FaultPlan& plan) {
 
 void FaultInjector::fire(const FaultSpec& spec) {
   ++injected_;
-  const std::string target = spec.target.empty()
-                                 ? spec.endpoint_a + "<->" + spec.endpoint_b
-                                 : spec.target;
+  std::string target = spec.target.empty()
+                           ? spec.endpoint_a + "<->" + spec.endpoint_b
+                           : spec.target;
+  if (is_message_fault(spec.kind) && !spec.endpoint_a.empty()) {
+    target += " " + spec.endpoint_a + "<->" + spec.endpoint_b;
+  }
   note("t=" + std::to_string(sim_.now().count_micros()) + " inject " +
        std::string{to_string(spec.kind)} + " " + target);
   log_info(kLog, "inject ", to_string(spec.kind), " on ", target, " at ",
@@ -217,15 +286,23 @@ void FaultInjector::fire(const FaultSpec& spec) {
     const auto disk = disks_.find(spec.target);
     if (disk != disks_.end()) disk->second->set_healthy(false);
   }
+  if (is_message_fault(spec.kind)) {
+    for (MessageFaultSink* sink : message_sinks_) {
+      sink->apply_message_fault(spec);
+    }
+  }
   const auto it = handlers_.find(spec.kind);
   if (it != handlers_.end() && it->second.on_fault) it->second.on_fault(spec);
 }
 
 void FaultInjector::heal(const FaultSpec& spec) {
   ++recovered_;
-  const std::string target = spec.target.empty()
-                                 ? spec.endpoint_a + "<->" + spec.endpoint_b
-                                 : spec.target;
+  std::string target = spec.target.empty()
+                           ? spec.endpoint_a + "<->" + spec.endpoint_b
+                           : spec.target;
+  if (is_message_fault(spec.kind) && !spec.endpoint_a.empty()) {
+    target += " " + spec.endpoint_a + "<->" + spec.endpoint_b;
+  }
   note("t=" + std::to_string(sim_.now().count_micros()) + " recover " +
        std::string{to_string(spec.kind)} + " " + target);
   if (spec.kind == FaultKind::kLinkDegrade) {
@@ -235,6 +312,11 @@ void FaultInjector::heal(const FaultSpec& spec) {
   if (spec.kind == FaultKind::kSpoolFail) {
     const auto disk = disks_.find(spec.target);
     if (disk != disks_.end()) disk->second->set_healthy(true);
+  }
+  if (is_message_fault(spec.kind)) {
+    for (MessageFaultSink* sink : message_sinks_) {
+      sink->clear_message_fault(spec);
+    }
   }
   const auto it = handlers_.find(spec.kind);
   if (it != handlers_.end() && it->second.on_recover) {

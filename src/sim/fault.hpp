@@ -33,7 +33,18 @@ enum class FaultKind {
   kAgentCrash,     ///< glide-in agent (carrier) kill; delivered to a handler
   kAgentWedge,     ///< agent event loop stalls (link stays up); via handler
   kSpoolFail,      ///< spool I/O failure window; registered disk + handler
+  // Message-level faults on the control-plane bus, filtered by message type
+  // (`target`, "*" for all) and endpoint pair (empty endpoints match any).
+  // Delivered through registered MessageFaultSinks (net::ControlBus).
+  kMsgDrop,     ///< matching messages are silently discarded at send
+  kMsgDup,      ///< matching messages are delivered twice
+  kMsgReorder,  ///< matching messages are delayed past later traffic
 };
+
+[[nodiscard]] constexpr bool is_message_fault(FaultKind kind) {
+  return kind == FaultKind::kMsgDrop || kind == FaultKind::kMsgDup ||
+         kind == FaultKind::kMsgReorder;
+}
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);
 
@@ -90,6 +101,19 @@ public:
   FaultPlan& wedge_agent(std::string target, SimTime at, Duration duration);
   FaultPlan& fail_spool(std::string target, SimTime at, Duration duration);
 
+  // Message-level faults on the control-plane bus. `type` names one message
+  // type from the net catalog ("LivenessEcho", ...) or "*" for all; `a`/`b`
+  // filter by endpoint pair (empty matches any endpoint). The window is
+  // [at, at + duration).
+  FaultPlan& drop_messages(std::string type, std::string a, std::string b,
+                           SimTime at, Duration duration);
+  FaultPlan& duplicate_messages(std::string type, std::string a, std::string b,
+                                SimTime at, Duration duration);
+  /// Delays matching messages by `delay` beyond their modelled latency, so
+  /// under per-link FIFO they arrive after later-sent traffic.
+  FaultPlan& reorder_messages(std::string type, std::string a, std::string b,
+                              SimTime at, Duration duration, Duration delay);
+
   struct RandomLinkFaultOptions {
     std::string endpoint_a;
     std::string endpoint_b;
@@ -133,6 +157,17 @@ public:
   virtual bool set_node_failed(const std::string& target, bool failed) = 0;
 };
 
+/// How message-level faults (kMsgDrop / kMsgDup / kMsgReorder) reach the
+/// control-plane bus without sim/ depending on net/: the bus implements this
+/// interface and registers itself on the injector, which forwards each fire
+/// and heal. The spec's `target` carries the message-type filter.
+class MessageFaultSink {
+public:
+  virtual ~MessageFaultSink() = default;
+  virtual void apply_message_fault(const FaultSpec& spec) = 0;
+  virtual void clear_message_fault(const FaultSpec& spec) = 0;
+};
+
 /// Installs the canonical kAgentCrash / kAgentWedge / kNodeCrash handlers on
 /// the injector, forwarding each fire/heal to the resolver (unresolved
 /// targets are logged, not fatal). Replaces any handlers previously set for
@@ -167,6 +202,13 @@ public:
   /// outlive the injector (or be unregistered by registering nullptr).
   void register_disk(std::string name, DiskModel* disk);
 
+  /// Registers a control-plane bus (or any sink) for message-level faults:
+  /// every kMsgDrop / kMsgDup / kMsgReorder fire and heal is forwarded to
+  /// each registered sink. The sink must outlive the injector's armed plans
+  /// (or be unregistered).
+  void register_message_sink(MessageFaultSink* sink);
+  void unregister_message_sink(MessageFaultSink* sink);
+
   [[nodiscard]] std::size_t injected_faults() const { return injected_; }
   [[nodiscard]] std::size_t recoveries() const { return recovered_; }
   [[nodiscard]] const std::vector<std::string>& timeline() const {
@@ -190,6 +232,7 @@ private:
   Network* network_;
   std::map<FaultKind, Handlers> handlers_;
   std::map<std::string, DiskModel*> disks_;
+  std::vector<MessageFaultSink*> message_sinks_;
   std::vector<std::string> timeline_;
   std::size_t injected_ = 0;
   std::size_t recovered_ = 0;

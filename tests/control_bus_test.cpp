@@ -1,0 +1,288 @@
+// ControlBus: the typed control-plane message bus. Covers per-link FIFO
+// delivery and sequence monotonicity, partition-drop parity with the old raw
+// is_up() checks, the latency model (channel + processing + payload
+// transfer), inline delivery, drop/dup/reorder message faults armed through
+// the FaultPlan DSL, and the per-type metrics + trace emission.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/control_bus.hpp"
+#include "obs/observability.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace cg::net {
+namespace {
+
+using namespace cg::literals;
+
+class ControlBusTest : public ::testing::Test {
+protected:
+  ControlBusTest() : network{Rng{7}}, bus{sim, network} {}
+
+  sim::Simulation sim;
+  sim::Network network;
+  ControlBus bus;
+};
+
+TEST_F(ControlBusTest, PerLinkFifoAndMonotonicSeq) {
+  std::vector<std::uint64_t> seqs;
+  SendOptions options;
+  options.channel_latency = 250_ms;
+  for (int i = 0; i < 3; ++i) {
+    bus.send("broker", "site:a", Heartbeat{AgentId{1}}, options,
+             [&](const Envelope& e) { seqs.push_back(e.seq); });
+  }
+  // A different directed pair sequences independently.
+  std::uint64_t reverse_seq = 0;
+  bus.send("site:a", "broker", Heartbeat{AgentId{1}}, options,
+           [&](const Envelope& e) { reverse_seq = e.seq; });
+  sim.run();
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(reverse_seq, 1u);
+  EXPECT_EQ(bus.last_seq("broker", "site:a"), 3u);
+  EXPECT_EQ(bus.last_seq("site:a", "broker"), 1u);
+  EXPECT_EQ(bus.last_seq("broker", "site:b"), 0u);
+}
+
+TEST_F(ControlBusTest, EqualLatencySendsDeliverInSendOrder) {
+  std::vector<int> order;
+  SendOptions options;
+  options.channel_latency = 100_ms;
+  for (int i = 0; i < 4; ++i) {
+    bus.send("broker", "site:a", LivenessProbe{AgentId{1}, std::uint64_t(i)},
+             options, [&, i](const Envelope&) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(ControlBusTest, PartitionDropParityWithIsUp) {
+  network.add_link("broker", "site:a", sim::LinkSpec::local());
+  sim::FaultInjector injector{sim, &network};
+  sim::FaultPlan plan;
+  plan.partition_link("broker", "site:a", SimTime::from_seconds(10), 20_s);
+  injector.arm(plan);
+
+  int delivered = 0;
+  int refused = 0;
+  const auto try_send = [&](bool drop_when_down) {
+    SendOptions options;
+    options.drop_when_down = drop_when_down;
+    if (!bus.send("broker", "site:a", Heartbeat{AgentId{1}}, options,
+                  [&](const Envelope&) { ++delivered; })) {
+      ++refused;
+    }
+  };
+  // Before, inside, and after the window — is_up parity at send time.
+  sim.schedule_at(SimTime::from_seconds(5), [&] { try_send(true); });
+  sim.schedule_at(SimTime::from_seconds(15), [&] { try_send(true); });
+  // Sends that historically ignored partitions still go through.
+  sim.schedule_at(SimTime::from_seconds(16), [&] { try_send(false); });
+  sim.schedule_at(SimTime::from_seconds(35), [&] { try_send(true); });
+  sim.schedule_at(SimTime::from_seconds(5), [&] {
+    EXPECT_TRUE(bus.probe("broker", "site:a", Heartbeat{AgentId{1}}));
+  });
+  sim.schedule_at(SimTime::from_seconds(15), [&] {
+    EXPECT_FALSE(bus.probe("broker", "site:a", Heartbeat{AgentId{1}}));
+  });
+  sim.run();
+  EXPECT_EQ(delivered, 3);  // 5 s, 16 s (ignores partition), 35 s
+  EXPECT_EQ(refused, 1);    // 15 s with drop_when_down
+}
+
+TEST_F(ControlBusTest, LatencyModelSumsChannelProcessingAndTransfer) {
+  network.add_link("ui", "site:a", sim::LinkSpec::campus());
+  SendOptions options;
+  options.channel_latency = 250_ms;
+  options.processing_latency = 2_s;
+  options.payload_bytes = 12'500'000;  // ~1 s on the 100 Mb/s campus link
+  options.transfer_src = "ui";
+  SimTime arrived;
+  bus.send("broker", "site:a", StageSandbox{JobId{1}, 12'500'000, true},
+           options, [&](const Envelope&) { arrived = sim.now(); });
+  sim.run();
+  // 0.25 s channel + 2 s processing + ~1 s serialization on the campus link.
+  EXPECT_NEAR(arrived.to_seconds(), 3.25, 0.02);
+}
+
+TEST_F(ControlBusTest, InlineWhenImmediateDeliversSynchronously) {
+  bool delivered = false;
+  SendOptions inline_options;
+  inline_options.inline_when_immediate = true;
+  bus.send("broker", "site:a", KillJob{JobId{9}}, inline_options,
+           [&](const Envelope& e) {
+             delivered = true;
+             EXPECT_EQ(std::get<KillJob>(e.payload).job, JobId{9});
+           });
+  EXPECT_TRUE(delivered);  // before sim.run(): no event was scheduled
+  EXPECT_EQ(bus.in_flight(), 0u);
+
+  // Without the flag, a zero-latency send still schedules one event.
+  bool scheduled_delivered = false;
+  bus.send("broker", "site:a", KillJob{JobId{10}}, {},
+           [&](const Envelope&) { scheduled_delivered = true; });
+  EXPECT_FALSE(scheduled_delivered);
+  EXPECT_EQ(bus.in_flight(), 1u);
+  sim.run();
+  EXPECT_TRUE(scheduled_delivered);
+}
+
+TEST_F(ControlBusTest, BoundHandlerReceivesWhenNoContinuation) {
+  std::vector<std::string> seen;
+  bus.bind("broker", [&](const Envelope& e) {
+    seen.push_back(std::string{to_string(type_of(e.payload))});
+  });
+  bus.send("site:a", "broker", AgentRegister{AgentId{3}});
+  bus.send("site:a", "broker", LivenessEcho{AgentId{3}, 1});
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<std::string>{"AgentRegister", "LivenessEcho"}));
+
+  bus.unbind("broker");
+  bus.send("site:a", "broker", AgentRegister{AgentId{4}});
+  sim.run();  // nowhere to deliver; must not crash
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(ControlBusTest, DropFaultFiltersByTypeAndWindow) {
+  sim::FaultInjector injector{sim, &network};
+  injector.register_message_sink(&bus);
+  sim::FaultPlan plan;
+  plan.drop_messages("LivenessEcho", "", "", SimTime::from_seconds(10), 10_s);
+  injector.arm(plan);
+
+  int echoes = 0;
+  int probes = 0;
+  const auto send_both = [&] {
+    bus.send("site:a", "broker", LivenessEcho{AgentId{1}, 1}, {},
+             [&](const Envelope&) { ++echoes; });
+    bus.send("broker", "site:a", LivenessProbe{AgentId{1}, 1}, {},
+             [&](const Envelope&) { ++probes; });
+  };
+  sim.schedule_at(SimTime::from_seconds(5), send_both);
+  sim.schedule_at(SimTime::from_seconds(15), send_both);  // echo blackholed
+  sim.schedule_at(SimTime::from_seconds(25), send_both);  // healed
+  sim.schedule_at(SimTime::from_seconds(15),
+                  [&] { EXPECT_EQ(bus.active_message_faults(), 1u); });
+  sim.run();
+  EXPECT_EQ(echoes, 2);
+  EXPECT_EQ(probes, 3);
+  EXPECT_EQ(bus.active_message_faults(), 0u);
+}
+
+TEST_F(ControlBusTest, DropFaultFiltersByEndpointPair) {
+  sim::FaultInjector injector{sim, &network};
+  injector.register_message_sink(&bus);
+  sim::FaultPlan plan;
+  plan.drop_messages("*", "broker", "site:a", SimTime::from_seconds(0), 100_s);
+  injector.arm(plan);
+
+  int site_a = 0;
+  int site_b = 0;
+  sim.schedule_at(SimTime::from_seconds(1), [&] {
+    bus.send("broker", "site:a", Heartbeat{AgentId{1}}, {},
+             [&](const Envelope&) { ++site_a; });
+    bus.send("broker", "site:b", Heartbeat{AgentId{2}}, {},
+             [&](const Envelope&) { ++site_b; });
+  });
+  sim.run();
+  EXPECT_EQ(site_a, 0);
+  EXPECT_EQ(site_b, 1);
+}
+
+TEST_F(ControlBusTest, DupFaultDeliversTwice) {
+  sim::FaultInjector injector{sim, &network};
+  injector.register_message_sink(&bus);
+  sim::FaultPlan plan;
+  plan.duplicate_messages("Heartbeat", "", "", SimTime::from_seconds(0), 10_s);
+  injector.arm(plan);
+
+  int deliveries = 0;
+  sim.schedule_at(SimTime::from_seconds(1), [&] {
+    bus.send("broker", "site:a", Heartbeat{AgentId{1}}, {},
+             [&](const Envelope&) { ++deliveries; });
+  });
+  sim.run();
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST_F(ControlBusTest, ReorderFaultDelaysPastLaterTraffic) {
+  sim::FaultInjector injector{sim, &network};
+  injector.register_message_sink(&bus);
+  sim::FaultPlan plan;
+  plan.reorder_messages("JobStatus", "", "", SimTime::from_seconds(0), 10_s,
+                        500_ms);
+  injector.arm(plan);
+
+  std::vector<std::string> order;
+  sim.schedule_at(SimTime::from_seconds(1), [&] {
+    bus.send("site:a", "broker", JobStatus{JobId{1}, StatusPhase::kStarted}, {},
+             [&](const Envelope&) { order.push_back("status"); });
+    bus.send("site:a", "broker", Heartbeat{AgentId{1}}, {},
+             [&](const Envelope&) { order.push_back("heartbeat"); });
+  });
+  sim.run();
+  // The reordered JobStatus arrives after the heartbeat sent after it.
+  EXPECT_EQ(order, (std::vector<std::string>{"heartbeat", "status"}));
+}
+
+TEST_F(ControlBusTest, MetricsAndTraceEmission) {
+  obs::Observability obs;
+  bus.set_observability(&obs);
+  sim::FaultInjector injector{sim, &network};
+  injector.register_message_sink(&bus);
+  sim::FaultPlan plan;
+  plan.drop_messages("LivenessEcho", "", "", SimTime::from_seconds(0), 10_s);
+  injector.arm(plan);
+
+  SendOptions options;
+  options.channel_latency = 250_ms;
+  sim.schedule_at(SimTime::from_seconds(1), [&] {
+    bus.send("broker", "site:a", Heartbeat{AgentId{1}}, options);
+    bus.send("site:a", "broker", LivenessEcho{AgentId{1}, 1}, options);
+  });
+  sim.run();
+
+  EXPECT_EQ(obs.metrics.counter("net.msg.sent", {{"type", "Heartbeat"}}).value(),
+            1u);
+  EXPECT_EQ(
+      obs.metrics.counter("net.msg.delivered", {{"type", "Heartbeat"}}).value(),
+      1u);
+  EXPECT_EQ(
+      obs.metrics.counter("net.msg.sent", {{"type", "LivenessEcho"}}).value(),
+      1u);
+  EXPECT_EQ(
+      obs.metrics.counter("net.msg.dropped", {{"type", "LivenessEcho"}}).value(),
+      1u);
+  const obs::Histogram* latency =
+      obs.metrics.find_histogram("net.msg.latency_s", {{"type", "Heartbeat"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 1u);
+  EXPECT_NEAR(latency->mean(), 0.25, 1e-9);
+
+  bool saw_drop_event = false;
+  for (const auto& event : obs.tracer.events()) {
+    if (event.kind == obs::TraceEventKind::kMsgDropped) saw_drop_event = true;
+  }
+  EXPECT_TRUE(saw_drop_event);
+}
+
+TEST_F(ControlBusTest, MessageTypeCatalogRoundTrips) {
+  EXPECT_EQ(type_of(Message{SubmitJob{}}), MsgType::kSubmitJob);
+  EXPECT_EQ(type_of(Message{LivenessEcho{}}), MsgType::kLivenessEcho);
+  for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+    const auto type = static_cast<MsgType>(i);
+    EXPECT_EQ(type_from_name(to_string(type)), type);
+  }
+  EXPECT_FALSE(type_from_name("NoSuchMessage").has_value());
+  EXPECT_TRUE(is_wildcard_type("*"));
+  EXPECT_TRUE(is_wildcard_type(""));
+  EXPECT_FALSE(is_wildcard_type("Heartbeat"));
+}
+
+}  // namespace
+}  // namespace cg::net

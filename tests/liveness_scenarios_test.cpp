@@ -49,6 +49,10 @@ constexpr ScenarioInfo kScenarios[] = {
     {"partition-past-grace",
      "partition outlives running_job_grace; running residents are evicted "
      "with reason=partition and resubmitted elsewhere"},
+    {"liveness-echo-blackhole",
+     "a message fault drops only LivenessEcho on the broker<->site pair; "
+     "heartbeats and probes still flow (zero heartbeat misses), yet the "
+     "silent echo path alone drives suspicion and eviction"},
     {"spool-fault-during-streaming",
      "worker-node disk fails mid reliable stream; appends are rejected and "
      "retried until the disk heals, losing nothing"},
@@ -127,6 +131,7 @@ struct ScenarioResult {
   std::string jsonl;   ///< full typed trace export (byte-comparable)
   std::uint64_t heartbeat_misses = 0;
   std::uint64_t liveness_misses = 0;
+  std::uint64_t msg_drops = 0;  ///< net.msg.dropped across all types/reasons
   std::uint64_t suspected = 0;
   std::uint64_t restored = 0;
   std::uint64_t evictions = 0;
@@ -192,6 +197,7 @@ ScenarioResult run_grid_scenario(
   EXPECT_TRUE(result.inter.running);
 
   sim::FaultInjector injector{grid.sim(), &grid.network()};
+  injector.register_message_sink(&grid.bus());
   broker::FaultBridge bridge{grid, injector};
   sim::FaultPlan plan;
   author(plan, FaultContext{grid, bridge, inter_id});
@@ -205,6 +211,7 @@ ScenarioResult run_grid_scenario(
   result.heartbeat_misses =
       obs.metrics.counter_total("broker.heartbeat_misses");
   result.liveness_misses = obs.metrics.counter_total("broker.liveness_misses");
+  result.msg_drops = obs.metrics.counter_total("net.msg.dropped");
   result.suspected = obs.metrics.counter_total("broker.agents_suspected");
   result.restored = obs.metrics.counter_total("broker.agents_restored");
   result.evictions = obs.metrics.counter_total("broker.jobs_evicted");
@@ -265,6 +272,60 @@ TEST(LivenessScenarioTest, WedgedAgentScenarioIsByteIdenticalAcrossRuns) {
   const ScenarioResult a = run_wedged_agent();
   const ScenarioResult b = run_wedged_agent();
   EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_FALSE(a.jsonl.empty());
+}
+
+// ------------------------------- scenario: liveness-echo blackhole (kMsgDrop)
+
+/// The message-fault twin of the wedge: the agent is perfectly healthy and
+/// echoes every probe, but a kMsgDrop fault blackholes LivenessEcho — and
+/// only LivenessEcho — on the broker<->site pair. Heartbeats and probes
+/// match neither the type nor fail the link, so the echo channel alone
+/// carries the suspicion signal.
+ScenarioResult run_echo_blackhole() {
+  return run_grid_scenario(
+      "liveness-echo-blackhole",
+      [](sim::FaultPlan& plan, const FaultContext& ctx) {
+        plan.drop_messages("LivenessEcho", "broker", ctx.inter_site_endpoint(),
+                           SimTime::from_seconds(300.0),
+                           Duration::seconds(200));
+      });
+}
+
+TEST(LivenessScenarioTest, EchoBlackholeSuspectsWithoutHeartbeatMisses) {
+  const ScenarioResult run = run_echo_blackhole();
+  // The link never failed and Heartbeat never matched the fault's type
+  // filter: not one heartbeat miss. Every miss came from dropped echoes.
+  EXPECT_EQ(run.heartbeat_misses, 0u);
+  EXPECT_GE(run.liveness_misses, 3u);
+  // The bus counted each blackholed echo (reason=fault) on the shared
+  // registry — the fault fired through the typed delivery path, not around
+  // it.
+  EXPECT_GE(run.msg_drops, run.liveness_misses);
+  EXPECT_EQ(run.suspected, 1u);
+  const broker::CrossBrokerConfig defaults;
+  ASSERT_TRUE(run.suspected_at.has_value());
+  EXPECT_GE(*run.suspected_at, SimTime::from_seconds(300.0));
+  EXPECT_LE(*run.suspected_at,
+            SimTime::from_seconds(300.0) +
+                defaults.liveness_probe_interval *
+                    (defaults.liveness_miss_limit + 1));
+  // Grace expired behind the blackhole: residents evicted and resubmitted,
+  // and the agent restored once the fault healed and an echo got through.
+  ASSERT_TRUE(run.inter_evicted_at.has_value());
+  EXPECT_GE(*run.inter_evicted_at, *run.suspected_at + Duration::seconds(60));
+  EXPECT_GE(run.evictions, 1u);
+  EXPECT_GE(run.inter_resubmissions, 1);
+  EXPECT_TRUE(run.inter.completed);
+  EXPECT_EQ(run.restored, 1u);
+  EXPECT_EQ(run.active_leases, 0u);
+}
+
+TEST(LivenessScenarioTest, EchoBlackholeIsByteIdenticalAcrossRuns) {
+  const ScenarioResult a = run_echo_blackhole();
+  const ScenarioResult b = run_echo_blackhole();
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.digest, b.digest);
   EXPECT_FALSE(a.jsonl.empty());
 }
 
@@ -693,6 +754,39 @@ completed(j4)
 completed(j1)
 )";
 
+// Liveness-echo blackhole: the kMsgDrop message fault reproduces the wedge's
+// signature — echo-only suspicion with zero heartbeat misses — through the
+// typed delivery path. Pinned below after the first deterministic run.
+constexpr std::string_view kEchoBlackholeGolden = R"(liveness_miss
+liveness_miss
+liveness_miss
+agent_suspected
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+job_evicted(j4)
+resubmitted(j4)
+job_evicted(j1)
+resubmitted(j1)
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+liveness_miss
+agent_restored
+completed(j4)
+completed(j1)
+)";
+
 // Partition healed inside the grace: suspicion but no job_evicted anywhere.
 constexpr std::string_view kPartitionWithinGraceGolden = R"(heartbeat_miss
 heartbeat_miss
@@ -801,6 +895,10 @@ completed(j10)
 
 TEST(LivenessScenarioTest, WedgedAgentTraceDigestMatchesGolden) {
   EXPECT_EQ(run_wedged_agent().digest, kWedgedAgentGolden);
+}
+
+TEST(LivenessScenarioTest, EchoBlackholeTraceDigestMatchesGolden) {
+  EXPECT_EQ(run_echo_blackhole().digest, kEchoBlackholeGolden);
 }
 
 TEST(LivenessScenarioTest, PartitionWithinGraceTraceDigestMatchesGolden) {

@@ -7,6 +7,7 @@
 
 #include "jdl/parser.hpp"
 #include "lrms/site.hpp"
+#include "net/control_bus.hpp"
 #include "sim/network.hpp"
 
 namespace cg::lrms {
@@ -469,8 +470,9 @@ class GatekeeperFixture : public ::testing::Test {
 protected:
   GatekeeperFixture()
       : network{Rng{1}},
+        bus{sim, network},
         scheduler{sim, {WorkerNodeSpec{}}, fast_lrms()},
-        gatekeeper{sim, network, "site:test", scheduler, config()} {
+        gatekeeper{sim, bus, "site:test", scheduler, config()} {
     network.add_link("ui", "site:test", sim::LinkSpec::campus());
   }
 
@@ -498,6 +500,7 @@ protected:
 
   sim::Simulation sim;
   sim::Network network;
+  net::ControlBus bus;
   LocalScheduler scheduler;
   Gatekeeper gatekeeper;
 };
@@ -539,7 +542,7 @@ TEST_F(GatekeeperFixture, PrepareDetectsFullSite) {
   LocalSchedulerConfig tiny;
   tiny.max_queue_length = 0;
   LocalScheduler full_sched{sim, {WorkerNodeSpec{}}, tiny};
-  Gatekeeper gk{sim, network, "site:full", full_sched, config()};
+  Gatekeeper gk{sim, bus, "site:full", full_sched, config()};
   bool rejected = false;
   gk.prepare(make_request(1), [&](Status s) {
     rejected = !s.ok();
@@ -566,10 +569,11 @@ TEST_F(GatekeeperFixture, PrepareDetectsFullSite) {
 TEST(SiteTest, SnapshotTracksSchedulerState) {
   sim::Simulation sim;
   sim::Network network{Rng{3}};
+  net::ControlBus bus{sim, network};
   SiteConfig config;
   config.name = "uab";
   config.worker_nodes = 3;
-  Site site{sim, network, SiteId{1}, config};
+  Site site{sim, bus, SiteId{1}, config};
   EXPECT_EQ(site.endpoint(), "site:uab");
 
   auto snap = site.snapshot();
@@ -592,13 +596,14 @@ TEST(SiteTest, SnapshotTracksSchedulerState) {
 TEST(SiteTest, Validation) {
   sim::Simulation sim;
   sim::Network network{Rng{3}};
+  net::ControlBus bus{sim, network};
   SiteConfig bad;
   bad.name = "";
-  EXPECT_THROW(Site(sim, network, SiteId{1}, bad), std::invalid_argument);
+  EXPECT_THROW(Site(sim, bus, SiteId{1}, bad), std::invalid_argument);
   SiteConfig no_nodes;
   no_nodes.name = "x";
   no_nodes.worker_nodes = 0;
-  EXPECT_THROW(Site(sim, network, SiteId{1}, no_nodes), std::invalid_argument);
+  EXPECT_THROW(Site(sim, bus, SiteId{1}, no_nodes), std::invalid_argument);
 }
 
 }  // namespace

@@ -159,8 +159,8 @@ TEST(FastPathParityTest, MatchOneEqualsFilterPlusSelectInRngLockstep) {
         const auto candidates = legacy.filter(job, records, leases, needed);
         const auto expect = legacy.select(candidates, legacy_rng);
         const auto compiled = fast.compile(job);
-        const auto got =
-            fast.match_one(*compiled, records, leases, needed, fast_rng);
+        const auto got = fast.match_one(*compiled, CandidateSource{records},
+                                        leases, needed, fast_rng);
         ASSERT_EQ(got.has_value(), expect.has_value()) << tmpl;
         if (expect) {
           EXPECT_EQ(got->site, *expect) << tmpl;

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Layering gate for the control plane.
+
+Every simulated control-plane exchange must go through net::ControlBus —
+no layer above src/net may touch sim::Network links directly or hand-roll
+channel-latency delivery schedules. This script greps the source tree for
+the patterns the bus refactor eliminated and fails readably if any creep
+back in.
+
+Allowed layers:
+  * src/net   — the bus itself (the one place link latency is applied)
+  * src/sim   — owns Network/Link; naturally calls its own API
+  * src/stream — the data plane: streaming deliberately models transfers
+    on raw links (spool/retry semantics the control bus does not carry)
+
+Usage:
+    check_layering.py [repo_root]
+
+Exit status: 0 when the layering holds, 1 when a violation is found,
+2 when the tree cannot be scanned.
+"""
+
+import pathlib
+import re
+import sys
+
+# Directories (relative to src/) that may touch sim::Network directly.
+ALLOWED_LINK_LAYERS = ("net", "sim", "stream")
+
+# Raw link access: any ".link(" call on a network object. The control bus
+# is the only component above src/sim that may resolve links.
+RAW_LINK = re.compile(r"\bnetwork_?(\(\))?\s*\.\s*link\s*\(")
+
+# Raw partition checks: consulting a link's failure schedule by hand
+# instead of SendOptions::drop_when_down / ControlBus::probe.
+RAW_IS_UP = re.compile(r"\.\s*is_up\s*\(")
+
+# Hand-rolled delivery delays: scheduling a callback after a channel
+# latency is exactly what ControlBus::send() centralizes.
+MANUAL_DELAY = re.compile(r"schedule\s*\([^;]*channel_latency")
+
+
+def allowed(rel: pathlib.PurePosixPath) -> bool:
+    return len(rel.parts) >= 2 and rel.parts[1] in ALLOWED_LINK_LAYERS
+
+
+def scan(root: pathlib.Path) -> list[str]:
+    violations = []
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        sys.exit(2)
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        rel = pathlib.PurePosixPath(path.relative_to(root).as_posix())
+        if allowed(rel):
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.split("//")[0]
+            for pattern, why in (
+                (RAW_LINK, "raw Network::link() access (route via ControlBus)"),
+                (RAW_IS_UP, "raw is_up() check (use drop_when_down or probe())"),
+                (MANUAL_DELAY, "hand-rolled channel-latency schedule "
+                               "(use ControlBus::send options)"),
+            ):
+                if pattern.search(stripped):
+                    violations.append(f"{rel}:{lineno}: {why}\n    {line.strip()}")
+    return violations
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path(".")
+    violations = scan(root.resolve())
+    if violations:
+        print("[FAIL] control-plane layering violations:")
+        for v in violations:
+            print("  " + v)
+        print(
+            f"\n{len(violations)} violation(s). All broker/agent/site "
+            "traffic must flow through net::ControlBus (docs/protocol.md)."
+        )
+        return 1
+    print("[ok]   no raw network access outside src/net (data plane exempt)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
